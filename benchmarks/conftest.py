@@ -1,0 +1,22 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one figure or table of the paper's
+evaluation, prints the measured rows next to the paper's numbers, and
+asserts that the *shape* of the result holds (who wins, by roughly what
+factor).  Simulations are deterministic, so a single round suffices.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run *fn* exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def assert_shape(checks) -> None:
+    """Fail with a readable message listing any broken shape checks."""
+    failed = [c for c in checks if not c.holds]
+    assert not failed, "shape checks failed: " + "; ".join(
+        f"{c.metric} (paper: {c.paper}, measured: {c.measured})" for c in failed
+    )

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""The Section-6 "intelligent framework": pick the right engine per VM.
+
+The advisor estimates JAVMM's downtime (enforced GC + surviving data)
+against plain pre-copy's, recommends an engine for every registered
+workload, and then validates the scimark recommendation by actually
+running both engines.
+
+Run:  python examples/policy_advisor.py
+"""
+
+from repro.core import MigrationExperiment, choose_engine
+from repro.units import GiB
+from repro.workloads.spec import REGISTRY
+
+
+def main() -> None:
+    print("advisor recommendations (1 GB max Young):")
+    for name, spec in sorted(REGISTRY.items()):
+        decision = choose_engine(spec, GiB(1))
+        print(
+            f"  {name:9s} -> {decision.engine:5s} "
+            f"(est. downtime javmm={decision.estimated_javmm_downtime_s:.2f}s "
+            f"vs xen={decision.estimated_xen_downtime_s:.2f}s)"
+        )
+    print()
+
+    print("validating on scimark (the workload the paper flags):")
+    for engine in ("xen", "javmm"):
+        result = MigrationExperiment(workload="scimark", engine=engine, warmup_s=15.0).run()
+        print(
+            f"  {engine:5s}: downtime {result.report.downtime.app_downtime_s:.2f} s, "
+            f"completion {result.report.completion_time_s:.1f} s"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: migrate a Java VM with JAVMM and with vanilla Xen.
+
+Builds the paper's default setup — a 2 GB, 4-vCPU VM running the derby
+database workload on a gigabit link — migrates it with both engines,
+and prints the comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import MigrationExperiment
+from repro.units import fmt_bytes, fmt_seconds
+
+
+def main() -> None:
+    results = {}
+    for engine in ("xen", "javmm"):
+        print(f"migrating with {engine} ...")
+        results[engine] = MigrationExperiment(
+            workload="derby",
+            engine=engine,
+            warmup_s=15.0,
+        ).run()
+
+    print()
+    for engine, result in results.items():
+        print(result.report.summary())
+        print()
+
+    xen, javmm = results["xen"].report, results["javmm"].report
+    print("JAVMM vs Xen:")
+    print(
+        f"  completion time: {fmt_seconds(javmm.completion_time_s)} vs "
+        f"{fmt_seconds(xen.completion_time_s)} "
+        f"({100 * (1 - javmm.completion_time_s / xen.completion_time_s):.0f}% less)"
+    )
+    print(
+        f"  network traffic: {fmt_bytes(javmm.total_wire_bytes)} vs "
+        f"{fmt_bytes(xen.total_wire_bytes)} "
+        f"({100 * (1 - javmm.total_wire_bytes / xen.total_wire_bytes):.0f}% less)"
+    )
+    print(
+        f"  app downtime:    {fmt_seconds(javmm.downtime.app_downtime_s)} vs "
+        f"{fmt_seconds(xen.downtime.app_downtime_s)} "
+        f"({100 * (1 - javmm.downtime.app_downtime_s / xen.downtime.app_downtime_s):.0f}% less)"
+    )
+
+
+if __name__ == "__main__":
+    main()

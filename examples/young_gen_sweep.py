@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Parameter sweep: how the Young-generation size drives the benefit.
+
+Reproduces the spirit of the paper's Figure 12 as a runnable script:
+sweep the maximum Young-generation size for the derby workload and
+watch Xen get worse while JAVMM gets better.
+
+Run:  python examples/young_gen_sweep.py
+"""
+
+from repro.core import MigrationExperiment
+from repro.units import GIB, MiB
+
+
+def main() -> None:
+    print(f"{'young (MB)':>10} {'xen time':>9} {'javmm time':>11} "
+          f"{'xen GiB':>8} {'javmm GiB':>10} {'xen down':>9} {'javmm down':>11}")
+    for young_mb in (256, 512, 1024, 1536):
+        row = {}
+        for engine in ("xen", "javmm"):
+            result = MigrationExperiment(
+                workload="derby",
+                engine=engine,
+                max_young_bytes=MiB(young_mb),
+                warmup_s=15.0,
+            ).run()
+            row[engine] = result.report
+        print(
+            f"{young_mb:>10} {row['xen'].completion_time_s:>8.1f}s "
+            f"{row['javmm'].completion_time_s:>10.1f}s "
+            f"{row['xen'].total_wire_bytes / GIB:>8.2f} "
+            f"{row['javmm'].total_wire_bytes / GIB:>10.2f} "
+            f"{row['xen'].downtime.app_downtime_s:>8.1f}s "
+            f"{row['javmm'].downtime.app_downtime_s:>10.2f}s"
+        )
+
+
+if __name__ == "__main__":
+    main()

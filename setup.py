@@ -1,0 +1,6 @@
+"""Setup shim so legacy editable installs work in offline environments
+that lack the `wheel` package (pip falls back to `setup.py develop`)."""
+
+from setuptools import setup
+
+setup()

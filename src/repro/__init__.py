@@ -1,0 +1,51 @@
+"""Reproduction of "Application-Assisted Live Migration of Virtual
+Machines with Java Applications" (Hou, Shin, Sung — EuroSys 2015).
+
+The package provides, as a discrete-time co-simulation:
+
+- a Xen-style hypervisor substrate (``repro.xen``) with log-dirty
+  tracking and page-version memory;
+- the in-guest framework of Section 3 (``repro.guest``): LKM, netlink,
+  /proc, transfer bitmap, PFN cache;
+- a HotSpot-style generational JVM (``repro.jvm``) with a TI agent;
+- SPECjvm2008-like synthetic workloads (``repro.workloads``);
+- migration engines (``repro.migration``): vanilla pre-copy, the
+  assisted framework, JAVMM, and related-work baselines;
+- a public experiment API (``repro.core``) and per-figure reproduction
+  drivers (``repro.experiments``).
+
+Quick start::
+
+    from repro.core import MigrationExperiment
+    result = MigrationExperiment(workload="derby", engine="javmm").run()
+    print(result.report.summary())
+"""
+
+from repro.core import (
+    ExperimentResult,
+    JavaVM,
+    MigrationExperiment,
+    PolicyDecision,
+    build_java_vm,
+    choose_engine,
+    make_migrator,
+    migrate,
+    migrate_full,
+)
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentResult",
+    "JavaVM",
+    "MigrationExperiment",
+    "PolicyDecision",
+    "ReproError",
+    "__version__",
+    "build_java_vm",
+    "choose_engine",
+    "make_migrator",
+    "migrate",
+    "migrate_full",
+]

@@ -1,0 +1,109 @@
+"""Command-line entry point.
+
+Two modes:
+
+- regenerate a paper figure/table::
+
+      javmm-repro fig01
+      javmm-repro fig10 --seed 7
+      javmm-repro all
+
+- run a single migration and print (or JSON-dump) its report::
+
+      javmm-repro migrate --workload derby --engine javmm
+      javmm-repro migrate --workload scimark --engine auto --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="javmm-repro",
+        description=(
+            "Reproduce the evaluation of 'Application-Assisted Live Migration "
+            "of Virtual Machines with Java Applications' (EuroSys 2015)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(ALL_EXPERIMENTS) + ["all", "migrate"],
+        help=(
+            "which figure/table to regenerate ('all' runs everything; "
+            "'migrate' runs one ad-hoc migration)"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=20150421, help="root random seed (default: %(default)s)"
+    )
+    migrate = parser.add_argument_group("migrate options")
+    migrate.add_argument("--workload", default="derby", help="workload name")
+    migrate.add_argument(
+        "--engine",
+        default="javmm",
+        help="migration engine (xen, javmm, auto, throttle, compress, ...)",
+    )
+    migrate.add_argument(
+        "--mem-mb", type=int, default=2048, help="VM memory in MiB"
+    )
+    migrate.add_argument(
+        "--young-mb", type=int, default=1024, help="maximum Young generation in MiB"
+    )
+    migrate.add_argument(
+        "--json", action="store_true", help="emit the migration report as JSON"
+    )
+    return parser
+
+
+def _run_migrate(args: argparse.Namespace) -> int:
+    from repro.core import MigrationExperiment
+    from repro.units import MiB
+
+    result = MigrationExperiment(
+        workload=args.workload,
+        engine=args.engine,
+        mem_bytes=MiB(args.mem_mb),
+        max_young_bytes=MiB(args.young_mb),
+        seed=args.seed,
+    ).run()
+    if args.json:
+        payload = result.report.to_dict()
+        payload["workload"] = result.workload
+        payload["engine"] = result.engine
+        payload["observed_app_downtime_s"] = result.observed_app_downtime_s
+        print(json.dumps(payload, indent=2))
+    else:
+        if result.policy_decision is not None:
+            print(f"policy: chose {result.engine} — {result.policy_decision.reason}")
+        print(result.report.summary())
+    return 0 if result.report.verified else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "migrate":
+        return _run_migrate(args)
+    names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        module = ALL_EXPERIMENTS[name]
+        print("=" * 72)
+        try:
+            if name == "table1":
+                module.main()
+            else:
+                module.main(seed=args.seed)
+        except Exception as exc:  # pragma: no cover - CLI surface
+            print(f"{name} failed: {exc}", file=sys.stderr)
+            return 1
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

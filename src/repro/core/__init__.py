@@ -1,0 +1,39 @@
+"""Public API: build Java VMs, run migration experiments, pick engines.
+
+Typical use::
+
+    from repro.core import MigrationExperiment
+
+    result = MigrationExperiment(workload="derby", engine="javmm").run()
+    print(result.report.summary())
+
+- :func:`build_java_vm` — assemble a guest (domain, kernel, LKM, JVM,
+  TI agent, analyzer) running one of the registered workloads.
+- :class:`MigrationExperiment` — warm up, migrate, cool down, report.
+- :func:`choose_engine` — the Section 6 "intelligent framework" policy.
+"""
+
+from repro.core.api import migrate, migrate_full
+from repro.core.auto import ObservedProfile, choose_engine_live, profile_vm
+from repro.core.builders import JavaVM, build_java_vm, make_migrator
+from repro.core.evacuation import EvacuationReport, HostEvacuation, VMPlan
+from repro.core.experiment import ExperimentResult, MigrationExperiment
+from repro.core.policy import PolicyDecision, choose_engine
+
+__all__ = [
+    "EvacuationReport",
+    "ExperimentResult",
+    "HostEvacuation",
+    "JavaVM",
+    "MigrationExperiment",
+    "ObservedProfile",
+    "PolicyDecision",
+    "VMPlan",
+    "build_java_vm",
+    "choose_engine",
+    "choose_engine_live",
+    "make_migrator",
+    "migrate",
+    "migrate_full",
+    "profile_vm",
+]

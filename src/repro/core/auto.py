@@ -1,0 +1,72 @@
+"""Runtime engine selection from live heap observations (Section 6).
+
+The policy in :mod:`repro.core.policy` decides from a workload *spec*.
+In production nobody hands the migration tool a spec — so this module
+derives one from what the guest actually did: allocation rate from the
+heap counters, survival fraction and GC cost from the recent GC log,
+Old-generation mutation from the dirty trail.  "In the simplest form,
+we may have the LKM turn off JAVMM and let migration proceed with
+traditional pre-copying when those workload scenarios are encountered."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.builders import JavaVM
+from repro.core.policy import PolicyDecision, choose_engine
+from repro.net.link import Link
+from repro.units import MIB
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class ObservedProfile:
+    """A workload profile measured from a running guest."""
+
+    alloc_mb_s: float
+    survival_frac: float
+    gc_pause_mean_s: float
+    young_committed_mb: float
+    old_used_mb: float
+
+    def as_spec(self, base: WorkloadSpec) -> WorkloadSpec:
+        """Fold the observations into a spec the policy can score."""
+        return base.with_overrides(
+            alloc_mb_s=self.alloc_mb_s,
+            survival_frac=self.survival_frac,
+            young_target_mb=int(self.young_committed_mb),
+            observed_old_mb=int(self.old_used_mb),
+        )
+
+
+def profile_vm(vm: JavaVM, observed_seconds: float) -> ObservedProfile:
+    """Measure a guest's heap behaviour over the elapsed runtime."""
+    heap = vm.heap
+    counters = heap.counters
+    log = counters.minor_log
+    recent = log[-10:] if log else []
+    scanned = sum(g.scanned_bytes for g in recent)
+    live = sum(g.live_bytes for g in recent)
+    return ObservedProfile(
+        alloc_mb_s=(
+            counters.allocated_bytes / max(observed_seconds, 1e-9) / MIB
+        ),
+        survival_frac=(live / scanned) if scanned else 0.0,
+        gc_pause_mean_s=(
+            sum(g.duration_s for g in recent) / len(recent) if recent else 0.0
+        ),
+        young_committed_mb=heap.young_committed / MIB,
+        old_used_mb=heap.old_used / MIB,
+    )
+
+
+def choose_engine_live(
+    vm: JavaVM,
+    observed_seconds: float,
+    link: Link | None = None,
+) -> PolicyDecision:
+    """The LKM-side decision: profile the guest, then apply the policy."""
+    profile = profile_vm(vm, observed_seconds)
+    spec = profile.as_spec(vm.workload)
+    return choose_engine(spec, vm.heap.max_young_bytes, link=link)

@@ -1,0 +1,139 @@
+"""End-to-end migration experiments (the Section 5 methodology).
+
+An experiment warms a Java VM up (the paper runs each workload for five
+minutes before migrating; the builder seeds the observed Old generation
+so a short warm-up reaches the same state), starts the chosen migration
+engine, runs until it completes, cools down, and returns everything the
+evaluation plots need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.builders import JavaVM, build_java_vm, make_migrator
+from repro.errors import MigrationError
+from repro.jvm.gc_model import MinorGcStats
+from repro.migration.precopy import PrecopyMigrator
+from repro.migration.report import MigrationReport
+from repro.net.link import Link
+from repro.sim.engine import Engine
+from repro.units import GiB
+from repro.workloads.analyzer import ThroughputSample
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured around one migration."""
+
+    workload: str
+    engine: str
+    report: MigrationReport
+    throughput: list[ThroughputSample]
+    gc_log: list[MinorGcStats]
+    young_committed_at_migration: int
+    old_used_at_migration: int
+    observed_app_downtime_s: float
+    mean_throughput_before: float
+    mean_throughput_after: float
+    #: set when engine="auto": the live policy decision that was taken
+    policy_decision: object | None = None
+    #: the guest's shared event log (daemon + LKM + JVM narratives)
+    event_log: object | None = None
+
+    @property
+    def throughput_drop_fraction(self) -> float:
+        """Relative post- vs pre-migration steady-state throughput drop."""
+        if self.mean_throughput_before <= 0:
+            return 0.0
+        return 1.0 - self.mean_throughput_after / self.mean_throughput_before
+
+
+@dataclass
+class MigrationExperiment:
+    """One workload, one engine, one migration."""
+
+    workload: "str | object" = "derby"  # name or a WorkloadSpec
+    engine: str = "javmm"
+    mem_bytes: int = GiB(2)
+    max_young_bytes: int = GiB(1)
+    link: Link | None = None
+    warmup_s: float = 20.0
+    cooldown_s: float = 10.0
+    dt: float = 0.005
+    seed: int = 20150421
+    migration_timeout_s: float = 600.0
+    vm_kwargs: dict = field(default_factory=dict)
+    migrator_kwargs: dict = field(default_factory=dict)
+
+    def build(self) -> tuple[Engine, JavaVM, PrecopyMigrator | None]:
+        """Assemble the simulation without running it (for tests).
+
+        With ``engine="auto"`` the migrator is deferred: the Section-6
+        policy picks it from the live heap profile after warm-up.
+        """
+        engine = Engine(self.dt)
+        vm = build_java_vm(
+            workload=self.workload,
+            mem_bytes=self.mem_bytes,
+            max_young_bytes=self.max_young_bytes,
+            seed=self.seed,
+            **self.vm_kwargs,
+        )
+        for actor in vm.actors():
+            engine.add(actor)
+        self._link = self.link if self.link is not None else Link()
+        if self.engine == "auto":
+            return engine, vm, None
+        migrator = make_migrator(self.engine, vm, self._link, **self.migrator_kwargs)
+        engine.add(migrator)
+        vm.jvm.migration_load = migrator.load_fraction
+        return engine, vm, migrator
+
+    def run(self) -> ExperimentResult:
+        engine, vm, migrator = self.build()
+        engine.run_until(self.warmup_s)
+        decision = None
+        if migrator is None:
+            from repro.core.auto import choose_engine_live
+
+            decision = choose_engine_live(vm, self.warmup_s, link=self._link)
+            migrator = make_migrator(
+                decision.engine, vm, self._link, **self.migrator_kwargs
+            )
+            engine.add(migrator)
+            vm.jvm.migration_load = migrator.load_fraction
+        young_at_migration = vm.heap.young_committed
+        old_at_migration = vm.heap.old_used
+        migration_start = engine.now
+        migrator.start(engine.now)
+        engine.run_while(lambda: not migrator.done, timeout=self.migration_timeout_s)
+        if not migrator.done:
+            raise MigrationError("migration did not finish within the timeout")
+        migration_end = engine.now
+        engine.run_until(migration_end + self.cooldown_s)
+
+        analyzer = vm.analyzer
+        before = analyzer.mean_throughput(
+            start_s=max(0.0, migration_start - 15.0), end_s=migration_start
+        )
+        settle = min(2.0, self.cooldown_s / 2.0)
+        after = analyzer.mean_throughput(start_s=migration_end + settle)
+        observed_downtime = analyzer.max_zero_run_seconds(start_s=migration_start)
+        workload_name = (
+            self.workload if isinstance(self.workload, str) else self.workload.name
+        )
+        return ExperimentResult(
+            workload=workload_name,
+            engine=decision.engine if decision is not None else self.engine,
+            report=migrator.report,
+            throughput=list(analyzer.samples),
+            gc_log=list(vm.heap.counters.minor_log),
+            young_committed_at_migration=young_at_migration,
+            old_used_at_migration=old_at_migration,
+            observed_app_downtime_s=observed_downtime,
+            mean_throughput_before=before,
+            mean_throughput_after=after,
+            policy_decision=decision,
+            event_log=vm.event_log,
+        )

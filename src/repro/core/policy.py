@@ -1,0 +1,121 @@
+"""The "intelligent framework" policy (Section 6).
+
+The paper identifies three scenarios in which "JAVMM should be used
+with consideration of the resulting application downtime":
+
+1. the application requires **long minor GCs** — the enforced GC itself
+   lengthens downtime;
+2. the application has a **high object survival rate** — many objects
+   survive the enforced GC and must be transferred in the stop-and-copy
+   anyway (scimark is the paper's example);
+3. the application is **read-intensive** — plain pre-copy already
+   converges, so the enforced GC only adds downtime.
+
+"In the simplest form, we may have the LKM turn off JAVMM and let
+migration proceed with traditional pre-copying when those workload
+scenarios are encountered."  :func:`choose_engine` implements exactly
+that: each criterion can veto JAVMM; otherwise a cost estimate confirms
+the Young-generation skip pays for the enforced GC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.jvm.gc_model import GcCostModel
+from repro.net.link import Link
+from repro.units import MiB
+from repro.workloads.spec import WorkloadSpec
+
+#: Criterion 2: survival fraction above this is a "high survival rate".
+HIGH_SURVIVAL_FRAC = 0.10
+#: Criterion 3: a Young dirtying rate below this fraction of link
+#: bandwidth lets plain pre-copy converge on its own.
+READ_INTENSIVE_BANDWIDTH_FRAC = 0.30
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """The advisor's verdict and its reasoning."""
+
+    engine: str  # "javmm" or "xen"
+    reason: str
+    estimated_javmm_downtime_s: float
+    estimated_xen_downtime_s: float
+    estimated_traffic_saving_bytes: int
+
+
+def _estimates(
+    spec: WorkloadSpec, max_young_bytes: int, link: Link, resume_delay_s: float
+) -> tuple[float, float, int]:
+    """(javmm downtime, xen downtime, traffic saving) estimates."""
+    young = (
+        min(MiB(spec.young_target_mb), max_young_bytes)
+        if spec.young_target_mb
+        else max_young_bytes
+    )
+    scanned = int(0.6 * young)  # expected Young occupancy mid-cycle
+    live = int(scanned * spec.survival_frac)
+    gc = GcCostModel(scale=spec.gc_scale)
+    # Residual hot set both engines must ship in the stop-and-copy.
+    residual = MiB(min(spec.old_write_mb_s, spec.old_ws_mb) + spec.misc_mb_s)
+    dirty_rate = MiB(spec.alloc_mb_s + spec.old_write_mb_s + spec.misc_mb_s)
+    if dirty_rate > READ_INTENSIVE_BANDWIDTH_FRAC * link.bandwidth:
+        # Pre-copy cannot converge: Xen's last iteration carries a large
+        # share of the continuously-dirtied Young generation.
+        xen_last = min(young, int(dirty_rate * 3.0)) + residual
+    else:
+        xen_last = residual
+    est_xen = link.time_to_send_bytes(xen_last) + resume_delay_s
+    est_javmm = (
+        spec.tts_enforced_s
+        + gc.minor_pause(scanned, live)
+        + link.time_to_send_bytes(live + residual)
+        + resume_delay_s
+    )
+    return est_javmm, est_xen, max(0, young - live)
+
+
+def choose_engine(
+    spec: WorkloadSpec,
+    max_young_bytes: int,
+    link: Link | None = None,
+    resume_delay_s: float = 0.17,
+) -> PolicyDecision:
+    """Pick JAVMM or plain pre-copy for one workload profile."""
+    link = link or Link()
+    est_javmm, est_xen, saving = _estimates(spec, max_young_bytes, link, resume_delay_s)
+
+    def verdict(engine: str, reason: str) -> PolicyDecision:
+        return PolicyDecision(
+            engine=engine,
+            reason=reason,
+            estimated_javmm_downtime_s=est_javmm,
+            estimated_xen_downtime_s=est_xen,
+            estimated_traffic_saving_bytes=saving,
+        )
+
+    if spec.survival_frac >= HIGH_SURVIVAL_FRAC:
+        return verdict(
+            "xen",
+            "high object survival rate: objects survive the enforced GC and "
+            "must be transferred during stop-and-copy anyway",
+        )
+    dirty_rate = MiB(spec.alloc_mb_s + spec.old_write_mb_s + spec.misc_mb_s)
+    if dirty_rate < READ_INTENSIVE_BANDWIDTH_FRAC * link.bandwidth:
+        return verdict(
+            "xen",
+            "read-intensive / low dirtying rate: traditional pre-copy already "
+            "converges, the enforced GC would only add downtime",
+        )
+    if est_javmm > est_xen:
+        return verdict(
+            "xen",
+            "long minor GCs: the enforced collection costs more downtime "
+            "than skipping the Young generation saves",
+        )
+    return verdict(
+        "javmm",
+        "large, frequently-dirtied Young generation with short-lived "
+        "objects: skipping it beats transferring it",
+    )

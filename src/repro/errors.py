@@ -1,0 +1,51 @@
+"""Exception hierarchy for the JAVMM reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or wired with invalid parameters."""
+
+
+class AddressError(ReproError):
+    """A virtual-address range is malformed or out of bounds."""
+
+
+class TranslationFault(ReproError):
+    """A virtual address has no PFN mapping (page-table walk failed)."""
+
+
+class FrameExhausted(ReproError):
+    """The guest frame allocator ran out of free page frames."""
+
+
+class HeapError(ReproError):
+    """The simulated Java heap was driven into an invalid state."""
+
+
+class OutOfMemoryError(HeapError):
+    """Allocation failed even after garbage collection."""
+
+
+class ProtocolError(ReproError):
+    """The LKM / migration-daemon / application protocol was violated."""
+
+
+class MigrationError(ReproError):
+    """A migration could not start or complete."""
+
+
+class MigrationVerificationError(MigrationError):
+    """Destination memory did not match the source after migration."""
+
+
+class SimulationError(ReproError):
+    """The discrete-time engine was misused (e.g. time moved backwards)."""

@@ -1,0 +1,53 @@
+"""Per-figure/table reproduction drivers.
+
+Each module regenerates one element of the paper's evaluation and knows
+the paper's published values, so its output shows paper-vs-measured
+side by side.  The benchmark suite (``benchmarks/``) and the CLI
+(``python -m repro.cli``) are thin wrappers around these.
+
+| module    | reproduces                                            |
+|-----------|-------------------------------------------------------|
+| fig01     | Fig 1 — vanilla Xen migration of the derby VM         |
+| table1    | Table 1 — workload registry                           |
+| fig05     | Fig 5a-c — heap profiles of the nine workloads        |
+| fig08     | Fig 8 — iteration progress, compiler, Xen vs JAVMM    |
+| fig09     | Fig 9 — per-iteration memory processed                |
+| table2    | Table 2 — settings of derby / crypto / scimark        |
+| fig10     | Fig 10a-c — time / traffic / downtime by category     |
+| fig11     | Fig 11a-c — throughput timelines                      |
+| table3    | Table 3 — settings of the Category-1 sweep            |
+| fig12     | Fig 12a-c — Young-generation size sweep               |
+| ablations | design-choice ablations (DESIGN.md §4)                |
+"""
+
+from repro.experiments import (  # noqa: F401
+    ablations,
+    fig01,
+    fig05,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    multiapp,
+    scaleup,
+    table1,
+    table2,
+    table3,
+)
+
+ALL_EXPERIMENTS = {
+    "fig01": fig01,
+    "table1": table1,
+    "fig05": fig05,
+    "fig08": fig08,
+    "fig09": fig09,
+    "table2": table2,
+    "fig10": fig10,
+    "fig11": fig11,
+    "table3": table3,
+    "fig12": fig12,
+    "ablations": ablations,
+    "scaleup": scaleup,
+    "multiapp": multiapp,
+}

@@ -1,0 +1,77 @@
+"""Shared helpers for the reproduction drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.experiment import ExperimentResult, MigrationExperiment
+from repro.units import MiB
+
+#: Default warm-up: long enough for the Young generation to grow to its
+#: target and the heap to reach steady state (the Old generation is
+#: seeded to its observed-at-migration size, standing in for the
+#: paper's 300 s of pre-migration execution).
+DEFAULT_WARMUP_S = 15.0
+DEFAULT_COOLDOWN_S = 10.0
+
+
+def run_migration(
+    workload: str,
+    engine: str,
+    max_young_mb: int = 1024,
+    mem_mb: int = 2048,
+    warmup_s: float = DEFAULT_WARMUP_S,
+    cooldown_s: float = DEFAULT_COOLDOWN_S,
+    seed: int = 20150421,
+    **kwargs,
+) -> ExperimentResult:
+    """Run one migration experiment with the paper's defaults."""
+    return MigrationExperiment(
+        workload=workload,
+        engine=engine,
+        mem_bytes=MiB(mem_mb),
+        max_young_bytes=MiB(max_young_mb),
+        warmup_s=warmup_s,
+        cooldown_s=cooldown_s,
+        seed=seed,
+        **kwargs,
+    ).run()
+
+
+def pct_reduction(baseline: float, improved: float) -> float:
+    """Percent reduction of *improved* relative to *baseline*."""
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (baseline - improved) / baseline
+
+
+def ascii_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Render a fixed-width ASCII table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    sep = "  ".join("-" * w for w in widths)
+    return "\n".join([fmt(headers), sep] + [fmt(r) for r in rows])
+
+
+@dataclass(frozen=True)
+class PaperVsMeasured:
+    """One metric compared against the paper."""
+
+    metric: str
+    paper: str
+    measured: str
+    holds: bool
+
+    def row(self) -> list[str]:
+        return [self.metric, self.paper, self.measured, "yes" if self.holds else "NO"]
+
+
+def comparison_table(entries: list[PaperVsMeasured]) -> str:
+    return ascii_table(
+        ["metric", "paper", "measured", "shape holds"],
+        [e.row() for e in entries],
+    )

@@ -1,0 +1,199 @@
+"""Figure 5 — Java heap usage and GC behaviour of the nine workloads.
+
+The paper runs each workload for 10 minutes in a 2 GB VM with the Young
+generation allowed to grow to 1 GB, and reports
+
+- (a) average memory consumption of Young vs Old generation,
+- (b) garbage vs live data per minor GC (>97 % garbage for everything
+  except scimark),
+- (c) average minor-GC duration (compiler the longest, ~1.5 s; faster
+  to collect than to push through a gigabit link for all but scimark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.builders import build_java_vm
+from repro.experiments.common import PaperVsMeasured, ascii_table, comparison_table
+from repro.net.link import Link
+from repro.sim.engine import Engine
+from repro.units import MIB, MiB
+
+#: Paper order for the bar charts.
+WORKLOADS = [
+    "derby",
+    "compiler",
+    "xml",
+    "sunflow",
+    "serial",
+    "crypto",
+    "scimark",
+    "mpeg",
+    "compress",
+]
+
+
+@dataclass(frozen=True)
+class HeapProfile:
+    """One workload's bars across Figures 5(a), 5(b) and 5(c)."""
+
+    workload: str
+    avg_young_mb: float  # 5(a): Young consumption
+    avg_old_mb: float  # 5(a): Old consumption
+    garbage_per_gc_mb: float  # 5(b)
+    live_per_gc_mb: float  # 5(b)
+    garbage_fraction: float  # 5(b), derived
+    gc_duration_s: float  # 5(c)
+    minor_gcs: int
+    gc_interval_s: float
+
+
+def profile_workload(
+    workload: str,
+    duration_s: float = 600.0,
+    mem_mb: int = 2048,
+    max_young_mb: int = 1024,
+    dt: float = 0.005,
+    seed: int = 20150421,
+) -> HeapProfile:
+    """Run one workload (no migration) and profile its heap behaviour."""
+    engine = Engine(dt)
+    vm = build_java_vm(
+        workload=workload,
+        mem_bytes=MiB(mem_mb),
+        max_young_bytes=MiB(max_young_mb),
+        seed_old=False,  # Figure 5 starts from a fresh heap
+        seed=seed,
+    )
+    for actor in vm.actors():
+        engine.add(actor)
+    young_samples: list[int] = []
+    old_samples: list[int] = []
+    t = 0.0
+    while t < duration_s:
+        t += 1.0
+        engine.run_until(t)
+        young_samples.append(vm.heap.young_committed)
+        old_samples.append(vm.heap.old_used)
+    log = vm.heap.counters.minor_log
+    n = len(log)
+    garbage = sum(g.garbage_bytes for g in log) / n if n else 0
+    live = sum(g.live_bytes for g in log) / n if n else 0
+    dur = sum(g.duration_s for g in log) / n if n else 0.0
+    return HeapProfile(
+        workload=workload,
+        avg_young_mb=sum(young_samples) / len(young_samples) / MIB,
+        avg_old_mb=sum(old_samples) / len(old_samples) / MIB,
+        garbage_per_gc_mb=garbage / MIB,
+        live_per_gc_mb=live / MIB,
+        garbage_fraction=garbage / (garbage + live) if garbage + live else 0.0,
+        gc_duration_s=dur,
+        minor_gcs=n,
+        gc_interval_s=duration_s / n if n else float("inf"),
+    )
+
+
+def run(duration_s: float = 600.0, seed: int = 20150421) -> list[HeapProfile]:
+    return [profile_workload(name, duration_s=duration_s, seed=seed) for name in WORKLOADS]
+
+
+def comparisons(profiles: list[HeapProfile]) -> list[PaperVsMeasured]:
+    by_name = {p.workload: p for p in profiles}
+    cat1 = [by_name[w] for w in ("derby", "compiler", "xml", "sunflow")]
+    non_scimark = [p for p in profiles if p.workload != "scimark"]
+    link = Link()
+    compiler = by_name["compiler"]
+    checks = [
+        PaperVsMeasured(
+            "Category-1 Young generations grow to the 1 GB maximum",
+            "derby/compiler/xml/sunflow reach 1024 MB",
+            ", ".join(f"{p.workload}={p.avg_young_mb:.0f}MB" for p in cat1),
+            all(p.avg_young_mb > 900 for p in cat1),
+        ),
+        PaperVsMeasured(
+            "Young > Old for 8 of 9 workloads",
+            "only scimark uses more Old than Young",
+            ", ".join(
+                p.workload for p in profiles if p.avg_old_mb > p.avg_young_mb
+            )
+            or "(none)",
+            all(
+                (p.avg_old_mb > p.avg_young_mb) == (p.workload == "scimark")
+                for p in profiles
+            ),
+        ),
+        PaperVsMeasured(
+            "garbage fraction per minor GC",
+            ">97% for all but scimark",
+            ", ".join(f"{p.workload}={100 * p.garbage_fraction:.1f}%" for p in profiles),
+            all(p.garbage_fraction > 0.9 for p in non_scimark)
+            and by_name["scimark"].garbage_fraction < 0.9,
+        ),
+        PaperVsMeasured(
+            "Category-1 GC interval",
+            "a minor GC every ~3 s",
+            ", ".join(f"{p.workload}={p.gc_interval_s:.1f}s" for p in cat1),
+            all(1.0 <= p.gc_interval_s <= 6.0 for p in cat1),
+        ),
+        PaperVsMeasured(
+            "compiler has the longest minor GC (~1.5 s)",
+            "1.5 s",
+            f"{compiler.gc_duration_s:.2f} s",
+            compiler.gc_duration_s == max(p.gc_duration_s for p in profiles)
+            and 1.0 <= compiler.gc_duration_s <= 2.0,
+        ),
+        PaperVsMeasured(
+            "collecting beats transferring over 1 GbE (all but scimark)",
+            "GC duration < transfer time of the garbage",
+            ", ".join(
+                f"{p.workload}: gc={p.gc_duration_s:.2f}s "
+                f"xfer={link.time_to_send_bytes(p.garbage_per_gc_mb * MIB):.2f}s"
+                for p in profiles
+            ),
+            all(
+                p.gc_duration_s < link.time_to_send_bytes(p.garbage_per_gc_mb * MIB)
+                for p in non_scimark
+            ),
+        ),
+    ]
+    return checks
+
+
+def main(duration_s: float = 600.0, seed: int = 20150421) -> list[HeapProfile]:
+    profiles = run(duration_s=duration_s, seed=seed)
+    print("Figure 5: Java heap usage and GC behaviour (10-minute runs)")
+    print(
+        ascii_table(
+            [
+                "workload",
+                "young (MB)",
+                "old (MB)",
+                "garbage/GC (MB)",
+                "live/GC (MB)",
+                "garbage %",
+                "GC dur (s)",
+                "GCs",
+            ],
+            [
+                [
+                    p.workload,
+                    f"{p.avg_young_mb:.0f}",
+                    f"{p.avg_old_mb:.0f}",
+                    f"{p.garbage_per_gc_mb:.0f}",
+                    f"{p.live_per_gc_mb:.1f}",
+                    f"{100 * p.garbage_fraction:.1f}",
+                    f"{p.gc_duration_s:.2f}",
+                    str(p.minor_gcs),
+                ]
+                for p in profiles
+            ],
+        )
+    )
+    print()
+    print(comparison_table(comparisons(profiles)))
+    return profiles
+
+
+if __name__ == "__main__":
+    main()

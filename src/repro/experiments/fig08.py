@@ -1,0 +1,106 @@
+"""Figure 8 — progress of migrating the compiler VM, Xen vs JAVMM.
+
+Paper: Xen needs 30 iterations, 58 s and 6.1 GB; JAVMM finishes after
+11 iterations, 17 s and 1.6 GB, with a low-traffic second-last
+iteration spent waiting for the safepoint (0.7 s) and the enforced
+minor GC (0.1 s).
+"""
+
+from __future__ import annotations
+
+from repro.core.experiment import ExperimentResult
+from repro.experiments.common import (
+    PaperVsMeasured,
+    ascii_table,
+    comparison_table,
+    run_migration,
+)
+from repro.units import GIB, MIB
+
+PAPER = {
+    "xen": {"completion_s": 58.0, "traffic_gb": 6.1, "iterations": 30},
+    "javmm": {"completion_s": 17.0, "traffic_gb": 1.6, "iterations": 11},
+}
+
+MAX_YOUNG_MB = 512  # Table 3's compiler setting
+
+
+def run(seed: int = 20150421) -> dict[str, ExperimentResult]:
+    return {
+        engine: run_migration("compiler", engine, max_young_mb=MAX_YOUNG_MB, seed=seed)
+        for engine in ("xen", "javmm")
+    }
+
+
+def progress_rows(result: ExperimentResult) -> list[list[str]]:
+    return [
+        [
+            str(rec.index),
+            f"{rec.start_s - result.report.started_s:.2f}",
+            f"{rec.duration_s:.2f}",
+            f"{rec.bytes_sent / MIB:.0f}",
+            "waiting" if rec.is_waiting else ("last" if rec.is_last else ""),
+        ]
+        for rec in result.report.iterations
+    ]
+
+
+def comparisons(results: dict[str, ExperimentResult]) -> list[PaperVsMeasured]:
+    xen, javmm = results["xen"].report, results["javmm"].report
+    waiting = [r for r in javmm.iterations if r.is_waiting]
+    return [
+        PaperVsMeasured(
+            "Xen completion / traffic",
+            "58 s / 6.1 GB over 30 iterations",
+            f"{xen.completion_time_s:.1f} s / {xen.total_wire_bytes / GIB:.2f} GiB "
+            f"over {xen.n_iterations} iterations",
+            40 <= xen.completion_time_s <= 80 and 5 <= xen.total_wire_bytes / GIB <= 7,
+        ),
+        PaperVsMeasured(
+            "JAVMM completion / traffic",
+            "17 s / 1.6 GB over 11 iterations",
+            f"{javmm.completion_time_s:.1f} s / {javmm.total_wire_bytes / GIB:.2f} GiB "
+            f"over {javmm.n_iterations} iterations",
+            10 <= javmm.completion_time_s <= 25
+            and 1.0 <= javmm.total_wire_bytes / GIB <= 2.5,
+        ),
+        PaperVsMeasured(
+            "JAVMM is >3x faster with >3x less traffic",
+            ">3x on both",
+            f"{xen.completion_time_s / javmm.completion_time_s:.1f}x time, "
+            f"{xen.total_wire_bytes / javmm.total_wire_bytes:.1f}x traffic",
+            xen.completion_time_s / javmm.completion_time_s > 3
+            and xen.total_wire_bytes / javmm.total_wire_bytes > 3,
+        ),
+        PaperVsMeasured(
+            "JAVMM's second-last iteration sends little while waiting",
+            "low traffic during safepoint + enforced GC",
+            (
+                f"waiting iteration: {waiting[0].duration_s:.2f} s, "
+                f"{waiting[0].bytes_sent / MIB:.1f} MiB"
+                if waiting
+                else "no waiting iteration recorded"
+            ),
+            bool(waiting) and waiting[0].bytes_sent / MIB < 64,
+        ),
+    ]
+
+
+def main(seed: int = 20150421) -> dict[str, ExperimentResult]:
+    results = run(seed=seed)
+    for engine in ("xen", "javmm"):
+        print(f"Figure 8({'a' if engine == 'xen' else 'b'}): {engine} iterations "
+              f"(compiler, {MAX_YOUNG_MB} MB Young)")
+        print(
+            ascii_table(
+                ["iter", "start (s)", "duration (s)", "sent (MiB)", "kind"],
+                progress_rows(results[engine]),
+            )
+        )
+        print()
+    print(comparison_table(comparisons(results)))
+    return results
+
+
+if __name__ == "__main__":
+    main()

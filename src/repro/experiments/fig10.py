@@ -1,0 +1,198 @@
+"""Figure 10 — migration performance across workload categories.
+
+Derby (Category 1), crypto (Category 2) and scimark (Category 3) in a
+2 GB VM, Xen vs JAVMM.  Paper results:
+
+- derby: JAVMM −82 % completion time, −84 % traffic, −83 % downtime
+  (12 s vs >60 s; 1.2 s vs 9 s downtime);
+- crypto: −69 % / −72 % / −73 %;
+- scimark: comparable time and traffic (JAVMM slightly better),
+  ~10 % *longer* downtime because the enforced GC does not reduce the
+  last iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.experiment import ExperimentResult
+from repro.experiments.common import (
+    PaperVsMeasured,
+    ascii_table,
+    comparison_table,
+    pct_reduction,
+    run_migration,
+)
+from repro.experiments.stats import Estimate, estimate
+from repro.units import GIB
+
+WORKLOADS = ("derby", "crypto", "scimark")
+
+PAPER_REDUCTIONS = {
+    # workload: (time %, traffic %, downtime %)
+    "derby": (82.0, 84.0, 83.0),
+    "crypto": (69.0, 72.0, 73.0),
+    "scimark": (0.0, 10.0, -10.0),
+}
+
+
+@dataclass(frozen=True)
+class CategoryRow:
+    """One workload's triple of Figure 10 bars (means over repeats).
+
+    The ``*_ci`` fields are 90% confidence half-widths, matching the
+    paper's error bars ("show 90% confidence intervals in bar graphs").
+    """
+
+    workload: str
+    xen_time_s: float
+    javmm_time_s: float
+    xen_traffic_gb: float
+    javmm_traffic_gb: float
+    xen_downtime_s: float
+    javmm_downtime_s: float
+    xen_downtime_ci: float = 0.0
+    javmm_downtime_ci: float = 0.0
+
+    @property
+    def time_reduction_pct(self) -> float:
+        return pct_reduction(self.xen_time_s, self.javmm_time_s)
+
+    @property
+    def traffic_reduction_pct(self) -> float:
+        return pct_reduction(self.xen_traffic_gb, self.javmm_traffic_gb)
+
+    @property
+    def downtime_reduction_pct(self) -> float:
+        return pct_reduction(self.xen_downtime_s, self.javmm_downtime_s)
+
+
+def run(
+    seed: int = 20150421, repeats: int = 3
+) -> tuple[list[CategoryRow], dict[str, dict[str, ExperimentResult]]]:
+    """Run each (workload, engine) pair *repeats* times and average.
+
+    The paper repeats each experiment at least three times; averaging
+    matters most for JAVMM's downtime, which depends on how full Eden
+    happens to be when the enforced GC runs.
+    """
+    results: dict[str, dict[str, ExperimentResult]] = {}
+    rows: list[CategoryRow] = []
+    for workload in WORKLOADS:
+        metrics: dict[str, dict[str, "Estimate"]] = {}
+        for engine in ("xen", "javmm"):
+            # Stagger the migration start across the GC cycle: where in
+            # the Eden-fill cycle the enforced GC lands dominates
+            # JAVMM's downtime, and the paper migrates at an arbitrary
+            # point ("halfway through the workload execution").
+            runs = [
+                run_migration(
+                    workload, engine, seed=seed + 17 * i, warmup_s=15.0 + 1.1 * i
+                )
+                for i in range(repeats)
+            ]
+            results.setdefault(workload, {})[engine] = runs[0]
+            metrics[engine] = {
+                "time": estimate([r.report.completion_time_s for r in runs]),
+                "traffic": estimate([r.report.total_wire_bytes / GIB for r in runs]),
+                "downtime": estimate(
+                    [r.report.downtime.app_downtime_s for r in runs]
+                ),
+            }
+        rows.append(
+            CategoryRow(
+                workload=workload,
+                xen_time_s=metrics["xen"]["time"].mean,
+                javmm_time_s=metrics["javmm"]["time"].mean,
+                xen_traffic_gb=metrics["xen"]["traffic"].mean,
+                javmm_traffic_gb=metrics["javmm"]["traffic"].mean,
+                xen_downtime_s=metrics["xen"]["downtime"].mean,
+                javmm_downtime_s=metrics["javmm"]["downtime"].mean,
+                xen_downtime_ci=metrics["xen"]["downtime"].ci90,
+                javmm_downtime_ci=metrics["javmm"]["downtime"].ci90,
+            )
+        )
+    return rows, results
+
+
+def comparisons(rows: list[CategoryRow]) -> list[PaperVsMeasured]:
+    by_name = {r.workload: r for r in rows}
+    derby, crypto, scimark = by_name["derby"], by_name["crypto"], by_name["scimark"]
+    return [
+        PaperVsMeasured(
+            "derby reductions (time/traffic/downtime)",
+            "82% / 84% / 83%",
+            f"{derby.time_reduction_pct:.0f}% / {derby.traffic_reduction_pct:.0f}% "
+            f"/ {derby.downtime_reduction_pct:.0f}%",
+            derby.time_reduction_pct > 70
+            and derby.traffic_reduction_pct > 70
+            and derby.downtime_reduction_pct > 70,
+        ),
+        PaperVsMeasured(
+            "crypto reductions (time/traffic/downtime)",
+            "69% / 72% / 73%",
+            f"{crypto.time_reduction_pct:.0f}% / {crypto.traffic_reduction_pct:.0f}% "
+            f"/ {crypto.downtime_reduction_pct:.0f}%",
+            crypto.time_reduction_pct > 50
+            and crypto.traffic_reduction_pct > 50
+            and crypto.downtime_reduction_pct > 50,
+        ),
+        PaperVsMeasured(
+            "JAVMM sends less than the VM size for derby and crypto",
+            "traffic < 2 GB",
+            f"derby={derby.javmm_traffic_gb:.2f} GiB, crypto={crypto.javmm_traffic_gb:.2f} GiB",
+            derby.javmm_traffic_gb < 2.0 and crypto.javmm_traffic_gb < 2.0,
+        ),
+        PaperVsMeasured(
+            "scimark: comparable time/traffic, no downtime win",
+            "≈ parity, downtime slightly worse for JAVMM",
+            f"time −{scimark.time_reduction_pct:.0f}%, traffic −{scimark.traffic_reduction_pct:.0f}%, "
+            f"downtime −{scimark.downtime_reduction_pct:.0f}%",
+            scimark.time_reduction_pct < 45
+            and scimark.traffic_reduction_pct < 45
+            and scimark.downtime_reduction_pct < 50,
+        ),
+        PaperVsMeasured(
+            "derby JAVMM downtime ~1.2 s",
+            "1.2 s",
+            f"{derby.javmm_downtime_s:.2f} s (mean over seeds)",
+            0.4 <= derby.javmm_downtime_s <= 2.0,
+        ),
+    ]
+
+
+def main(seed: int = 20150421) -> list[CategoryRow]:
+    rows, _ = run(seed=seed)
+    print("Figure 10: migration performance, Xen vs JAVMM")
+    print(
+        ascii_table(
+            [
+                "workload",
+                "xen time (s)",
+                "javmm time (s)",
+                "xen traffic (GiB)",
+                "javmm traffic (GiB)",
+                "xen downtime (s)",
+                "javmm downtime (s)",
+            ],
+            [
+                [
+                    r.workload,
+                    f"{r.xen_time_s:.1f}",
+                    f"{r.javmm_time_s:.1f}",
+                    f"{r.xen_traffic_gb:.2f}",
+                    f"{r.javmm_traffic_gb:.2f}",
+                    f"{r.xen_downtime_s:.2f}±{r.xen_downtime_ci:.2f}",
+                    f"{r.javmm_downtime_s:.2f}±{r.javmm_downtime_ci:.2f}",
+                ]
+                for r in rows
+            ],
+        )
+    )
+    print()
+    print(comparison_table(comparisons(rows)))
+    return rows
+
+
+if __name__ == "__main__":
+    main()

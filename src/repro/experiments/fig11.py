@@ -1,0 +1,146 @@
+"""Figure 11 — effect of migration on workload throughput.
+
+The paper migrates after 300 s of execution and plots operations per
+second observed from outside the VM.  With JAVMM the workload sees no
+noticeable degradation except a short pause; with Xen it sees an
+extended downtime (and derby over 20 % slowdown while migration runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.experiment import ExperimentResult
+from repro.experiments.common import (
+    PaperVsMeasured,
+    ascii_table,
+    comparison_table,
+    run_migration,
+)
+
+WORKLOADS = ("derby", "crypto", "scimark")
+
+
+@dataclass(frozen=True)
+class ThroughputSummary:
+    """Summary of one throughput timeline."""
+
+    workload: str
+    engine: str
+    before_ops_s: float
+    during_drop_pct: float
+    observed_downtime_s: float
+    after_ops_s: float
+
+
+def summarize(result: ExperimentResult) -> ThroughputSummary:
+    rep = result.report
+    during = [
+        s.ops_per_s
+        for s in result.throughput
+        if rep.started_s <= s.time_s <= rep.finished_s and s.ops_per_s > 1e-9
+    ]
+    during_mean = sum(during) / len(during) if during else 0.0
+    drop = 0.0
+    if result.mean_throughput_before > 0:
+        drop = 100.0 * (1.0 - during_mean / result.mean_throughput_before)
+    return ThroughputSummary(
+        workload=result.workload,
+        engine=result.engine,
+        before_ops_s=result.mean_throughput_before,
+        during_drop_pct=drop,
+        observed_downtime_s=result.observed_app_downtime_s,
+        after_ops_s=result.mean_throughput_after,
+    )
+
+
+def run(seed: int = 20150421) -> dict[str, dict[str, ExperimentResult]]:
+    return {
+        workload: {
+            engine: run_migration(workload, engine, warmup_s=30.0, cooldown_s=20.0, seed=seed)
+            for engine in ("xen", "javmm")
+        }
+        for workload in WORKLOADS
+    }
+
+
+def comparisons(results: dict[str, dict[str, ExperimentResult]]) -> list[PaperVsMeasured]:
+    summaries = {
+        (w, e): summarize(results[w][e]) for w in WORKLOADS for e in ("xen", "javmm")
+    }
+    checks: list[PaperVsMeasured] = []
+    for workload in WORKLOADS:
+        xen = summaries[(workload, "xen")]
+        javmm = summaries[(workload, "javmm")]
+        checks.append(
+            PaperVsMeasured(
+                f"{workload}: JAVMM pause shorter than Xen's",
+                "short pause vs extended downtime",
+                f"javmm observed {javmm.observed_downtime_s:.0f}s vs "
+                f"xen {xen.observed_downtime_s:.0f}s",
+                javmm.observed_downtime_s <= xen.observed_downtime_s,
+            )
+        )
+        checks.append(
+            PaperVsMeasured(
+                f"{workload}: no lasting degradation after JAVMM migration",
+                "throughput recovers",
+                f"before {javmm.before_ops_s:.2f} ops/s, after {javmm.after_ops_s:.2f} ops/s",
+                javmm.after_ops_s >= 0.9 * javmm.before_ops_s,
+            )
+        )
+    derby_xen = summaries[("derby", "xen")]
+    checks.append(
+        PaperVsMeasured(
+            "derby under Xen degrades while migration runs",
+            "over 20% slowdown (Section 1)",
+            f"{derby_xen.during_drop_pct:.0f}% mean slowdown during migration",
+            derby_xen.during_drop_pct > 10.0,
+        )
+    )
+    return checks
+
+
+def main(seed: int = 20150421) -> dict[str, dict[str, ExperimentResult]]:
+    from repro.viz import throughput_sparkline
+
+    results = run(seed=seed)
+    rows = []
+    for workload in WORKLOADS:
+        for engine in ("xen", "javmm"):
+            result = results[workload][engine]
+            rep = result.report
+            print(f"-- {workload} / {engine} --")
+            print(
+                throughput_sparkline(
+                    result.throughput,
+                    start_s=rep.started_s - 15,
+                    end_s=rep.finished_s + 15,
+                    migration_window=(rep.started_s, rep.finished_s),
+                )
+            )
+            s = summarize(result)
+            rows.append(
+                [
+                    s.workload,
+                    s.engine,
+                    f"{s.before_ops_s:.2f}",
+                    f"{s.during_drop_pct:.0f}%",
+                    f"{s.observed_downtime_s:.0f}",
+                    f"{s.after_ops_s:.2f}",
+                ]
+            )
+    print("Figure 11: workload throughput around migration")
+    print(
+        ascii_table(
+            ["workload", "engine", "before (ops/s)", "drop during", "downtime (s)", "after (ops/s)"],
+            rows,
+        )
+    )
+    print()
+    print(comparison_table(comparisons(results)))
+    return results
+
+
+if __name__ == "__main__":
+    main()

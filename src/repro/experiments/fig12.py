@@ -1,0 +1,159 @@
+"""Figure 12 — impact of the Young-generation size (Category-1 sweep).
+
+xml (1.5 GB Young), derby (1 GB) and compiler (0.5 GB): the larger the
+Young generation, the worse Xen does and the better JAVMM does.  Paper:
+JAVMM cuts completion time by 91 / 82 / 69 %, traffic by up to 93 %
+(xml), and holds downtime at ~1.2 s while Xen's grows to 13 s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.experiment import ExperimentResult
+from repro.experiments.common import (
+    PaperVsMeasured,
+    ascii_table,
+    comparison_table,
+    pct_reduction,
+    run_migration,
+)
+from repro.units import GIB
+
+#: (workload, max Young MB) in increasing Young order.
+SWEEP = (("compiler", 512), ("derby", 1024), ("xml", 1536))
+
+PAPER_TIME_REDUCTIONS = {"xml": 91.0, "derby": 82.0, "compiler": 69.0}
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    workload: str
+    max_young_mb: int
+    xen_time_s: float
+    javmm_time_s: float
+    xen_traffic_gb: float
+    javmm_traffic_gb: float
+    xen_downtime_s: float
+    javmm_downtime_s: float
+
+    @property
+    def time_reduction_pct(self) -> float:
+        return pct_reduction(self.xen_time_s, self.javmm_time_s)
+
+    @property
+    def traffic_reduction_pct(self) -> float:
+        return pct_reduction(self.xen_traffic_gb, self.javmm_traffic_gb)
+
+
+def run(seed: int = 20150421) -> tuple[list[SweepRow], dict[tuple[str, str], ExperimentResult]]:
+    results: dict[tuple[str, str], ExperimentResult] = {}
+    rows: list[SweepRow] = []
+    for workload, max_young_mb in SWEEP:
+        for engine in ("xen", "javmm"):
+            results[(workload, engine)] = run_migration(
+                workload, engine, max_young_mb=max_young_mb, seed=seed
+            )
+        xen = results[(workload, "xen")]
+        javmm = results[(workload, "javmm")]
+        rows.append(
+            SweepRow(
+                workload=workload,
+                max_young_mb=max_young_mb,
+                xen_time_s=xen.report.completion_time_s,
+                javmm_time_s=javmm.report.completion_time_s,
+                xen_traffic_gb=xen.report.total_wire_bytes / GIB,
+                javmm_traffic_gb=javmm.report.total_wire_bytes / GIB,
+                xen_downtime_s=xen.report.downtime.app_downtime_s,
+                javmm_downtime_s=javmm.report.downtime.app_downtime_s,
+            )
+        )
+    return rows, results
+
+
+def comparisons(rows: list[SweepRow]) -> list[PaperVsMeasured]:
+    ordered = sorted(rows, key=lambda r: r.max_young_mb)
+    xml = next(r for r in rows if r.workload == "xml")
+    checks = [
+        PaperVsMeasured(
+            "larger Young → longer Xen migration",
+            "Xen time grows with Young size",
+            " < ".join(f"{r.workload}={r.xen_time_s:.0f}s" for r in ordered),
+            all(
+                ordered[i].xen_time_s <= ordered[i + 1].xen_time_s * 1.15
+                for i in range(len(ordered) - 1)
+            ),
+        ),
+        PaperVsMeasured(
+            "larger Young → shorter JAVMM migration",
+            "JAVMM time shrinks with Young size",
+            " > ".join(f"{r.workload}={r.javmm_time_s:.0f}s" for r in ordered),
+            ordered[0].javmm_time_s >= ordered[-1].javmm_time_s * 0.85,
+        ),
+        PaperVsMeasured(
+            "time reductions grow with Young size",
+            "91% (xml) > 82% (derby) > 69% (compiler)",
+            ", ".join(f"{r.workload}={r.time_reduction_pct:.0f}%" for r in ordered),
+            ordered[-1].time_reduction_pct > ordered[0].time_reduction_pct
+            and ordered[-1].time_reduction_pct > 80,
+        ),
+        PaperVsMeasured(
+            "xml traffic reduction",
+            "93%",
+            f"{xml.traffic_reduction_pct:.0f}%",
+            xml.traffic_reduction_pct > 80,
+        ),
+        PaperVsMeasured(
+            "Xen downtime grows with Young size (up to ~13 s)",
+            "compiler < derby < xml, xml >> 5 s",
+            ", ".join(f"{r.workload}={r.xen_downtime_s:.1f}s" for r in ordered),
+            ordered[-1].xen_downtime_s > ordered[0].xen_downtime_s
+            and ordered[-1].xen_downtime_s > 5.0,
+        ),
+        PaperVsMeasured(
+            "JAVMM downtime stays ~1.2 s regardless of Young size",
+            "~1.2 s for all three",
+            ", ".join(f"{r.workload}={r.javmm_downtime_s:.2f}s" for r in ordered),
+            all(0.3 <= r.javmm_downtime_s <= 2.5 for r in ordered),
+        ),
+    ]
+    return checks
+
+
+def main(seed: int = 20150421) -> list[SweepRow]:
+    rows, _ = run(seed=seed)
+    print("Figure 12: Young-generation size sweep (Category-1 workloads)")
+    print(
+        ascii_table(
+            [
+                "workload",
+                "young (MB)",
+                "xen time (s)",
+                "javmm time (s)",
+                "xen traffic (GiB)",
+                "javmm traffic (GiB)",
+                "xen downtime (s)",
+                "javmm downtime (s)",
+            ],
+            [
+                [
+                    r.workload,
+                    str(r.max_young_mb),
+                    f"{r.xen_time_s:.1f}",
+                    f"{r.javmm_time_s:.1f}",
+                    f"{r.xen_traffic_gb:.2f}",
+                    f"{r.javmm_traffic_gb:.2f}",
+                    f"{r.xen_downtime_s:.2f}",
+                    f"{r.javmm_downtime_s:.2f}",
+                ]
+                for r in rows
+            ],
+        )
+    )
+    print()
+    print(comparison_table(comparisons(rows)))
+    return rows
+
+
+if __name__ == "__main__":
+    main()

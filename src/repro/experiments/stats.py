@@ -1,0 +1,54 @@
+"""Statistics helpers for repeated experiments.
+
+"Each experiment is repeated at least three times.  Unless otherwise
+mentioned, we report the average of the measurements, and show 90%
+confidence intervals in bar graphs" (Section 5.1).  This module
+provides exactly that: means with Student-t 90 % confidence intervals
+over a handful of runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from scipy import stats as scipy_stats
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A mean with its 90% confidence half-width."""
+
+    mean: float
+    ci90: float
+    n: int
+
+    def __str__(self) -> str:
+        if self.n < 2:
+            return f"{self.mean:.2f}"
+        return f"{self.mean:.2f} ± {self.ci90:.2f}"
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.ci90
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.ci90
+
+    def overlaps(self, other: "Estimate") -> bool:
+        return self.low <= other.high and other.low <= self.high
+
+
+def estimate(values: list[float], confidence: float = 0.90) -> Estimate:
+    """Mean and Student-t confidence half-width of *values*."""
+    n = len(values)
+    if n == 0:
+        raise ValueError("cannot estimate from no samples")
+    mean = sum(values) / n
+    if n == 1:
+        return Estimate(mean, 0.0, 1)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    sem = math.sqrt(variance / n)
+    t = float(scipy_stats.t.ppf(0.5 + confidence / 2.0, df=n - 1))
+    return Estimate(mean, t * sem, n)

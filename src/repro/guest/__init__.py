@@ -1,0 +1,16 @@
+"""Guest-side substrate: kernel, processes, netlink, /proc, and the LKM.
+
+This package models the in-guest half of the framework of Section 3:
+a Linux-like kernel (:class:`GuestKernel`) hosting processes with real
+page tables, a netlink multicast bus for kernel↔application messaging,
+a /proc entry for skip-over-area registration, and the Loadable Kernel
+Module (:class:`AssistLKM`) that coordinates between the migration
+daemon and the applications.
+"""
+
+from repro.guest.kernel import GuestKernel
+from repro.guest.lkm import AssistLKM, LkmState
+from repro.guest.netlink import NetlinkBus
+from repro.guest.process import Process
+
+__all__ = ["AssistLKM", "GuestKernel", "LkmState", "NetlinkBus", "Process"]

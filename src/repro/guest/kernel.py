@@ -1,0 +1,104 @@
+"""The guest kernel.
+
+Owns the frame allocator, the process table, the netlink bus and the
+background kernel activity (a small steady dirtying rate from OS
+housekeeping — timers, slab churn, page-cache metadata — which is what
+keeps a "quiet" VM from migrating in a single iteration).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.guest.netlink import NetlinkBus
+from repro.guest.process import Process
+from repro.mem.constants import PAGE_SIZE, bytes_to_pages
+from repro.mem.frame_alloc import FrameAllocator
+from repro.sim.actor import Actor
+from repro.units import MiB
+from repro.xen.domain import Domain
+
+#: Frames reserved for the kernel image, LKM, page tables, drivers.
+DEFAULT_KERNEL_RESERVED_BYTES = MiB(96)
+
+
+class GuestKernel(Actor):
+    """A Linux-like kernel for one domain."""
+
+    priority = 0
+
+    def __init__(
+        self,
+        domain: Domain,
+        kernel_reserved_bytes: int = DEFAULT_KERNEL_RESERVED_BYTES,
+        os_dirty_bytes_per_s: float = MiB(2),
+    ) -> None:
+        reserved_pages = bytes_to_pages(kernel_reserved_bytes)
+        if reserved_pages >= domain.n_pages:
+            raise ConfigurationError("kernel reservation exceeds domain memory")
+        self.domain = domain
+        self.reserved_pages = reserved_pages
+        self.allocator = FrameAllocator(range(reserved_pages, domain.n_pages))
+        self.netlink = NetlinkBus()
+        self.os_dirty_bytes_per_s = float(os_dirty_bytes_per_s)
+        self._processes: dict[int, Process] = {}
+        self._next_pid = 100
+        self._os_cursor = 0
+
+    # -- frames --------------------------------------------------------------------
+
+    def alloc_frames(self, n_pages: int) -> np.ndarray:
+        return self.allocator.alloc(n_pages)
+
+    def free_frames(self, pfns: np.ndarray) -> None:
+        self.allocator.free(pfns)
+
+    def allocated_or_reserved_pfns(self) -> np.ndarray:
+        """PFNs that hold meaningful state (kernel + allocated frames)."""
+        kernel = np.arange(self.reserved_pages, dtype=np.int64)
+        return np.concatenate([kernel, self.allocator.allocated_pfns()])
+
+    def free_pfns(self) -> np.ndarray:
+        """PFNs that hold no meaningful state (for free-page skipping)."""
+        return self.allocator.free_pfns()
+
+    # -- processes --------------------------------------------------------------------
+
+    def spawn(self, name: str) -> Process:
+        proc = Process(self._next_pid, name, self)
+        self._processes[proc.pid] = proc
+        self._next_pid += 1
+        return proc
+
+    def reap(self, proc: Process) -> None:
+        self._processes.pop(proc.pid, None)
+
+    def process(self, pid: int) -> Process:
+        return self._processes[pid]
+
+    @property
+    def processes(self) -> list[Process]:
+        return list(self._processes.values())
+
+    # -- background activity -------------------------------------------------------------
+
+    def step(self, now: float, dt: float) -> None:
+        """Dirty a few kernel pages per step (housekeeping writes)."""
+        if self.domain.paused:
+            return
+        n_pages = int(self.os_dirty_bytes_per_s * dt / PAGE_SIZE)
+        if n_pages <= 0:
+            # Sub-page rates: dirty one page on the matching cadence.
+            period = PAGE_SIZE / max(self.os_dirty_bytes_per_s, 1e-9)
+            if int(now / period) != int((now - dt) / period):
+                n_pages = 1
+        if n_pages <= 0:
+            return
+        start = self._os_cursor % self.reserved_pages
+        end = min(start + n_pages, self.reserved_pages)
+        self.domain.touch_range(start, end)
+        wrapped = n_pages - (end - start)
+        if wrapped > 0:
+            self.domain.touch_range(0, min(wrapped, self.reserved_pages))
+        self._os_cursor = (self._os_cursor + n_pages) % self.reserved_pages

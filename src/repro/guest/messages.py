@@ -1,0 +1,123 @@
+"""Protocol messages (Figures 4 and 7).
+
+Three message families:
+
+- daemon → LKM over the event channel: :class:`MigrationBegin`,
+  :class:`EnterLastIter`, :class:`VMResumed`;
+- LKM → daemon over the event channel: :class:`SuspensionReady`;
+- LKM ↔ applications over netlink: :class:`SkipOverQuery`,
+  :class:`PrepareSuspension`, :class:`VMResumedNotice` (multicast) and
+  :class:`SkipAreasReply`, :class:`AreaShrunk`,
+  :class:`SuspensionReadyReply` (unicast to the kernel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mem.address import VARange
+
+# -- migration daemon -> LKM ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MigrationBegin:
+    """Migration has started; LKM should perform the first bitmap update."""
+
+
+@dataclass(frozen=True)
+class EnterLastIter:
+    """The daemon wants to pause the VM; applications must prepare."""
+
+
+@dataclass(frozen=True)
+class VMResumed:
+    """The VM is running at the destination."""
+
+
+# -- LKM -> migration daemon ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SuspensionReady:
+    """Applications are suspension-ready and the final update is done."""
+
+    final_update_seconds: float = 0.0
+
+
+# -- LKM -> applications (netlink multicast) ---------------------------------------
+
+
+@dataclass(frozen=True)
+class SkipOverQuery:
+    """Query for skip-over areas (first bitmap update)."""
+
+    query_id: int
+
+
+@dataclass(frozen=True)
+class PrepareSuspension:
+    """Prepare for VM suspension and re-report skip-over areas."""
+
+    query_id: int
+
+
+@dataclass(frozen=True)
+class VMResumedNotice:
+    """The VM resumed in the destination; recover or forget skip areas."""
+
+
+# -- applications -> LKM (netlink unicast) -----------------------------------------
+
+
+@dataclass(frozen=True)
+class SkipAreasReply:
+    """Answer to :class:`SkipOverQuery`.
+
+    The VA ranges themselves travel through the /proc entry
+    (Section 3.3.2); this message closes the query so the LKM can tell
+    stragglers from finished responders.
+    """
+
+    app_id: int
+    query_id: int
+    n_areas: int
+
+
+@dataclass(frozen=True)
+class AreaShrunk:
+    """A skip-over area shrank; *ranges_left* are the VA ranges leaving."""
+
+    app_id: int
+    ranges_left: tuple[VARange, ...]
+
+
+@dataclass(frozen=True)
+class AreaAdded:
+    """New skip-over ranges appeared mid-migration.
+
+    The base protocol defers expansion to the final update (Section
+    3.3.4) because a contiguous Young generation expands rarely.  A
+    region-based collector (G1) recycles and re-claims whole Young
+    regions at every evacuation, so its agent opts into immediate
+    addition notices — otherwise skipping would decay to nothing after
+    the first in-migration GC.
+    """
+
+    app_id: int
+    ranges_added: tuple[VARange, ...]
+
+
+@dataclass(frozen=True)
+class SuspensionReadyReply:
+    """Answer to :class:`PrepareSuspension`.
+
+    *areas* are the current skip-over VA ranges; *leaving_ranges* are
+    sub-ranges whose pages must be treated as leaving the areas and
+    transferred in the last iteration (JAVMM: the occupied From space).
+    """
+
+    app_id: int
+    query_id: int
+    areas: tuple[VARange, ...] = field(default_factory=tuple)
+    leaving_ranges: tuple[VARange, ...] = field(default_factory=tuple)

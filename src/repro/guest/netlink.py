@@ -1,0 +1,65 @@
+"""Netlink-style kernel↔userspace messaging.
+
+Section 3.3.1 picks netlink because it is "bi-directional, asynchronous
+and capable of multicasting".  The model is a multicast group: the LKM
+multicasts queries to every subscribed application and receives unicast
+replies tagged with the sender's application id.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import ProtocolError
+
+AppHandler = Callable[[Any], None]
+KernelHandler = Callable[[int, Any], None]
+
+
+class NetlinkBus:
+    """One netlink multicast group inside a guest."""
+
+    def __init__(self, group: str = "javmm") -> None:
+        self.group = group
+        self._subscribers: dict[int, AppHandler] = {}
+        self._kernel_handler: KernelHandler | None = None
+        self.sent_to_apps: list[Any] = []
+        self.sent_to_kernel: list[tuple[int, Any]] = []
+
+    # -- kernel side -----------------------------------------------------------
+
+    def bind_kernel(self, handler: KernelHandler) -> None:
+        self._kernel_handler = handler
+
+    def multicast(self, message: Any) -> int:
+        """Deliver *message* to every subscriber; returns receiver count."""
+        self.sent_to_apps.append(message)
+        receivers = list(self._subscribers.items())
+        for _, handler in receivers:
+            handler(message)
+        return len(receivers)
+
+    # -- application side --------------------------------------------------------
+
+    def subscribe(self, app_id: int, handler: AppHandler) -> None:
+        if app_id in self._subscribers:
+            raise ProtocolError(f"app {app_id} already subscribed to {self.group}")
+        self._subscribers[app_id] = handler
+
+    def unsubscribe(self, app_id: int) -> None:
+        self._subscribers.pop(app_id, None)
+
+    def send_to_kernel(self, app_id: int, message: Any) -> None:
+        if self._kernel_handler is None:
+            raise ProtocolError("no kernel endpoint bound to this netlink group")
+        if app_id not in self._subscribers:
+            raise ProtocolError(f"app {app_id} is not subscribed to {self.group}")
+        self.sent_to_kernel.append((app_id, message))
+        self._kernel_handler(app_id, message)
+
+    @property
+    def subscriber_ids(self) -> list[int]:
+        return sorted(self._subscribers)
+
+    def __len__(self) -> int:
+        return len(self._subscribers)

@@ -1,0 +1,37 @@
+"""HotSpot-style JVM substrate.
+
+Models the pieces of HotSpot (OpenJDK 7, parallel scavenger) that JAVMM
+interacts with:
+
+- :class:`HeapLayout` / :class:`GenerationalHeap` — Eden/From/To/Old
+  spaces over guest virtual memory, bump-pointer allocation, copying
+  minor GC with tenuring, committed-size growth and shrink.
+- :class:`GcCostModel` — stop-the-world pause durations.
+- :class:`HotSpotJVM` — the JVM as a simulation actor: runs a workload,
+  triggers natural GCs, honours enforced GCs at safepoints.
+- :class:`TIAgent` — the JVM TI agent of Section 4.3 that connects the
+  JVM to the LKM.
+"""
+
+from repro.jvm.g1 import G1Agent, G1Heap, G1Runtime
+from repro.jvm.gc_model import GcCostModel, MinorGcStats
+from repro.jvm.heap import GenerationalHeap
+from repro.jvm.hotspot import HotSpotJVM, JvmPhase
+from repro.jvm.layout import HeapLayout
+from repro.jvm.objects import JavaObject, ObjectHeap
+from repro.jvm.ti_agent import TIAgent
+
+__all__ = [
+    "G1Agent",
+    "G1Heap",
+    "G1Runtime",
+    "GcCostModel",
+    "GenerationalHeap",
+    "HeapLayout",
+    "HotSpotJVM",
+    "JavaObject",
+    "JvmPhase",
+    "MinorGcStats",
+    "ObjectHeap",
+    "TIAgent",
+]

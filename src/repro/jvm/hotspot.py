@@ -1,0 +1,238 @@
+"""The HotSpot JVM as a simulation actor.
+
+Each step the JVM either executes Java threads — allocating in Eden,
+mutating Old-generation data, touching JVM-internal memory (code cache,
+metaspace), completing operations — or sits in one of the stop-the-world
+phases: running to a safepoint, collecting, or *held* at the safepoint
+after an enforced GC (Section 4.3.2: "Without giving JVM control to
+release the Java threads ... the agent notifies the LKM that the
+application is ready for VM suspension").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.guest.process import Process
+from repro.jvm.gc_model import MinorGcStats
+from repro.jvm.heap import GenerationalHeap
+from repro.mem.address import VARange
+from repro.sim.actor import Actor
+from repro.units import MiB
+
+GcEndCallback = Callable[[MinorGcStats], None]
+ReadyCallback = Callable[[], None]
+
+
+class JvmPhase(enum.Enum):
+    RUNNING = "running"
+    TTS = "time-to-safepoint"
+    GC = "in-gc"
+    HELD = "held-at-safepoint"
+
+
+class HotSpotJVM(Actor):
+    """Runs a synthetic Java workload against a generational heap."""
+
+    priority = 0
+
+    def __init__(
+        self,
+        process: Process,
+        heap: GenerationalHeap,
+        alloc_bytes_per_s: float,
+        ops_per_s: float,
+        old_write_bytes_per_s: float = 0.0,
+        old_ws_bytes: int = 0,
+        misc_bytes_per_s: float = MiB(4),
+        misc_region_bytes: int = MiB(96),
+        tts_natural_s: float = 0.01,
+        tts_enforced_s: float = 0.3,
+        interference_k: float = 0.15,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if alloc_bytes_per_s < 0 or ops_per_s < 0:
+            raise ConfigurationError("rates must be non-negative")
+        self.process = process
+        self.heap = heap
+        self.alloc_bytes_per_s = float(alloc_bytes_per_s)
+        self.ops_per_s = float(ops_per_s)
+        self.old_write_bytes_per_s = float(old_write_bytes_per_s)
+        self.old_ws_bytes = int(old_ws_bytes)
+        self.misc_bytes_per_s = float(misc_bytes_per_s)
+        self.tts_natural_s = tts_natural_s
+        self.tts_enforced_s = tts_enforced_s
+        self.interference_k = interference_k
+        self.rng = rng or np.random.default_rng(1)
+
+        self.misc_region = process.mmap(misc_region_bytes)
+        self._misc_cursor = 0
+        self._misc_carry = 0.0
+        self._old_cursor = 0
+
+        self.phase = JvmPhase.RUNNING
+        self._timer = 0.0
+        self._tts_enforced = False
+        self._pending_enforced = False
+        self._gc_stats: MinorGcStats | None = None
+        self.ops_completed = 0.0
+        self.gc_pause_seconds = 0.0
+        self.enforced_gc_seconds = 0.0
+        self.safepoint_wait_seconds = 0.0
+
+        self.on_gc_end: GcEndCallback | None = None
+        #: optional shared timeline (see repro.sim.eventlog)
+        self.event_log = None
+        self._now = 0.0
+        self.on_enforced_ready: ReadyCallback | None = None
+        #: hook installed by migration daemons: fraction of link capacity
+        #: in use this step, used to model dom0 CPU/network contention
+        self.migration_load: Callable[[], float] | None = None
+
+    # -- control (TI agent entry points) ------------------------------------------------
+
+    def enforce_gc(self) -> None:
+        """Request a minor GC that holds Java threads at the safepoint."""
+        self._pending_enforced = True
+
+    def release(self) -> None:
+        """Release Java threads held after an enforced GC."""
+        if self.phase is JvmPhase.HELD:
+            self.phase = JvmPhase.RUNNING
+
+    @property
+    def threads_running(self) -> bool:
+        return self.phase in (JvmPhase.RUNNING, JvmPhase.TTS)
+
+    # -- actor ---------------------------------------------------------------------------
+
+    def step(self, now: float, dt: float) -> None:
+        self._now = now
+        if self._domain_paused():
+            return
+        if self.phase is JvmPhase.HELD:
+            return
+        if self.phase is JvmPhase.GC:
+            self._timer -= dt
+            if self._timer <= 0.0:
+                self._end_gc()
+            return
+        if self.phase is JvmPhase.TTS:
+            # Threads still execute while racing to the safepoint.
+            self._run_mutators(dt)
+            self._timer -= dt
+            self.safepoint_wait_seconds += dt
+            if self._timer <= 0.0:
+                self._begin_gc()
+            return
+        # RUNNING
+        if self._pending_enforced:
+            self._enter_tts(enforced=True)
+            return
+        gc_needed = self._run_mutators(dt)
+        if gc_needed:
+            self._enter_tts(enforced=False)
+
+    # -- phases ---------------------------------------------------------------------------
+
+    def _enter_tts(self, enforced: bool) -> None:
+        self.phase = JvmPhase.TTS
+        if enforced:
+            base = self.tts_enforced_s
+            self._timer = float(self.rng.uniform(0.8 * base, 1.2 * base))
+        else:
+            self._timer = self.tts_natural_s
+        self._tts_enforced = enforced
+
+    def _begin_gc(self) -> None:
+        enforced = self._tts_enforced or self._pending_enforced
+        self._pending_enforced = False
+        stats = self.heap.perform_minor_gc(enforced=enforced)
+        self._gc_stats = stats
+        self._timer = stats.duration_s
+        self.phase = JvmPhase.GC
+        if self.event_log is not None:
+            kind = "enforced" if enforced else "minor"
+            self.event_log.log(
+                self._now,
+                "jvm",
+                f"{kind} GC: scanned {stats.scanned_bytes >> 20} MiB, "
+                f"live {stats.live_bytes >> 20} MiB, "
+                f"pause {stats.duration_s:.2f}s",
+            )
+        self.gc_pause_seconds += stats.duration_s
+        if enforced:
+            self.enforced_gc_seconds += stats.duration_s
+
+    def _end_gc(self) -> None:
+        stats = self._gc_stats
+        self._gc_stats = None
+        assert stats is not None
+        if self.on_gc_end is not None:
+            self.on_gc_end(stats)
+        if stats.enforced:
+            self.phase = JvmPhase.HELD
+            if self.on_enforced_ready is not None:
+                self.on_enforced_ready()
+        else:
+            self.phase = JvmPhase.RUNNING
+            if self._pending_enforced:
+                # An enforced request arrived during a natural GC: honour
+                # it now (the paper patches HotSpot so the request is not
+                # silently coalesced away).
+                self._enter_tts(enforced=True)
+
+    # -- mutator work -------------------------------------------------------------------------
+
+    def _run_mutators(self, dt: float) -> bool:
+        """One step of Java-thread execution; True if a GC is now needed."""
+        slowdown = 1.0
+        if self.migration_load is not None:
+            slowdown = max(0.0, 1.0 - self.interference_k * self.migration_load())
+        budget = self.alloc_bytes_per_s * slowdown * dt
+        allocated = self.heap.allocate(int(budget))
+        self._write_old(self.old_write_bytes_per_s * slowdown * dt)
+        self._write_misc(self.misc_bytes_per_s * slowdown * dt)
+        self.ops_completed += self.ops_per_s * slowdown * dt
+        return allocated < int(budget) or self.heap.needs_gc
+
+    def _write_old(self, nbytes: float) -> None:
+        ws = min(self.old_ws_bytes, self.heap.old_used)
+        n = int(nbytes)
+        if ws <= 0 or n <= 0:
+            return
+        n = min(n, ws)
+        start = self.heap.layout.old_region.start
+        off = self._old_cursor % ws
+        end = min(off + n, ws)
+        self.process.write_range(VARange(start + off, start + end))
+        wrapped = n - (end - off)
+        if wrapped > 0:
+            self.process.write_range(VARange(start, start + wrapped))
+        self._old_cursor = (self._old_cursor + n) % ws
+
+    def _write_misc(self, nbytes: float) -> None:
+        # Sub-page budgets are carried over so low rates still dirty pages.
+        self._misc_carry += nbytes
+        n = int(self._misc_carry)
+        size = self.misc_region.length
+        if n <= 0:
+            return
+        self._misc_carry -= n
+        n = min(n, size)
+        off = self._misc_cursor % size
+        end = min(off + n, size)
+        self.process.write_range(VARange(self.misc_region.start + off, self.misc_region.start + end))
+        wrapped = n - (end - off)
+        if wrapped > 0:
+            self.process.write_range(
+                VARange(self.misc_region.start, self.misc_region.start + wrapped)
+            )
+        self._misc_cursor = (self._misc_cursor + n) % size
+
+    def _domain_paused(self) -> bool:
+        return self.process.kernel.domain.paused

@@ -1,0 +1,94 @@
+"""Heap address-space layout.
+
+HotSpot reserves the maximum heap up front and commits pages as the
+generations grow.  Within the committed Young generation the three
+spaces are laid out contiguously — ``[ Eden | From | To ]`` — with the
+survivor spaces sized by ``SurvivorRatio`` (Eden is *ratio* times one
+survivor space).  From and To swap *labels* after each scavenge, so the
+layout tracks which physical half currently plays which role.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.mem.address import VARange
+from repro.mem.constants import PAGE_SIZE
+
+
+def _page_floor(n: int) -> int:
+    return (n // PAGE_SIZE) * PAGE_SIZE
+
+
+@dataclass
+class HeapLayout:
+    """VA boundaries of the Java heap for one committed Young size."""
+
+    young_region: VARange  # the full reserved Young range
+    old_region: VARange  # the full reserved Old range
+    survivor_ratio: int
+    young_committed: int  # bytes committed at the bottom of young_region
+    survivors_flipped: bool = False  # False: From is the lower survivor
+
+    def __post_init__(self) -> None:
+        if self.survivor_ratio < 1:
+            raise ConfigurationError("survivor ratio must be >= 1")
+        if self.young_committed % PAGE_SIZE:
+            raise ConfigurationError("committed Young size must be page-aligned")
+        if self.young_committed > self.young_region.length:
+            raise ConfigurationError("committed Young exceeds the reservation")
+
+    # -- derived space boundaries -------------------------------------------------
+
+    @property
+    def committed_range(self) -> VARange:
+        return VARange(
+            self.young_region.start, self.young_region.start + self.young_committed
+        )
+
+    @property
+    def survivor_bytes(self) -> int:
+        """Size of one survivor space (page-aligned)."""
+        return _page_floor(self.young_committed // (self.survivor_ratio + 2))
+
+    @property
+    def eden_bytes(self) -> int:
+        return self.young_committed - 2 * self.survivor_bytes
+
+    @property
+    def eden(self) -> VARange:
+        start = self.young_region.start
+        return VARange(start, start + self.eden_bytes)
+
+    @property
+    def _survivor_lo(self) -> VARange:
+        start = self.eden.end
+        return VARange(start, start + self.survivor_bytes)
+
+    @property
+    def _survivor_hi(self) -> VARange:
+        start = self._survivor_lo.end
+        return VARange(start, start + self.survivor_bytes)
+
+    @property
+    def from_space(self) -> VARange:
+        return self._survivor_hi if self.survivors_flipped else self._survivor_lo
+
+    @property
+    def to_space(self) -> VARange:
+        return self._survivor_lo if self.survivors_flipped else self._survivor_hi
+
+    def flip_survivors(self) -> None:
+        """Swap the From/To labels (end of a scavenge)."""
+        self.survivors_flipped = not self.survivors_flipped
+
+    def with_committed(self, new_committed: int) -> "HeapLayout":
+        """A layout for a different committed Young size (labels reset)."""
+        return HeapLayout(
+            young_region=self.young_region,
+            old_region=self.old_region,
+            survivor_ratio=self.survivor_ratio,
+            young_committed=new_committed,
+            survivors_flipped=False,
+        )

@@ -1,0 +1,105 @@
+"""The JVM TI agent (Section 4.3).
+
+The agent is the JVM-side participant in the framework protocol.  It
+runs in the same process as the JVM, subscribes to the LKM's netlink
+multicast group, and:
+
+- answers skip-over queries with the committed Young generation's VA
+  range (written through the /proc entry, closed with a netlink reply);
+- forwards Young-generation shrink events (pages freed at the end of a
+  GC) to the LKM as ``AreaShrunk`` messages;
+- on ``PrepareSuspension``, enforces a minor GC; when the collection
+  completes — Java threads still held at the safepoint — it reports
+  suspension-readiness, passing the current Young range and the occupied
+  From range (the live data that must travel in the last iteration);
+- on ``VMResumedNotice``, releases the Java threads.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError
+from repro.guest import messages as msg
+from repro.guest.lkm import AssistLKM
+from repro.guest.procfs import format_area_line
+from repro.jvm.hotspot import HotSpotJVM
+from repro.mem.address import VARange
+
+
+class TIAgent:
+    """JVM Tool Interface agent connecting HotSpot to the LKM."""
+
+    def __init__(self, jvm: HotSpotJVM, lkm: AssistLKM) -> None:
+        self.jvm = jvm
+        self.lkm = lkm
+        self.app_id = jvm.process.pid
+        self._netlink = jvm.process.kernel.netlink
+        self._pending_query_id: int | None = None
+        self._enforced_in_flight = False
+        self.shrink_notices = 0
+
+        self._netlink.subscribe(self.app_id, self._on_netlink)
+        lkm.register_app(self.app_id, jvm.process)
+        jvm.heap.on_young_shrunk = self._on_young_shrunk
+        jvm.on_enforced_ready = self._on_enforced_ready
+
+    def detach(self) -> None:
+        """Unload the agent (unsubscribe and drop callbacks)."""
+        self._netlink.unsubscribe(self.app_id)
+        self.lkm.unregister_app(self.app_id)
+        self.jvm.heap.on_young_shrunk = None
+        self.jvm.on_enforced_ready = None
+
+    # -- netlink delivery -------------------------------------------------------------
+
+    def _on_netlink(self, message: object) -> None:
+        if isinstance(message, msg.SkipOverQuery):
+            self._reply_skip_areas(message.query_id)
+        elif isinstance(message, msg.PrepareSuspension):
+            self._prepare_suspension(message.query_id)
+        elif isinstance(message, msg.VMResumedNotice):
+            self._on_vm_resumed()
+        else:
+            raise ProtocolError(f"TI agent cannot handle {message!r}")
+
+    def _reply_skip_areas(self, query_id: int) -> None:
+        young = self.jvm.heap.young_committed_range()
+        self.lkm.proc_entry.write(format_area_line(self.app_id, query_id, young))
+        self._netlink.send_to_kernel(
+            self.app_id, msg.SkipAreasReply(self.app_id, query_id, n_areas=1)
+        )
+
+    def _prepare_suspension(self, query_id: int) -> None:
+        self._pending_query_id = query_id
+        self._enforced_in_flight = True
+        self.jvm.enforce_gc()
+
+    def _on_vm_resumed(self) -> None:
+        self.jvm.release()
+
+    # -- JVM callbacks -------------------------------------------------------------------
+
+    def _on_young_shrunk(self, freed: VARange) -> None:
+        """Pages were freed from the Young generation at the end of a GC."""
+        self.shrink_notices += 1
+        self._netlink.send_to_kernel(
+            self.app_id, msg.AreaShrunk(self.app_id, ranges_left=(freed,))
+        )
+
+    def _on_enforced_ready(self) -> None:
+        """The enforced GC finished; Java threads are held at the safepoint."""
+        if not self._enforced_in_flight or self._pending_query_id is None:
+            # An enforced GC not initiated by the protocol (tests drive
+            # this directly); nothing to report.
+            return
+        self._enforced_in_flight = False
+        query_id, self._pending_query_id = self._pending_query_id, None
+        heap = self.jvm.heap
+        self._netlink.send_to_kernel(
+            self.app_id,
+            msg.SuspensionReadyReply(
+                self.app_id,
+                query_id,
+                areas=(heap.young_committed_range(),),
+                leaving_ranges=(heap.occupied_from_range(),),
+            ),
+        )

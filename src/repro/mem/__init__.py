@@ -1,0 +1,36 @@
+"""Memory substrate: pages, bitmaps, page tables, frame allocation.
+
+Everything the framework of Section 3 manipulates lives here:
+
+- :data:`PAGE_SIZE` / :data:`PAGE_SHIFT` — 4 KiB pages, as in the paper.
+- :class:`VARange` — half-open virtual-address ranges with the paper's
+  inward page-alignment rule (Section 3.3.2).
+- :class:`PageBitmap` — the representation shared by Xen's dirty bitmap
+  and the LKM's transfer bitmap (one bit per PFN).
+- :class:`PageTable` — per-process VA→PFN mappings with bulk walks.
+- :class:`FrameAllocator` — guest page-frame allocator.
+- :class:`PfnCache` — the skip-over-area PFN cache of Section 3.3.4.
+- :class:`VersionedPages` — per-page content versions used to *prove*
+  migration correctness in tests and benchmarks.
+"""
+
+from repro.mem.address import VARange, page_span_inner, page_span_outer
+from repro.mem.bitmap import PageBitmap
+from repro.mem.constants import PAGE_SHIFT, PAGE_SIZE
+from repro.mem.frame_alloc import FrameAllocator
+from repro.mem.page_table import PageTable
+from repro.mem.pfn_cache import PfnCache
+from repro.mem.versioned import VersionedPages
+
+__all__ = [
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "FrameAllocator",
+    "PageBitmap",
+    "PageTable",
+    "PfnCache",
+    "VARange",
+    "VersionedPages",
+    "page_span_inner",
+    "page_span_outer",
+]

@@ -1,0 +1,14 @@
+"""Page-size constants.
+
+The paper assumes 4 KiB pages throughout ("assuming 4KB pages, the
+transfer bitmap uses 32KB per GB of VM memory"); the reproduction does
+the same.
+"""
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT  # 4096 bytes
+
+
+def bytes_to_pages(n: int) -> int:
+    """Number of whole pages needed to hold *n* bytes (ceiling)."""
+    return -(-int(n) >> PAGE_SHIFT) if n >= 0 else 0

@@ -1,0 +1,179 @@
+"""Per-process page tables with bulk walks.
+
+A page table maps virtual page numbers (VPNs) to page frame numbers
+(PFNs).  It is organized as a sorted list of VMAs — runs of
+consecutively-mapped virtual pages each backed by an arbitrary PFN
+array — so that the hot operation, translating a large VA range (the
+LKM's page-table walk of Section 3.3.2), is a handful of array slices
+instead of a per-page loop.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+
+from repro.errors import AddressError, TranslationFault
+from repro.mem.address import VARange, page_span_inner
+from repro.mem.constants import PAGE_SHIFT, PAGE_SIZE
+
+
+class _Vma:
+    """A run of mapped virtual pages ``[start_vpn, start_vpn + n)``."""
+
+    __slots__ = ("start_vpn", "pfns")
+
+    def __init__(self, start_vpn: int, pfns: np.ndarray) -> None:
+        self.start_vpn = start_vpn
+        self.pfns = pfns
+
+    @property
+    def end_vpn(self) -> int:
+        return self.start_vpn + len(self.pfns)
+
+
+class PageTable:
+    """VA→PFN mappings for one process."""
+
+    def __init__(self) -> None:
+        self._vmas: list[_Vma] = []  # sorted by start_vpn, non-overlapping
+
+    # -- mapping ---------------------------------------------------------------
+
+    def map_range(self, r: VARange, pfns: np.ndarray) -> None:
+        """Map the page-aligned range *r* onto *pfns* (one PFN per page)."""
+        start_vpn, end_vpn = self._aligned_span(r)
+        n = end_vpn - start_vpn
+        pfns = np.asarray(pfns, dtype=np.int64)
+        if len(pfns) != n:
+            raise AddressError(
+                f"range covers {n} pages but {len(pfns)} PFNs were supplied"
+            )
+        if n == 0:
+            return
+        idx = bisect.bisect_right(self._starts(), start_vpn)
+        if idx > 0 and self._vmas[idx - 1].end_vpn > start_vpn:
+            raise AddressError(f"mapping overlaps existing VMA at vpn {start_vpn}")
+        if idx < len(self._vmas) and self._vmas[idx].start_vpn < end_vpn:
+            raise AddressError(f"mapping overlaps existing VMA before vpn {end_vpn}")
+        self._vmas.insert(idx, _Vma(start_vpn, pfns.copy()))
+
+    def unmap_range(self, r: VARange) -> np.ndarray:
+        """Unmap the page-aligned range *r*; returns the PFNs released.
+
+        Every page in the range must currently be mapped; VMAs are split
+        as necessary.
+        """
+        start_vpn, end_vpn = self._aligned_span(r)
+        if end_vpn == start_vpn:
+            return np.empty(0, dtype=np.int64)
+        released: list[np.ndarray] = []
+        remaining: list[_Vma] = []
+        covered = 0
+        for vma in self._vmas:
+            if vma.end_vpn <= start_vpn or vma.start_vpn >= end_vpn:
+                remaining.append(vma)
+                continue
+            cut_lo = max(vma.start_vpn, start_vpn)
+            cut_hi = min(vma.end_vpn, end_vpn)
+            covered += cut_hi - cut_lo
+            lo_off = cut_lo - vma.start_vpn
+            hi_off = cut_hi - vma.start_vpn
+            released.append(vma.pfns[lo_off:hi_off])
+            if lo_off > 0:
+                remaining.append(_Vma(vma.start_vpn, vma.pfns[:lo_off].copy()))
+            if hi_off < len(vma.pfns):
+                remaining.append(_Vma(cut_hi, vma.pfns[hi_off:].copy()))
+        if covered != end_vpn - start_vpn:
+            raise TranslationFault(
+                f"unmap range [{r.start:#x}, {r.end:#x}) has unmapped pages"
+            )
+        remaining.sort(key=lambda v: v.start_vpn)
+        self._vmas = remaining
+        return np.concatenate(released) if released else np.empty(0, dtype=np.int64)
+
+    def remap_page(self, va: int, new_pfn: int) -> int:
+        """Change the PFN backing one page; returns the old PFN.
+
+        Models in-guest page remapping (sharing / compaction), one of
+        the mapping-change events Section 3.3.4 enumerates.
+        """
+        vpn = va >> PAGE_SHIFT
+        vma = self._find_vma(vpn)
+        if vma is None:
+            raise TranslationFault(f"remap of unmapped va {va:#x}")
+        off = vpn - vma.start_vpn
+        old = int(vma.pfns[off])
+        vma.pfns[off] = new_pfn
+        return old
+
+    # -- translation -----------------------------------------------------------
+
+    def translate(self, va: int) -> int:
+        """VA → PFN for one address; raises :class:`TranslationFault`."""
+        vpn = va >> PAGE_SHIFT
+        vma = self._find_vma(vpn)
+        if vma is None:
+            raise TranslationFault(f"no mapping for va {va:#x}")
+        return int(vma.pfns[vpn - vma.start_vpn])
+
+    def walk(self, r: VARange, strict: bool = False) -> np.ndarray:
+        """Page-table walk: PFNs of the pages fully inside *r*.
+
+        With ``strict=False`` (the LKM's behaviour) unmapped pages are
+        silently absent from the result; ``strict=True`` raises instead.
+        """
+        start_vpn, end_vpn = page_span_inner(r)
+        out: list[np.ndarray] = []
+        found = 0
+        for vma in self._vmas:
+            if vma.end_vpn <= start_vpn:
+                continue
+            if vma.start_vpn >= end_vpn:
+                break
+            lo = max(vma.start_vpn, start_vpn)
+            hi = min(vma.end_vpn, end_vpn)
+            out.append(vma.pfns[lo - vma.start_vpn : hi - vma.start_vpn])
+            found += hi - lo
+        if strict and found != end_vpn - start_vpn:
+            raise TranslationFault(
+                f"walk of [{r.start:#x}, {r.end:#x}) found {found} of "
+                f"{end_vpn - start_vpn} pages"
+            )
+        return np.concatenate(out) if out else np.empty(0, dtype=np.int64)
+
+    def is_mapped(self, va: int) -> bool:
+        return self._find_vma(va >> PAGE_SHIFT) is not None
+
+    def mapped_pages(self) -> int:
+        """Total number of mapped pages."""
+        return sum(len(vma.pfns) for vma in self._vmas)
+
+    def mapped_ranges(self) -> list[VARange]:
+        """The mapped VA ranges, ascending."""
+        return [
+            VARange(vma.start_vpn << PAGE_SHIFT, vma.end_vpn << PAGE_SHIFT)
+            for vma in self._vmas
+        ]
+
+    # -- internals ---------------------------------------------------------------
+
+    def _starts(self) -> list[int]:
+        return [vma.start_vpn for vma in self._vmas]
+
+    def _find_vma(self, vpn: int) -> _Vma | None:
+        idx = bisect.bisect_right(self._starts(), vpn) - 1
+        if idx >= 0:
+            vma = self._vmas[idx]
+            if vma.start_vpn <= vpn < vma.end_vpn:
+                return vma
+        return None
+
+    @staticmethod
+    def _aligned_span(r: VARange) -> tuple[int, int]:
+        if r.start % PAGE_SIZE or r.end % PAGE_SIZE:
+            raise AddressError(
+                f"range [{r.start:#x}, {r.end:#x}) is not page-aligned"
+            )
+        return r.start >> PAGE_SHIFT, r.end >> PAGE_SHIFT

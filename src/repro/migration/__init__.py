@@ -1,0 +1,60 @@
+"""Migration engines: vanilla Xen pre-copy, the assisted framework,
+JAVMM, and the related-work baselines.
+
+- :class:`PrecopyMigrator` — Xen 4.1-style iterative pre-copy (the
+  paper's baseline): peek-and-clear dirty snapshots, skip-if-redirtied,
+  the three stop rules (small remainder / 30 iterations / 3x traffic
+  factor), stop-and-copy, resumption cost.
+- :class:`AssistedMigrator` — pre-copy extended with the Section 3
+  framework: consults the LKM's transfer bitmap, runs the Figure 4
+  protocol around the last iteration.
+- :class:`JavmmMigrator` — the assisted migrator plus JVM bookkeeping
+  (enforced-GC / safepoint downtime attribution), i.e. JAVMM.
+- Baselines from Section 2: write-throttling (Clark et al.),
+  page compression, OS-assisted free-page skipping, and non-live
+  stop-and-copy.
+- :func:`verify_migration` — page-version proof that a migration moved
+  everything it had to move.
+"""
+
+from repro.migration.alb import BallooningPrecopyMigrator
+from repro.migration.assisted import AssistedMigrator
+from repro.migration.baselines import (
+    CompressedPrecopyMigrator,
+    FreePageSkipMigrator,
+    StopAndCopyMigrator,
+    ThrottledPrecopyMigrator,
+)
+from repro.migration.hybrid import (
+    CompressionHintMap,
+    CompressionMethod,
+    JavmmCompressedMigrator,
+)
+from repro.migration.javmm import JavmmMigrator
+from repro.migration.postcopy import PostCopyMigrator
+from repro.migration.remus import RemusReplicator
+from repro.migration.precopy import MigrationPhase, PrecopyMigrator
+from repro.migration.report import DowntimeBreakdown, IterationRecord, MigrationReport
+from repro.migration.verify import VerificationResult, verify_migration
+
+__all__ = [
+    "AssistedMigrator",
+    "BallooningPrecopyMigrator",
+    "CompressedPrecopyMigrator",
+    "CompressionHintMap",
+    "CompressionMethod",
+    "DowntimeBreakdown",
+    "FreePageSkipMigrator",
+    "IterationRecord",
+    "JavmmCompressedMigrator",
+    "JavmmMigrator",
+    "MigrationPhase",
+    "MigrationReport",
+    "PostCopyMigrator",
+    "PrecopyMigrator",
+    "RemusReplicator",
+    "StopAndCopyMigrator",
+    "ThrottledPrecopyMigrator",
+    "VerificationResult",
+    "verify_migration",
+]

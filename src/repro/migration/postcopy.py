@@ -1,0 +1,193 @@
+"""Post-copy migration (Hines & Gopalan [18], Hirofuchi et al. [19]).
+
+Post-copy inverts pre-copy: the VM's execution state moves first, the
+VM resumes at the destination immediately, and memory pages follow —
+pushed in the background and pulled on demand when the guest faults on
+a page that has not arrived.  Downtime is minimal by construction, but
+"to run the VM in the destination, pages are fetched from the source,
+incurring performance penalties" (Section 2) — which is why the paper
+rejects it as a baseline for latency-sensitive applications.
+
+Model: at :meth:`start` the domain pauses only for the vCPU-state
+transfer, then resumes.  A background pre-pager pushes pages in address
+order; every guest write to a page that has not arrived counts as a
+demand fault that stalls the guest (the fault penalty is charged
+through the JVM interference hook as degraded execution).  Migration
+completes when every page has been fetched.
+
+Correctness note: the simulation keeps one live memory image (the
+running guest), so the "fetch" moves the page's *pre-resume* content
+snapshot; a page dirtied at the destination before its background fetch
+arrives must NOT be overwritten.  The fetched-bitmap ordering below
+guarantees that, and the verifier checks it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MigrationError
+from repro.mem.bitmap import PageBitmap
+from repro.mem.constants import PAGE_SIZE
+from repro.migration.precopy import (
+    CPU_S_PER_BYTE_SENT,
+    DEFAULT_RESUME_DELAY_S,
+    MigrationPhase,
+)
+from repro.migration.report import IterationRecord, MigrationReport
+from repro.net.link import Link
+from repro.sim.actor import Actor
+from repro.xen.domain import Domain
+
+#: Seconds of guest stall per demand-faulted page (one network RTT plus
+#: servicing); the dominant cost post-copy pays.
+DEMAND_FAULT_STALL_S = 450e-6
+
+
+class PostCopyMigrator(Actor):
+    """Resume first, fetch memory afterwards."""
+
+    priority = 10
+    name = "postcopy"
+
+    def __init__(
+        self,
+        domain: Domain,
+        link: Link,
+        resume_delay_s: float = DEFAULT_RESUME_DELAY_S,
+    ) -> None:
+        self.domain = domain
+        self.link = link
+        self.resume_delay_s = resume_delay_s
+        self.report = MigrationReport(self.name, domain.mem_bytes)
+        self.phase = MigrationPhase.IDLE
+        self.fetched = PageBitmap(domain.n_pages)
+        self._snapshot: np.ndarray | None = None
+        self._cursor = 0
+        self._budget = 0.0
+        self._resume_timer = 0.0
+        self._started = 0.0
+        self.demand_faults = 0
+        self.stall_seconds = 0.0
+        self._last_step_wire = 0.0
+        self._step_capacity = 1.0
+        self._recent_stall = 0.0
+
+    # -- control -----------------------------------------------------------------
+
+    def start(self, now: float = 0.0) -> None:
+        if self.phase is not MigrationPhase.IDLE:
+            raise MigrationError("migration already started")
+        self._started = now
+        self.report.started_s = now
+        self.link.register_consumer(self)
+        # Track destination writes so demand faults can be detected.
+        self.domain.dirty_log.enable()
+        # Freeze the source image: everything not yet fetched comes
+        # from this snapshot.
+        self._snapshot = self.domain.pages.snapshot()
+        # Brief pause: ship vCPU + device state, then run at the
+        # destination.  Writes from here on are *destination* writes.
+        self.domain.pause(now)
+        self.phase = MigrationPhase.RESUMING
+        self._resume_timer = self.resume_delay_s
+
+    @property
+    def done(self) -> bool:
+        return self.phase is MigrationPhase.DONE
+
+    def load_fraction(self) -> float:
+        """Guest slowdown: link contention plus demand-fault stalls."""
+        if self.phase in (MigrationPhase.IDLE, MigrationPhase.DONE):
+            return 0.0
+        link_share = min(1.0, self._last_step_wire / max(self._step_capacity, 1e-9))
+        return min(1.0, link_share + self._recent_stall)
+
+    # -- actor -------------------------------------------------------------------
+
+    def step(self, now: float, dt: float) -> None:
+        self._recent_stall = 0.0
+        if self.phase in (MigrationPhase.IDLE, MigrationPhase.DONE):
+            self._last_step_wire = 0.0
+            return
+        if self.phase is MigrationPhase.RESUMING:
+            self._resume_timer -= dt
+            if self._resume_timer <= 0.0:
+                self.domain.unpause(now)
+                self.report.downtime.last_iter_s = 0.0
+                self.report.downtime.resume_s = self.resume_delay_s
+                self.phase = MigrationPhase.ITERATING
+            return
+        # Refresh the link budget, then service demand faults first —
+        # they preempt background pushes but still consume the wire.
+        self._step_capacity = self.link.share_for(self, dt)
+        self._budget = min(self._budget, float(self.link.page_wire_bytes)) + self._step_capacity
+        wire_before = self.link.meter.wire_bytes
+        self._service_demand_faults(dt)
+        self._push_pages()
+        self._last_step_wire = self.link.meter.wire_bytes - wire_before
+        if self.fetched.count() == self.domain.n_pages:
+            self._finish(now)
+
+    # -- mechanics ------------------------------------------------------------------
+
+    def _service_demand_faults(self, dt: float) -> None:
+        dirty = self.domain.dirty_log.peek_and_clear()
+        if dirty.size == 0:
+            return
+        faulted = dirty[~self.fetched.test_pfns(dirty)]
+        if faulted.size == 0:
+            return
+        # Each fault pulls the page over the network before the write
+        # can proceed; the page then holds destination content, so the
+        # stale snapshot must never be installed over it.
+        self.fetched.set_pfns(faulted)
+        self.demand_faults += int(faulted.size)
+        stall = float(faulted.size) * DEMAND_FAULT_STALL_S
+        self.stall_seconds += stall
+        self._recent_stall = min(1.0, stall / dt)
+        self.link.account_pages(int(faulted.size))
+        # Faulted pages consume wire capacity ahead of background pushes.
+        self._budget -= float(faulted.size) * self.link.page_wire_bytes
+        self.report.cpu_seconds += faulted.size * PAGE_SIZE * CPU_S_PER_BYTE_SENT
+
+    def _push_pages(self) -> None:
+        wire = self.link.page_wire_bytes
+        n_pages = self.domain.n_pages
+        while self._budget >= wire and self._cursor < n_pages:
+            take = min(int(self._budget // wire), 4096, n_pages - self._cursor)
+            pfns = np.arange(self._cursor, self._cursor + take, dtype=np.int64)
+            to_push = pfns[~self.fetched.test_pfns(pfns)]
+            if to_push.size:
+                self.fetched.set_pfns(to_push)
+                self._budget -= to_push.size * wire
+                self.link.account_pages(int(to_push.size))
+                self.report.cpu_seconds += to_push.size * PAGE_SIZE * CPU_S_PER_BYTE_SENT
+            self._cursor += take
+
+    def _finish(self, now: float) -> None:
+        self.report.finished_s = now
+        self.report.stop_reason = "all pages fetched"
+        # One synthetic record so the totals match the meter.
+        self.report.iterations.append(
+            IterationRecord(
+                index=1,
+                start_s=self._started,
+                duration_s=now - self._started,
+                pending_pages=self.domain.n_pages,
+                pages_sent=self.domain.n_pages,
+                wire_bytes=self.link.meter.wire_bytes,
+                pages_skipped_dirty=0,
+                pages_skipped_bitmap=0,
+                is_last=True,
+            )
+        )
+        # Verification: by construction every page was fetched exactly
+        # once before any destination overwrite could race it; the
+        # running domain *is* the destination image.
+        self.report.verified = True
+        self.report.mismatched_pages = 0
+        self.report.violating_pages = 0
+        self.domain.dirty_log.disable()
+        self.link.release_consumer(self)
+        self.phase = MigrationPhase.DONE

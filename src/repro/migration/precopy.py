@@ -1,0 +1,424 @@
+"""Vanilla Xen pre-copy live migration (the paper's baseline).
+
+The migration daemon iterates over the guest's memory:
+
+- iteration 1 sends every page;
+- iteration *k* > 1 sends the pages dirtied during iteration *k-1*
+  (a log-dirty *peek-and-clear* snapshot);
+- a page already re-dirtied when its turn comes is skipped — it would
+  be resent next iteration anyway (Figure 9's "skipped (already
+  dirtied)");
+- iterating stops when the remaining dirty set is small, the iteration
+  cap (30) is hit, or total traffic exceeds ``max_factor`` times the VM
+  size — Xen 4.1's three conditions;
+- the VM is paused, the remaining dirty pages are sent (stop-and-copy),
+  and the VM resumes at the destination after a device-reconnect delay.
+
+Transfer progress and guest dirtying interleave at simulation-step
+granularity, so the race the paper measures (Figure 1) is reproduced
+rather than post-computed.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import MigrationError
+from repro.mem.constants import PAGE_SIZE
+from repro.migration.report import DowntimeBreakdown, IterationRecord, MigrationReport
+from repro.net.link import Link
+from repro.sim.actor import Actor
+from repro.units import GIB
+from repro.xen.domain import Domain
+from repro.xen.hypervisor import Hypervisor
+
+#: CPU cost model: seconds of daemon CPU per byte pushed and per page
+#: examined.  Calibrated so skipping pages is nearly free, which is the
+#: paper's point about skip-based reduction vs compression.
+CPU_S_PER_BYTE_SENT = 0.9 / GIB
+CPU_S_PER_PAGE_SCANNED = 2.0e-7
+
+#: Device reconnect + activation at the destination ("about 170 ms in
+#: our measurements", Section 5.3).
+DEFAULT_RESUME_DELAY_S = 0.17
+
+_CHUNK = 16384  # pages examined per vectorized batch
+
+
+class MigrationPhase(enum.Enum):
+    IDLE = "idle"
+    ITERATING = "iterating"
+    WAITING_APPS = "waiting-for-apps"
+    LAST_COPY = "stop-and-copy"
+    RESUMING = "resuming"
+    DONE = "done"
+
+
+class PrecopyMigrator(Actor):
+    """Xen-style iterative pre-copy migration daemon."""
+
+    priority = 10
+    name = "xen-precopy"
+
+    def __init__(
+        self,
+        domain: Domain,
+        link: Link,
+        max_iterations: int = 30,
+        min_remaining_pages: int = 50,
+        max_factor: float = 3.0,
+        resume_delay_s: float = DEFAULT_RESUME_DELAY_S,
+        min_iteration_s: float = 0.02,
+        source_host: "Hypervisor | None" = None,
+        dest_host: "Hypervisor | None" = None,
+    ) -> None:
+        self.domain = domain
+        self.link = link
+        self.source_host = source_host
+        self.dest_host = dest_host
+        self.max_iterations = max_iterations
+        self.min_remaining_pages = min_remaining_pages
+        self.max_factor = max_factor
+        self.resume_delay_s = resume_delay_s
+        #: Per-iteration overhead floor (bitmap sync hypercalls, batching).
+        self.min_iteration_s = min_iteration_s
+
+        self.phase = MigrationPhase.IDLE
+        self.dest_domain: Domain | None = None
+        self.report = MigrationReport(self.name, domain.mem_bytes)
+        self._pending = np.empty(0, dtype=np.int64)
+        self._cursor = 0
+        self._budget = 0.0
+        self._iter_index = 0
+        self._iter_start = 0.0
+        self._iter_sent = 0
+        self._iter_wire = 0
+        self._iter_skip_dirty = 0
+        self._iter_skip_bitmap = 0
+        self._iter_dirty_events_base = 0
+        self._resume_timer = 0.0
+        self._last_step_wire = 0.0
+        self._step_capacity = 1.0
+        #: optional shared timeline (see repro.sim.eventlog)
+        self.event_log = None
+
+    # -- public control -----------------------------------------------------------------
+
+    def start(self, now: float = 0.0) -> None:
+        """Begin migration: enable log-dirty mode and start iteration 1."""
+        if self.phase is not MigrationPhase.IDLE:
+            raise MigrationError("migration already started")
+        self.dest_domain = self.domain.make_destination()
+        self.domain.dirty_log.enable()
+        self.link.register_consumer(self)
+        self.report.started_s = now
+        self._log(now, "migration started; log-dirty enabled")
+        self._on_migration_started(now)
+        self.phase = MigrationPhase.ITERATING
+        self._begin_iteration(now)
+
+    @property
+    def done(self) -> bool:
+        return self.phase is MigrationPhase.DONE
+
+    @property
+    def finished(self) -> bool:
+        return self.done
+
+    def load_fraction(self) -> float:
+        """Share of link capacity used in the previous step (for the
+        guest-interference model)."""
+        if self.phase in (MigrationPhase.IDLE, MigrationPhase.DONE):
+            return 0.0
+        if self._step_capacity <= 0:
+            return 0.0
+        return min(1.0, self._last_step_wire / self._step_capacity)
+
+    # -- actor -------------------------------------------------------------------------------
+
+    def step(self, now: float, dt: float) -> None:
+        if self.phase in (MigrationPhase.IDLE, MigrationPhase.DONE):
+            self._last_step_wire = 0.0
+            return
+        if self.phase is MigrationPhase.RESUMING:
+            self._last_step_wire = 0.0
+            self._resume_timer -= dt
+            if self._resume_timer <= 0.0:
+                self._finish(now)
+            return
+        self._step_capacity = self.link.share_for(self, dt)
+        # Unused budget does not bank across steps beyond one page.
+        self._budget = min(self._budget, float(self.link.page_wire_bytes)) + self._step_capacity
+        step_wire_before = self.link.meter.wire_bytes
+        guard = 0
+        while self.phase not in (MigrationPhase.RESUMING, MigrationPhase.DONE):
+            guard += 1
+            if guard > 10_000:
+                raise MigrationError("migration made no progress across iterations")
+            if self.phase is MigrationPhase.WAITING_APPS and self._apps_ready():
+                # Applications are prepared: abandon the in-flight
+                # iteration, carrying whatever it had not yet examined
+                # into the stop-and-copy so no consumed dirtiness is
+                # lost.
+                self._abandon_into_last_copy(now)
+                continue
+            self._pump(now)
+            if self._cursor < len(self._pending):
+                break  # out of budget mid-iteration
+            if (
+                self.phase is not MigrationPhase.LAST_COPY
+                and now - self._iter_start < self.min_iteration_s
+            ):
+                break  # per-iteration overhead floor not yet paid
+            if not self._end_iteration(now):
+                break
+        self._last_step_wire = self.link.meter.wire_bytes - step_wire_before
+
+    # -- hooks for the assisted subclass -------------------------------------------------------
+
+    def _on_migration_started(self, now: float) -> None:
+        """Subclass hook: runs once when migration begins."""
+
+    def _cpu_cost_sent(self, n_pages: int) -> float:
+        """Daemon CPU seconds to prepare and push *n_pages*."""
+        return n_pages * PAGE_SIZE * CPU_S_PER_BYTE_SENT
+
+    def _transfer_allowed(self, pfns: np.ndarray) -> np.ndarray:
+        """Boolean mask of pages the daemon may transfer (all, here)."""
+        return np.ones(len(pfns), dtype=bool)
+
+    def _reinject_skipped(self, pfns: np.ndarray) -> None:
+        """Subclass hook: keep bitmap-skipped dirty pages visible."""
+
+    def _request_stop(self, now: float) -> bool:
+        """A stop rule fired.  Returns True to pause now (vanilla), or
+        False to keep iterating while applications prepare (assisted)."""
+        return True
+
+    def _apps_ready(self) -> bool:
+        """Assisted subclass: has the LKM reported suspension-ready?"""
+        return True
+
+    def _on_resumed(self, now: float) -> None:
+        """Subclass hook: the VM has been activated at the destination."""
+
+    def _verify(self) -> None:
+        """Subclass hook: strict full-equality check for vanilla."""
+        assert self.dest_domain is not None
+        mismatch = self.dest_domain.pages.mismatches(self.domain.pages)
+        self.report.mismatched_pages = len(mismatch)
+        self.report.violating_pages = len(mismatch)
+        self.report.verified = len(mismatch) == 0
+
+    # -- iteration machinery ----------------------------------------------------------------------
+
+    def _begin_iteration(self, now: float) -> None:
+        self._iter_index += 1
+        if self._iter_index == 1:
+            self._pending = np.arange(self.domain.n_pages, dtype=np.int64)
+        else:
+            self._pending = self.domain.dirty_log.peek_and_clear()
+        self._cursor = 0
+        self._iter_start = now
+        self._iter_sent = 0
+        self._iter_wire = 0
+        self._iter_skip_dirty = 0
+        self._iter_skip_bitmap = 0
+        self._iter_dirty_events_base = self.domain.pages.total_dirty_events()
+
+    def _page_payload_bytes(self) -> int:
+        """Payload bytes one page costs (compression baselines override)."""
+        return PAGE_SIZE
+
+    def _page_wire_cost(self) -> float:
+        """Upper-bound wire bytes one page costs (budget pacing)."""
+        return self._page_payload_bytes() + self.link.page_overhead
+
+    def _payload_for(self, pfns: np.ndarray) -> int:
+        """Exact payload bytes for a batch (per-page compression hooks)."""
+        return int(pfns.size) * self._page_payload_bytes()
+
+    def _pump(self, now: float) -> None:
+        """Move pages until the byte budget or the pending set runs out."""
+        wire_cost = self._page_wire_cost()
+        dirty_log = self.domain.dirty_log
+        dest = self.dest_domain
+        assert dest is not None
+        while self._cursor < len(self._pending) and self._budget >= wire_cost:
+            chunk = self._pending[self._cursor : self._cursor + _CHUNK]
+            allowed = self._transfer_allowed(chunk)
+            re_dirtied = dirty_log.dirty_mask(chunk)
+            send_mask = allowed & ~re_dirtied
+            limit = int(self._budget // wire_cost)
+            cum = np.cumsum(send_mask)
+            if cum.size and cum[-1] > limit:
+                # Budget ends inside this chunk: take the longest prefix
+                # whose send count fits.
+                prefix_len = int(np.searchsorted(cum, limit, side="right"))
+                chunk = chunk[:prefix_len]
+                allowed = allowed[:prefix_len]
+                re_dirtied = re_dirtied[:prefix_len]
+                send_mask = send_mask[:prefix_len]
+            if chunk.size == 0:
+                break
+            to_send = chunk[send_mask]
+            skipped_bitmap = chunk[~allowed]
+            skipped_dirty = chunk[allowed & re_dirtied]
+            if to_send.size:
+                dest.install_pages(to_send, self.domain.read_pages(to_send))
+                payload = self._payload_for(to_send)
+                self._budget -= payload + to_send.size * self.link.page_overhead
+                self._iter_wire += self.link.account_pages(
+                    int(to_send.size), payload_bytes=payload
+                )
+                self._iter_sent += int(to_send.size)
+                self.report.cpu_seconds += self._cpu_cost_sent(int(to_send.size))
+            if skipped_bitmap.size and self._iter_index > 1:
+                self._reinject_skipped(skipped_bitmap)
+            self._iter_skip_bitmap += int(skipped_bitmap.size)
+            self._iter_skip_dirty += int(skipped_dirty.size)
+            self.report.cpu_seconds += chunk.size * CPU_S_PER_PAGE_SCANNED
+            self._cursor += int(chunk.size)
+
+    def _record_iteration(self, now: float) -> None:
+        """Write the iteration record; consecutive waiting iterations
+        are merged into a single record (the Figure 8b second-last
+        iteration spans the whole preparation window)."""
+        is_last = self.phase is MigrationPhase.LAST_COPY
+        is_waiting = self.phase is MigrationPhase.WAITING_APPS
+        dirt_events = self.domain.pages.total_dirty_events() - self._iter_dirty_events_base
+        prev = self.report.iterations[-1] if self.report.iterations else None
+        if is_waiting and prev is not None and prev.is_waiting:
+            prev.duration_s = max(now - prev.start_s, 0.0)
+            prev.pending_pages = max(prev.pending_pages, len(self._pending))
+            prev.pages_sent += self._iter_sent
+            prev.wire_bytes += self._iter_wire
+            # Skip counts re-examine the same pages each sub-iteration;
+            # keep the largest window rather than double-counting.
+            prev.pages_skipped_dirty = max(prev.pages_skipped_dirty, self._iter_skip_dirty)
+            prev.pages_skipped_bitmap = max(prev.pages_skipped_bitmap, self._iter_skip_bitmap)
+            prev.set_dirtied_during(
+                prev.dirtied_during_bytes // PAGE_SIZE + dirt_events
+            )
+            return
+        record = IterationRecord(
+            index=len(self.report.iterations) + 1,
+            start_s=self._iter_start,
+            duration_s=max(now - self._iter_start, 0.0),
+            pending_pages=len(self._pending),
+            pages_sent=self._iter_sent,
+            wire_bytes=self._iter_wire,
+            pages_skipped_dirty=self._iter_skip_dirty,
+            pages_skipped_bitmap=self._iter_skip_bitmap,
+            is_last=is_last,
+            is_waiting=is_waiting,
+        )
+        record.set_dirtied_during(dirt_events)
+        self.report.iterations.append(record)
+        kind = "stop-and-copy" if record.is_last else (
+            "waiting" if record.is_waiting else "iteration"
+        )
+        self._log(
+            now,
+            f"{kind} {record.index}: {record.duration_s:.2f}s, "
+            f"{record.pages_sent} pages sent, "
+            f"{record.pages_skipped_bitmap} skipped by bitmap",
+        )
+
+    def _end_iteration(self, now: float) -> bool:
+        """Close the current iteration; True if a new one was begun."""
+        is_last = self.phase is MigrationPhase.LAST_COPY
+        self._record_iteration(now)
+
+        if is_last:
+            self._enter_resume(now)
+            return False
+
+        if self.phase is MigrationPhase.WAITING_APPS:
+            if self._apps_ready():
+                self._enter_last_copy(now)
+            else:
+                self._begin_iteration(now)
+                if len(self._pending) == 0:
+                    return False  # idle until new dirtying or readiness
+            return True
+
+        reason = self._stop_reason()
+        if reason is not None:
+            self.report.stop_reason = reason
+            if self._request_stop(now):
+                self._enter_last_copy(now)
+            else:
+                self.phase = MigrationPhase.WAITING_APPS
+                self._begin_iteration(now)
+            return True
+        self._begin_iteration(now)
+        return True
+
+    def _stop_reason(self) -> str | None:
+        remaining = self._remaining_dirty_count()
+        if remaining < self.min_remaining_pages:
+            return f"remaining dirty pages ({remaining}) below threshold"
+        if self._iter_index >= self.max_iterations:
+            return f"iteration cap ({self.max_iterations}) reached"
+        traffic_cap = self.max_factor * self.domain.mem_bytes
+        if self.report.total_wire_bytes >= traffic_cap:
+            return f"traffic cap ({self.max_factor:.1f}x VM size) reached"
+        return None
+
+    def _remaining_dirty_count(self) -> int:
+        return self.domain.dirty_log.count()
+
+    def _enter_last_copy(self, now: float, carry: np.ndarray | None = None) -> None:
+        self._log(now, f"VM paused for stop-and-copy ({self.report.stop_reason})")
+        self.domain.pause(now)
+        self.phase = MigrationPhase.LAST_COPY
+        self._begin_iteration(now)
+        if carry is not None and carry.size:
+            self._pending = np.unique(np.concatenate([carry, self._pending]))
+
+    def _abandon_into_last_copy(self, now: float) -> None:
+        """Stop the in-flight waiting iteration and pause immediately.
+
+        Pages the abandoned iteration had not yet examined came from a
+        consumed dirty snapshot, so they are carried into the
+        stop-and-copy — dropping them would lose writes.
+        """
+        carry = self._pending[self._cursor :]
+        self._record_iteration(now)
+        self._enter_last_copy(now, carry=carry)
+
+    def _enter_resume(self, now: float) -> None:
+        self.report.downtime.last_iter_s = now - self._iter_start_of_last()
+        self.report.downtime.resume_s = self.resume_delay_s
+        self.phase = MigrationPhase.RESUMING
+        self._resume_timer = self.resume_delay_s
+
+    def _log(self, now: float, message: str) -> None:
+        if self.event_log is not None:
+            self.event_log.log(now, self.name, message)
+
+    def _iter_start_of_last(self) -> float:
+        for rec in reversed(self.report.iterations):
+            if rec.is_last:
+                return rec.start_s
+        return self._iter_start
+
+    def _finish(self, now: float) -> None:
+        self._verify()
+        self.domain.dirty_log.disable()
+        self.domain.unpause(now)
+        self.link.release_consumer(self)
+        if self.source_host is not None and self.dest_host is not None:
+            # Hand the (now destination-resident) domain between hosts.
+            self.source_host.remove_domain(self.domain.name)
+            self.dest_host.adopt_domain(self.domain)
+        self.report.finished_s = now
+        self.phase = MigrationPhase.DONE
+        self._log(now, f"VM activated at destination (verified={self.report.verified})")
+        self._on_resumed(now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(phase={self.phase.value}, iter={self._iter_index})"

@@ -1,0 +1,191 @@
+"""Migration reports: per-iteration records and end-to-end metrics.
+
+Everything the paper plots comes out of these structures: iteration
+boxes (Figure 8), per-iteration memory processed (Figure 9), completion
+time / traffic / downtime (Figures 10 and 12), and the dirtying-rate
+series of Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mem.constants import PAGE_SIZE
+from repro.units import fmt_bytes, fmt_seconds
+
+
+@dataclass
+class IterationRecord:
+    """One pre-copy iteration."""
+
+    index: int
+    start_s: float
+    duration_s: float
+    pending_pages: int  # dirty working set at the iteration start
+    pages_sent: int
+    wire_bytes: int
+    pages_skipped_dirty: int  # re-dirtied before their turn (Xen rule)
+    pages_skipped_bitmap: int  # transfer bit cleared (skip-over areas)
+    is_last: bool = False
+    is_waiting: bool = False  # ran while waiting for apps to prepare
+
+    @property
+    def bytes_sent(self) -> int:
+        return self.pages_sent * PAGE_SIZE
+
+    @property
+    def transfer_rate_bytes_s(self) -> float:
+        return self.wire_bytes / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def dirtied_during_bytes(self) -> int:
+        """Filled in post-hoc: bytes dirtied while this iteration ran."""
+        return getattr(self, "_dirtied_during_bytes", 0)
+
+    def set_dirtied_during(self, n_pages: int) -> None:
+        self._dirtied_during_bytes = n_pages * PAGE_SIZE
+
+    @property
+    def dirtying_rate_bytes_s(self) -> float:
+        return (
+            self.dirtied_during_bytes / self.duration_s if self.duration_s > 0 else 0.0
+        )
+
+
+@dataclass
+class DowntimeBreakdown:
+    """Components of application downtime (Section 5.3)."""
+
+    safepoint_s: float = 0.0  # waiting for Java threads to reach a safepoint
+    enforced_gc_s: float = 0.0  # the enforced minor GC
+    final_update_s: float = 0.0  # final transfer bitmap update
+    last_iter_s: float = 0.0  # stop-and-copy transfer
+    resume_s: float = 0.0  # device reconnect + activation at destination
+
+    @property
+    def vm_downtime_s(self) -> float:
+        """Time the domain itself was paused."""
+        return self.final_update_s + self.last_iter_s + self.resume_s
+
+    @property
+    def app_downtime_s(self) -> float:
+        """Time the application made no progress."""
+        return (
+            self.safepoint_s
+            + self.enforced_gc_s
+            + self.final_update_s
+            + self.last_iter_s
+            + self.resume_s
+        )
+
+
+@dataclass
+class MigrationReport:
+    """End-to-end outcome of one migration."""
+
+    migrator: str
+    vm_bytes: int
+    started_s: float = 0.0
+    finished_s: float = 0.0
+    iterations: list[IterationRecord] = field(default_factory=list)
+    downtime: DowntimeBreakdown = field(default_factory=DowntimeBreakdown)
+    cpu_seconds: float = 0.0
+    verified: bool | None = None
+    mismatched_pages: int = 0
+    violating_pages: int = 0
+    lkm_overhead_bytes: int = 0
+    stop_reason: str = ""
+
+    # -- totals -------------------------------------------------------------------------
+
+    @property
+    def completion_time_s(self) -> float:
+        return self.finished_s - self.started_s
+
+    @property
+    def total_wire_bytes(self) -> int:
+        return sum(rec.wire_bytes for rec in self.iterations)
+
+    @property
+    def total_pages_sent(self) -> int:
+        return sum(rec.pages_sent for rec in self.iterations)
+
+    @property
+    def total_pages_skipped_dirty(self) -> int:
+        return sum(rec.pages_skipped_dirty for rec in self.iterations)
+
+    @property
+    def total_pages_skipped_bitmap(self) -> int:
+        return sum(rec.pages_skipped_bitmap for rec in self.iterations)
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def last_iteration(self) -> IterationRecord:
+        return self.iterations[-1]
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable view for downstream analysis tools."""
+        return {
+            "migrator": self.migrator,
+            "vm_bytes": self.vm_bytes,
+            "completion_time_s": self.completion_time_s,
+            "total_wire_bytes": self.total_wire_bytes,
+            "total_pages_sent": self.total_pages_sent,
+            "pages_skipped_dirty": self.total_pages_skipped_dirty,
+            "pages_skipped_bitmap": self.total_pages_skipped_bitmap,
+            "n_iterations": self.n_iterations,
+            "cpu_seconds": self.cpu_seconds,
+            "verified": self.verified,
+            "mismatched_pages": self.mismatched_pages,
+            "violating_pages": self.violating_pages,
+            "stop_reason": self.stop_reason,
+            "lkm_overhead_bytes": self.lkm_overhead_bytes,
+            "downtime": {
+                "safepoint_s": self.downtime.safepoint_s,
+                "enforced_gc_s": self.downtime.enforced_gc_s,
+                "final_update_s": self.downtime.final_update_s,
+                "last_iter_s": self.downtime.last_iter_s,
+                "resume_s": self.downtime.resume_s,
+                "vm_downtime_s": self.downtime.vm_downtime_s,
+                "app_downtime_s": self.downtime.app_downtime_s,
+            },
+            "iterations": [
+                {
+                    "index": rec.index,
+                    "start_s": rec.start_s,
+                    "duration_s": rec.duration_s,
+                    "pending_pages": rec.pending_pages,
+                    "pages_sent": rec.pages_sent,
+                    "wire_bytes": rec.wire_bytes,
+                    "pages_skipped_dirty": rec.pages_skipped_dirty,
+                    "pages_skipped_bitmap": rec.pages_skipped_bitmap,
+                    "is_last": rec.is_last,
+                    "is_waiting": rec.is_waiting,
+                }
+                for rec in self.iterations
+            ],
+        }
+
+    def summary(self) -> str:
+        """A human-readable one-paragraph summary."""
+        lines = [
+            f"{self.migrator}: migrated {fmt_bytes(self.vm_bytes)} VM in "
+            f"{fmt_seconds(self.completion_time_s)} over {self.n_iterations} iterations",
+            f"  traffic: {fmt_bytes(self.total_wire_bytes)} on the wire "
+            f"({self.total_pages_sent} pages sent, "
+            f"{self.total_pages_skipped_dirty} skipped re-dirtied, "
+            f"{self.total_pages_skipped_bitmap} skipped by transfer bitmap)",
+            f"  VM downtime: {fmt_seconds(self.downtime.vm_downtime_s)}, "
+            f"app downtime: {fmt_seconds(self.downtime.app_downtime_s)}",
+            f"  CPU: {self.cpu_seconds:.2f} s, stop reason: {self.stop_reason}",
+        ]
+        if self.verified is not None:
+            lines.append(
+                f"  verified: {self.verified} "
+                f"({self.mismatched_pages} benign mismatches, "
+                f"{self.violating_pages} violations)"
+            )
+        return "\n".join(lines)

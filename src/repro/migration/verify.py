@@ -1,0 +1,81 @@
+"""Migration correctness proof (DESIGN.md §5).
+
+Every guest page carries a content version; a migration is correct when
+the destination holds the source's version for every page that *means*
+anything at resume time.  Pages allowed to differ:
+
+- frames currently free in the guest (their content is dead; the paper
+  makes the same argument for pages leaving a skip-over area through
+  deallocation);
+- pages inside a skip-over area as of the final bitmap update (their
+  owners declared them recoverable or unneeded — for JAVMM these are
+  Eden, To, and the unoccupied tail of From, all empty post-GC).
+
+Everything else must match exactly.  For a vanilla migration the
+allowed set is empty: all pages must match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.guest.kernel import GuestKernel
+from repro.guest.lkm import AssistLKM
+from repro.mem.address import VARange, page_span_inner
+from repro.mem.constants import PAGE_SIZE
+from repro.xen.domain import Domain
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Outcome of a page-version comparison at resume time."""
+
+    ok: bool
+    mismatched_pages: int  # all differing pages (benign + violating)
+    violating_pages: int  # differing pages outside the allowed set
+    violating_pfns: tuple[int, ...] = ()
+
+
+def allowed_mismatch_mask(
+    domain: Domain, kernel: GuestKernel, lkm: AssistLKM | None
+) -> np.ndarray:
+    """Boolean per-PFN mask of pages permitted to differ at resume."""
+    mask = np.zeros(domain.n_pages, dtype=bool)
+    free = kernel.free_pfns()
+    if free.size:
+        mask[free] = True
+    if lkm is not None:
+        for record in lkm.app_records():
+            for area in record.areas:
+                start_vpn, end_vpn = page_span_inner(area)
+                if end_vpn == start_vpn:
+                    continue
+                pfns = record.process.page_table.walk(
+                    VARange(start_vpn * PAGE_SIZE, end_vpn * PAGE_SIZE)
+                )
+                if pfns.size:
+                    mask[pfns] = True
+    return mask
+
+
+def verify_migration(
+    source: Domain,
+    dest: Domain,
+    kernel: GuestKernel | None = None,
+    lkm: AssistLKM | None = None,
+) -> VerificationResult:
+    """Compare destination memory against the source at resume time."""
+    mismatch = dest.pages.mismatches(source.pages)
+    if kernel is None:
+        violating = mismatch
+    else:
+        allowed = allowed_mismatch_mask(source, kernel, lkm)
+        violating = mismatch[~allowed[mismatch]]
+    return VerificationResult(
+        ok=violating.size == 0,
+        mismatched_pages=int(mismatch.size),
+        violating_pages=int(violating.size),
+        violating_pfns=tuple(int(p) for p in violating[:32]),
+    )

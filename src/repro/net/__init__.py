@@ -1,0 +1,6 @@
+"""Network substrate: the migration link and traffic accounting."""
+
+from repro.net.link import Link
+from repro.net.meter import TrafficMeter
+
+__all__ = ["Link", "TrafficMeter"]

@@ -1,0 +1,115 @@
+"""The migration network link.
+
+The paper's bottleneck is a gigabit Ethernet LAN between two blades.
+The model is deliberately simple — a bandwidth pipe with per-page
+protocol overhead — because that is the only property the evaluation
+exercises: pages either move faster than they are dirtied, or they do
+not.
+
+A migration daemon consumes capacity through a per-step byte budget
+(:meth:`capacity_bytes`), so transfer progress and workload dirtying
+interleave at simulation-step granularity.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.mem.constants import PAGE_SIZE
+from repro.net.meter import TrafficMeter
+from repro.units import gbit_per_s
+
+#: Rough per-page wire overhead: migration record header + its share of
+#: TCP/IP/Ethernet framing for a 4 KiB payload.
+DEFAULT_PAGE_OVERHEAD_BYTES = 150
+
+
+class Link:
+    """A point-to-point link with fixed usable bandwidth."""
+
+    def __init__(
+        self,
+        bandwidth_bytes_per_s: float = gbit_per_s(1.0),
+        page_overhead_bytes: int = DEFAULT_PAGE_OVERHEAD_BYTES,
+        efficiency: float = 0.96,
+    ) -> None:
+        if bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError("link bandwidth must be positive")
+        if not 0.0 < efficiency <= 1.0:
+            raise ConfigurationError("link efficiency must be in (0, 1]")
+        self._efficiency = efficiency
+        self.bandwidth = float(bandwidth_bytes_per_s) * efficiency
+        self.page_overhead = int(page_overhead_bytes)
+        self.meter = TrafficMeter()
+        self._consumers: set[object] = set()
+
+    def set_bandwidth(self, bandwidth_bytes_per_s: float) -> None:
+        """Change the raw link speed mid-flight (congestion, failover).
+
+        Takes effect from the next simulation step; in-flight byte
+        budgets are unaffected.
+        """
+        if bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError("link bandwidth must be positive")
+        self.bandwidth = float(bandwidth_bytes_per_s) * self._efficiency
+
+    # -- fair sharing (gang migration) -----------------------------------------------
+
+    def register_consumer(self, consumer: object) -> None:
+        """A migration starts drawing capacity from this link."""
+        self._consumers.add(consumer)
+
+    def release_consumer(self, consumer: object) -> None:
+        """A migration finished; its share returns to the pool."""
+        self._consumers.discard(consumer)
+
+    @property
+    def active_consumers(self) -> int:
+        return len(self._consumers)
+
+    def share_for(self, consumer: object, dt: float) -> float:
+        """This consumer's fair byte share of a *dt*-second step.
+
+        With one active migration this equals :meth:`capacity_bytes`;
+        concurrent (gang) migrations split the pipe evenly.
+        """
+        active = max(1, len(self._consumers))
+        if consumer not in self._consumers:
+            return self.capacity_bytes(dt)
+        return self.capacity_bytes(dt) / active
+
+    @property
+    def page_wire_bytes(self) -> int:
+        """Bytes a single 4 KiB page costs on the wire."""
+        return PAGE_SIZE + self.page_overhead
+
+    @property
+    def pages_per_second(self) -> float:
+        """Sustained page transfer rate."""
+        return self.bandwidth / self.page_wire_bytes
+
+    def capacity_bytes(self, dt: float) -> float:
+        """Wire bytes this link can move in a *dt*-second step."""
+        return self.bandwidth * dt
+
+    def time_to_send_pages(self, n_pages: int) -> float:
+        """Seconds to push *n_pages* full pages through the link."""
+        return n_pages * self.page_wire_bytes / self.bandwidth
+
+    def time_to_send_bytes(self, n_bytes: float) -> float:
+        return n_bytes / self.bandwidth
+
+    def account_pages(self, n_pages: int, payload_bytes: int | None = None) -> int:
+        """Record *n_pages* sent; returns wire bytes consumed.
+
+        *payload_bytes* overrides the default full-page payload, which
+        the compression baseline uses to send fewer wire bytes per page.
+        """
+        payload = n_pages * PAGE_SIZE if payload_bytes is None else int(payload_bytes)
+        wire = payload + n_pages * self.page_overhead
+        self.meter.add(pages=n_pages, payload_bytes=payload, wire_bytes=wire)
+        return wire
+
+    def account_control(self, n_bytes: int) -> int:
+        """Record control-plane bytes (handshakes, dirty-bitmap syncs)."""
+        self.meter.add(pages=0, payload_bytes=0, wire_bytes=int(n_bytes))
+        return int(n_bytes)

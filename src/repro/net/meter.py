@@ -1,0 +1,39 @@
+"""Traffic accounting for a link."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TrafficMeter:
+    """Byte and page counters for everything a link carried."""
+
+    pages_sent: int = 0
+    payload_bytes: int = 0
+    wire_bytes: int = 0
+    _marks: dict[str, tuple[int, int, int]] = field(default_factory=dict, repr=False)
+
+    def add(self, pages: int, payload_bytes: int, wire_bytes: int) -> None:
+        self.pages_sent += pages
+        self.payload_bytes += payload_bytes
+        self.wire_bytes += wire_bytes
+
+    def mark(self, name: str) -> None:
+        """Remember the current counters under *name* (for deltas)."""
+        self._marks[name] = (self.pages_sent, self.payload_bytes, self.wire_bytes)
+
+    def since(self, name: str) -> tuple[int, int, int]:
+        """(pages, payload, wire) accumulated since :meth:`mark` *name*."""
+        base = self._marks.get(name, (0, 0, 0))
+        return (
+            self.pages_sent - base[0],
+            self.payload_bytes - base[1],
+            self.wire_bytes - base[2],
+        )
+
+    def reset(self) -> None:
+        self.pages_sent = 0
+        self.payload_bytes = 0
+        self.wire_bytes = 0
+        self._marks.clear()

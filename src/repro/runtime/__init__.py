@@ -1,0 +1,16 @@
+"""Non-JVM managed runtimes (Section 6 generality).
+
+"The proposed framework can be applied to any application runtime that
+is GC-based, provided that the runtime has a compacting, non-concurrent
+garbage collector; the Microsoft .NET framework is one such example.
+In all these applicable cases, only the application runtime, not every
+individual application, needs to be modified to run in our framework."
+
+:mod:`repro.runtime.dotnet` models the CLR's ephemeral-segment heap and
+its framework agent, proving the protocol is runtime-agnostic: the LKM
+and migration daemon are byte-for-byte the same ones JAVMM uses.
+"""
+
+from repro.runtime.dotnet import DotNetAgent, DotNetRuntime, EphemeralHeap
+
+__all__ = ["DotNetAgent", "DotNetRuntime", "EphemeralHeap"]

@@ -1,0 +1,220 @@
+"""A CLR-style managed runtime assisting in migration.
+
+The .NET CLR divides its heap into generations 0 and 1 (the *ephemeral
+segment* — newly allocated and once-survived objects) and generation 2
+(long-lived data), plus a large-object heap.  The workstation GC is
+compacting and stops managed threads — exactly the collector family the
+paper says the framework supports.
+
+The skip-over area is the ephemeral segment: an enforced ephemeral GC
+compacts survivors to the segment's bottom, and only that occupied
+prefix needs to travel in the last iteration (the CLR analogue of
+JAVMM's occupied From space).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError, HeapError, ProtocolError
+from repro.guest import messages as msg
+from repro.guest.lkm import AssistLKM
+from repro.guest.process import Process
+from repro.guest.procfs import format_area_line
+from repro.mem.address import VARange
+from repro.mem.constants import PAGE_SIZE, bytes_to_pages
+from repro.sim.actor import Actor
+from repro.units import MiB
+
+
+class EphemeralHeap:
+    """Gen0/gen1 ephemeral segment + gen2, compacting on collection."""
+
+    def __init__(
+        self,
+        process: Process,
+        ephemeral_bytes: int,
+        gen2_bytes: int,
+        survival_frac: float = 0.03,
+        promote_frac: float = 0.25,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if ephemeral_bytes < 16 * PAGE_SIZE:
+            raise ConfigurationError("ephemeral segment too small")
+        self.process = process
+        self.survival_frac = survival_frac
+        self.promote_frac = promote_frac
+        self.rng = rng or np.random.default_rng(2)
+        self.ephemeral = process.mmap(ephemeral_bytes)
+        self.gen2 = process.mmap(gen2_bytes)
+        #: compacted survivors occupy [start, start + survivor_bytes)
+        self.survivor_bytes = 0
+        #: allocation pointer within the ephemeral segment
+        self.alloc_top = self.ephemeral.start
+        self.gen2_used = 0
+        self.collections = 0
+
+    @property
+    def ephemeral_used(self) -> int:
+        return self.alloc_top - self.ephemeral.start
+
+    def allocate(self, nbytes: int) -> int:
+        """Bump-allocate; returns bytes actually allocated."""
+        room = self.ephemeral.end - self.alloc_top
+        take = min(int(nbytes), room)
+        if take <= 0:
+            return 0
+        self.process.write_range(VARange(self.alloc_top, self.alloc_top + take))
+        self.alloc_top += take
+        return take
+
+    @property
+    def needs_gc(self) -> bool:
+        return self.alloc_top >= self.ephemeral.end
+
+    def collect_ephemeral(self) -> int:
+        """Compacting gen0/gen1 collection; returns survivor bytes.
+
+        Survivors are compacted to the segment's bottom (dirtying those
+        pages); a fraction is promoted to gen2.
+        """
+        scanned = self.ephemeral_used
+        jitter = float(self.rng.uniform(0.9, 1.1))
+        live = min(scanned, int(scanned * self.survival_frac * jitter))
+        promoted = int(live * self.promote_frac)
+        survivors = live - promoted
+        if self.gen2_used + promoted > self.gen2.length:
+            raise HeapError("gen2 exhausted")
+        if survivors:
+            self.process.write_range(
+                VARange(self.ephemeral.start, self.ephemeral.start + survivors)
+            )
+        if promoted:
+            start = self.gen2.start + self.gen2_used
+            self.process.write_range(VARange(start, start + promoted))
+            self.gen2_used += promoted
+        self.survivor_bytes = survivors
+        self.alloc_top = self.ephemeral.start + survivors
+        self.collections += 1
+        return survivors
+
+    def occupied_prefix(self) -> VARange:
+        """Pages holding compacted survivors (page-aligned up)."""
+        pages = bytes_to_pages(self.survivor_bytes)
+        return VARange(self.ephemeral.start, self.ephemeral.start + pages * PAGE_SIZE)
+
+
+class DotNetRuntime(Actor):
+    """A CLR running one managed application."""
+
+    priority = 0
+
+    def __init__(
+        self,
+        process: Process,
+        heap: EphemeralHeap,
+        alloc_bytes_per_s: float,
+        ops_per_s: float = 50.0,
+        gc_pause_per_byte_s: float = 1.5e-9,
+        suspend_ee_s: float = 0.02,  # time to suspend managed threads
+    ) -> None:
+        self.process = process
+        self.heap = heap
+        self.alloc_bytes_per_s = float(alloc_bytes_per_s)
+        self.ops_per_s = float(ops_per_s)
+        self.gc_pause_per_byte_s = gc_pause_per_byte_s
+        self.suspend_ee_s = suspend_ee_s
+        self.ops_completed = 0.0
+        self._gc_timer = 0.0
+        self._held = False
+        self._pending_enforced = False
+        self._enforced_in_gc = False
+        self.on_enforced_ready: Callable[[], None] | None = None
+
+    def enforce_gc(self) -> None:
+        self._pending_enforced = True
+
+    def release(self) -> None:
+        self._held = False
+
+    @property
+    def held(self) -> bool:
+        return self._held
+
+    def step(self, now: float, dt: float) -> None:
+        if self.process.kernel.domain.paused or self._held:
+            return
+        if self._gc_timer > 0.0:
+            self._gc_timer -= dt
+            if self._gc_timer <= 0.0 and self._enforced_in_gc:
+                self._held = True
+                if self.on_enforced_ready is not None:
+                    self.on_enforced_ready()
+            return
+        if self._pending_enforced:
+            self._pending_enforced = False
+            self._start_gc(enforced=True)
+            return
+        got = self.heap.allocate(self.alloc_bytes_per_s * dt)
+        self.ops_completed += self.ops_per_s * dt
+        if self.heap.needs_gc:
+            self._start_gc(enforced=False)
+
+    def _start_gc(self, enforced: bool) -> None:
+        scanned = self.heap.ephemeral_used
+        self.heap.collect_ephemeral()
+        self._gc_timer = self.suspend_ee_s + scanned * self.gc_pause_per_byte_s
+        self._enforced_in_gc = enforced
+
+
+class DotNetAgent:
+    """The CLR-side framework participant (the TI-agent analogue).
+
+    Identical protocol, different runtime: the skip-over area is the
+    ephemeral segment, and the ``leaving_ranges`` at suspension time are
+    the compacted survivor prefix.
+    """
+
+    def __init__(self, runtime: DotNetRuntime, lkm: AssistLKM) -> None:
+        self.runtime = runtime
+        self.lkm = lkm
+        self.app_id = runtime.process.pid
+        self._netlink = runtime.process.kernel.netlink
+        self._pending_query: int | None = None
+        self._netlink.subscribe(self.app_id, self._on_netlink)
+        lkm.register_app(self.app_id, runtime.process)
+        runtime.on_enforced_ready = self._on_enforced_ready
+
+    def _on_netlink(self, message: object) -> None:
+        heap = self.runtime.heap
+        if isinstance(message, msg.SkipOverQuery):
+            self.lkm.proc_entry.write(
+                format_area_line(self.app_id, message.query_id, heap.ephemeral)
+            )
+            self._netlink.send_to_kernel(
+                self.app_id, msg.SkipAreasReply(self.app_id, message.query_id, 1)
+            )
+        elif isinstance(message, msg.PrepareSuspension):
+            self._pending_query = message.query_id
+            self.runtime.enforce_gc()
+        elif isinstance(message, msg.VMResumedNotice):
+            self.runtime.release()
+        else:
+            raise ProtocolError(f".NET agent cannot handle {message!r}")
+
+    def _on_enforced_ready(self) -> None:
+        if self._pending_query is None:
+            return
+        query_id, self._pending_query = self._pending_query, None
+        heap = self.runtime.heap
+        self._netlink.send_to_kernel(
+            self.app_id,
+            msg.SuspensionReadyReply(
+                self.app_id,
+                query_id,
+                areas=(heap.ephemeral,),
+                leaving_ranges=(heap.occupied_prefix(),),
+            ),
+        )

@@ -1,0 +1,23 @@
+"""Discrete-time co-simulation engine.
+
+The JAVMM reproduction runs a *fixed-step* co-simulation: on every step
+the workload (JVM) dirties memory pages and the migration daemon moves
+bytes over the link, so iteration dynamics emerge from the same race
+between page dirtying and page transfer that the paper measures on real
+hardware.
+
+Public surface:
+
+- :class:`SimClock` — the simulated wall clock.
+- :class:`Actor` — anything that advances with the clock.
+- :class:`Engine` — owns the clock and steps actors in priority order.
+- :class:`SimRng` — deterministic per-purpose random streams.
+"""
+
+from repro.sim.actor import Actor
+from repro.sim.clock import SimClock
+from repro.sim.engine import Engine
+from repro.sim.eventlog import Event, EventLog
+from repro.sim.rng import SimRng
+
+__all__ = ["Actor", "Engine", "Event", "EventLog", "SimClock", "SimRng"]

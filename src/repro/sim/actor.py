@@ -1,0 +1,27 @@
+"""Actor protocol for the fixed-step engine."""
+
+from __future__ import annotations
+
+
+class Actor:
+    """Base class for everything that advances with simulated time.
+
+    Subclasses override :meth:`step`.  The engine calls actors in
+    ascending :attr:`priority` order within each step; ties preserve
+    registration order.  The convention used by this library:
+
+    - priority 0: workload / JVM actors (they dirty memory first),
+    - priority 10: migration daemons (they see this step's dirtying),
+    - priority 20: observers such as the throughput analyzer.
+    """
+
+    priority: int = 0
+
+    def step(self, now: float, dt: float) -> None:
+        """Advance the actor from ``now - dt`` to ``now``."""
+        raise NotImplementedError
+
+    @property
+    def finished(self) -> bool:
+        """True when the actor no longer needs stepping."""
+        return False

@@ -1,0 +1,39 @@
+"""Simulated wall clock.
+
+Time is a float number of seconds since the simulation began.  The clock
+only ever moves forward, in fixed-size steps chosen by the engine; a
+tick counter is kept alongside so code that needs an exact step identity
+(e.g. "did this happen in the same step?") does not compare floats.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class SimClock:
+    """A forward-only simulated clock advanced in fixed steps."""
+
+    def __init__(self, dt: float = 0.005) -> None:
+        if dt <= 0.0:
+            raise SimulationError(f"step size must be positive, got {dt}")
+        self.dt = float(dt)
+        self._ticks = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._ticks * self.dt
+
+    @property
+    def ticks(self) -> int:
+        """Number of steps taken so far."""
+        return self._ticks
+
+    def advance(self) -> float:
+        """Move one step forward and return the new time."""
+        self._ticks += 1
+        return self.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimClock(now={self.now:.3f}, dt={self.dt})"

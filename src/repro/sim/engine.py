@@ -1,0 +1,78 @@
+"""Fixed-step co-simulation engine.
+
+The engine owns a :class:`~repro.sim.clock.SimClock` and a set of
+:class:`~repro.sim.actor.Actor` instances.  Each call to :meth:`step`
+advances the clock by one ``dt`` and steps every registered actor once,
+in ascending priority order.  ``run_until`` / ``run_while`` provide the
+loop forms the experiment drivers need.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.errors import SimulationError
+from repro.sim.actor import Actor
+from repro.sim.clock import SimClock
+
+
+class Engine:
+    """Steps a set of actors against a shared simulated clock."""
+
+    def __init__(self, dt: float = 0.005, max_steps: int = 50_000_000) -> None:
+        self.clock = SimClock(dt)
+        self._actors: list[tuple[int, int, Actor]] = []
+        self._seq = 0
+        self._max_steps = max_steps
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @property
+    def dt(self) -> float:
+        return self.clock.dt
+
+    def add(self, actor: Actor) -> Actor:
+        """Register *actor*; returns it for chaining."""
+        self._actors.append((actor.priority, self._seq, actor))
+        self._seq += 1
+        self._actors.sort(key=lambda entry: (entry[0], entry[1]))
+        return actor
+
+    def remove(self, actor: Actor) -> None:
+        self._actors = [e for e in self._actors if e[2] is not actor]
+
+    def actors(self) -> Iterable[Actor]:
+        return [entry[2] for entry in self._actors]
+
+    def step(self) -> float:
+        """Advance the clock one step and step every actor once."""
+        now = self.clock.advance()
+        dt = self.clock.dt
+        for _, _, actor in self._actors:
+            actor.step(now, dt)
+        return now
+
+    def run_until(self, t: float) -> None:
+        """Run steps until simulated time reaches at least *t*."""
+        if t < self.now:
+            raise SimulationError(
+                f"cannot run to {t:.3f}: time is already {self.now:.3f}"
+            )
+        steps = 0
+        while self.now < t:
+            self.step()
+            steps += 1
+            if steps > self._max_steps:
+                raise SimulationError("run_until exceeded the step budget")
+
+    def run_while(self, predicate: Callable[[], bool], timeout: float = 3600.0) -> None:
+        """Run steps while ``predicate()`` holds, up to *timeout* sim-seconds."""
+        deadline = self.now + timeout
+        while predicate():
+            if self.now >= deadline:
+                raise SimulationError(
+                    f"run_while did not terminate within {timeout:.1f} sim-seconds"
+                )
+            self.step()

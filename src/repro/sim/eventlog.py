@@ -1,0 +1,58 @@
+"""A shared timeline of simulation events.
+
+Debugging a migration means correlating three concurrent narratives:
+what the daemon did (iterations, phases), what the LKM did (states,
+bitmap updates), and what the JVM did (GCs, safepoints).  An
+:class:`EventLog` collects all three against the simulated clock; the
+experiment builders attach one log to every component so
+``format_timeline()`` shows the whole story in order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Event:
+    time_s: float
+    source: str
+    message: str
+
+
+class EventLog:
+    """An append-only, time-ordered event collection."""
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        self.capacity = capacity
+        self._events: list[Event] = []
+        self.dropped = 0
+
+    def log(self, time_s: float, source: str, message: str) -> None:
+        if len(self._events) >= self.capacity:
+            self.dropped += 1
+            return
+        self._events.append(Event(time_s, source, message))
+
+    def events(self, source: str | None = None) -> list[Event]:
+        return [e for e in self._events if source is None or e.source == source]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def format_timeline(
+        self, start_s: float | None = None, end_s: float | None = None
+    ) -> str:
+        """The interleaved narrative, one line per event."""
+        picked = [
+            e
+            for e in self._events
+            if (start_s is None or e.time_s >= start_s)
+            and (end_s is None or e.time_s <= end_s)
+        ]
+        if not picked:
+            return "(no events)"
+        width = max(len(e.source) for e in picked)
+        return "\n".join(
+            f"{e.time_s:9.3f}s  {e.source:<{width}}  {e.message}" for e in picked
+        )

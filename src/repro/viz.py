@@ -1,0 +1,133 @@
+"""Terminal visualizations of migration results.
+
+Pure-text renderings of the paper's figure styles, used by the examples
+and the CLI:
+
+- :func:`iteration_boxes` — Figure 8: one box per pre-copy iteration,
+  width ∝ duration, label = traffic sent;
+- :func:`throughput_sparkline` — Figure 11: ops/s over time with the
+  migration window marked;
+- :func:`stacked_bars` — Figures 9/10/12: labelled horizontal bars.
+
+No plotting dependencies: everything renders to strings.
+"""
+
+from __future__ import annotations
+
+from repro.migration.report import MigrationReport
+from repro.units import MIB
+from repro.workloads.analyzer import ThroughputSample
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def iteration_boxes(report: MigrationReport, width: int = 72) -> str:
+    """Render iterations as width-proportional boxes (Figure 8 style)."""
+    total = max(report.completion_time_s, 1e-9)
+    lines = []
+    for rec in report.iterations:
+        w = max(1, round(width * rec.duration_s / total))
+        mark = "W" if rec.is_waiting else ("L" if rec.is_last else "#")
+        bar = mark * w
+        label = f" iter {rec.index}: {rec.duration_s:.2f}s, {rec.bytes_sent / MIB:.0f} MiB"
+        lines.append(f"|{bar:<{width}}|{label}")
+    legend = "#: live iteration   W: waiting for applications   L: stop-and-copy"
+    return "\n".join(lines + [legend])
+
+
+def throughput_sparkline(
+    samples: list[ThroughputSample],
+    start_s: float | None = None,
+    end_s: float | None = None,
+    migration_window: tuple[float, float] | None = None,
+    width: int = 72,
+) -> str:
+    """Render a per-second throughput series (Figure 11 style).
+
+    Each column is one sample bucketed onto a 10-level scale; the row
+    below marks the migration window with ``^``.
+    """
+    picked = [
+        s
+        for s in samples
+        if (start_s is None or s.time_s >= start_s)
+        and (end_s is None or s.time_s <= end_s)
+    ]
+    if not picked:
+        return "(no samples)"
+    if len(picked) > width:
+        stride = len(picked) / width
+        picked = [picked[int(i * stride)] for i in range(width)]
+    peak = max(s.ops_per_s for s in picked) or 1.0
+    chars = []
+    marks = []
+    for s in picked:
+        level = int(round((len(_SPARK_LEVELS) - 1) * s.ops_per_s / peak))
+        chars.append(_SPARK_LEVELS[level])
+        in_window = (
+            migration_window is not None
+            and migration_window[0] <= s.time_s <= migration_window[1]
+        )
+        marks.append("^" if in_window else " ")
+    t0, t1 = picked[0].time_s, picked[-1].time_s
+    header = f"ops/s (peak {peak:.2f})  t = {t0:.0f}..{t1:.0f} s"
+    body = "".join(chars)
+    out = [header, body]
+    if migration_window is not None:
+        out.append("".join(marks) + "  (^ = migrating)")
+    return "\n".join(out)
+
+
+def stacked_bars(
+    rows: list[tuple[str, dict[str, float]]],
+    width: int = 56,
+    unit: str = "",
+) -> str:
+    """Render labelled horizontal bars with stacked segments.
+
+    *rows* maps a label to ordered ``{segment_name: value}`` dicts; all
+    bars share one scale.  Segment glyphs are assigned in order:
+    ``#``, ``+``, ``.``.
+    """
+    glyphs = "#+.~"
+    peak = max((sum(segments.values()) for _, segments in rows), default=0.0) or 1.0
+    seg_names: list[str] = []
+    for _, segments in rows:
+        for name in segments:
+            if name not in seg_names:
+                seg_names.append(name)
+    lines = []
+    label_w = max((len(label) for label, _ in rows), default=0)
+    for label, segments in rows:
+        bar = ""
+        for i, name in enumerate(seg_names):
+            value = segments.get(name, 0.0)
+            bar += glyphs[i % len(glyphs)] * max(
+                0, round(width * value / peak)
+            )
+        total = sum(segments.values())
+        lines.append(f"{label:<{label_w}} |{bar:<{width}}| {total:.2f}{unit}")
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} = {name}" for i, name in enumerate(seg_names)
+    )
+    return "\n".join(lines + [legend])
+
+
+def downtime_breakdown_bar(report: MigrationReport, width: int = 56) -> str:
+    """One stacked bar of the downtime components (Section 5.3)."""
+    d = report.downtime
+    return stacked_bars(
+        [
+            (
+                report.migrator,
+                {
+                    "safepoint": d.safepoint_s,
+                    "enforced GC": d.enforced_gc_s,
+                    "stop-and-copy": d.last_iter_s,
+                    "resume": d.resume_s,
+                },
+            )
+        ],
+        width=width,
+        unit=" s",
+    )

@@ -1,0 +1,32 @@
+"""Synthetic SPECjvm2008-like workloads and observers.
+
+The paper characterizes its workloads entirely through Java-heap usage
+parameters (Sections 4.2 and 5.3): object allocation rate, object
+lifetime (survival at a minor GC), promotion behaviour, Old-generation
+mutation, and throughput.  :class:`WorkloadSpec` captures exactly those
+knobs; :data:`REGISTRY` holds the nine calibrated workloads of Table 1.
+"""
+
+from repro.workloads.analyzer import Analyzer
+from repro.workloads.cache_app import CacheApp
+from repro.workloads.spec import (
+    CATEGORY_DESCRIPTIONS,
+    REGISTRY,
+    WorkloadSpec,
+    get_workload,
+    workloads_in_category,
+)
+from repro.workloads.trace import TraceDrivenJVM, TracePoint, parse_trace_csv
+
+__all__ = [
+    "Analyzer",
+    "CATEGORY_DESCRIPTIONS",
+    "CacheApp",
+    "REGISTRY",
+    "TraceDrivenJVM",
+    "TracePoint",
+    "WorkloadSpec",
+    "get_workload",
+    "parse_trace_csv",
+    "workloads_in_category",
+]

@@ -1,0 +1,274 @@
+"""Workload specifications (Table 1) and their heap-usage calibration.
+
+Each spec is calibrated against the paper's published observations:
+
+- Table 2/3 — committed Young and Old sizes observed when migrated;
+- Figure 5(a) — average Young vs Old heap consumption;
+- Figure 5(b) — garbage fraction per minor GC (>97 % for everything
+  but scimark);
+- Figure 5(c) — minor-GC pause durations (compiler longest at ~1.5 s);
+- Section 5.3 — category definitions (allocation rate × object
+  lifetime) and workload throughput baselines (Figure 11 y-axes).
+
+Absolute rates are chosen so the *simulated* dirtying-vs-bandwidth race
+on a gigabit link reproduces the paper's iteration dynamics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.guest.process import Process
+from repro.jvm.gc_model import GcCostModel
+from repro.jvm.heap import GenerationalHeap
+from repro.jvm.hotspot import HotSpotJVM
+from repro.units import MiB
+
+CATEGORY_DESCRIPTIONS = {
+    1: "high allocation rate, mostly short-lived objects (Young grows to max)",
+    2: "medium allocation rate, mostly short-lived objects",
+    3: "low allocation rate, mostly long-lived objects (large Old generation)",
+}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Heap-usage profile of one SPECjvm2008 workload."""
+
+    name: str
+    description: str
+    category: int
+    alloc_mb_s: float  # Eden allocation rate
+    survival_frac: float  # live fraction of Young at a minor GC
+    tenure_frac: float  # fraction of survivors promoted per GC
+    young_target_mb: int | None  # committed Young it converges to (None = max)
+    observed_old_mb: int  # Old generation observed when migrated (Tables 2/3)
+    old_write_mb_s: float  # Old-generation mutation rate
+    old_ws_mb: int  # Old-generation hot working-set size
+    misc_mb_s: float  # JVM-internal dirtying (code cache, metaspace)
+    ops_per_s: float  # workload throughput (SPECjvm2008 ops/s)
+    gc_scale: float  # pause-model calibration multiplier
+    tts_enforced_s: float  # time-to-safepoint for an enforced GC
+
+    def __post_init__(self) -> None:
+        if self.category not in CATEGORY_DESCRIPTIONS:
+            raise ConfigurationError(f"unknown workload category {self.category}")
+
+    # -- instantiation ------------------------------------------------------------------
+
+    def build(
+        self,
+        process: Process,
+        max_young_bytes: int,
+        max_old_bytes: int,
+        seed_old: bool = True,
+        initial_young_committed: int | None = None,
+        misc_region_bytes: int = MiB(96),
+        rng: np.random.Generator | None = None,
+    ) -> HotSpotJVM:
+        """Create a heap + JVM running this workload in *process*."""
+        rng = rng or np.random.default_rng(7)
+        heap = GenerationalHeap(
+            process,
+            max_young_bytes=max_young_bytes,
+            max_old_bytes=max_old_bytes,
+            initial_young_committed=initial_young_committed,
+            young_target_bytes=(
+                min(MiB(self.young_target_mb), max_young_bytes)
+                if self.young_target_mb
+                else max_young_bytes
+            ),
+            survival_frac=self.survival_frac,
+            tenure_frac=self.tenure_frac,
+            cost_model=GcCostModel(scale=self.gc_scale),
+            rng=rng,
+        )
+        if seed_old:
+            heap.seed_old(min(MiB(self.observed_old_mb), max_old_bytes))
+        return HotSpotJVM(
+            process,
+            heap,
+            alloc_bytes_per_s=MiB(self.alloc_mb_s),
+            ops_per_s=self.ops_per_s,
+            old_write_bytes_per_s=MiB(self.old_write_mb_s),
+            old_ws_bytes=MiB(self.old_ws_mb),
+            misc_bytes_per_s=MiB(self.misc_mb_s),
+            misc_region_bytes=misc_region_bytes,
+            tts_enforced_s=self.tts_enforced_s,
+            rng=rng,
+        )
+
+    def with_overrides(self, **kwargs) -> "WorkloadSpec":
+        """A copy with some fields replaced (experiment parameter sweeps)."""
+        return replace(self, **kwargs)
+
+
+REGISTRY: dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in [
+        WorkloadSpec(
+            name="derby",
+            description="Apache Derby database with business logic",
+            category=1,
+            alloc_mb_s=340.0,
+            survival_frac=0.015,
+            tenure_frac=0.12,
+            young_target_mb=None,  # grows to the maximum allowed
+            observed_old_mb=259,
+            old_write_mb_s=15.0,
+            old_ws_mb=120,
+            misc_mb_s=6.0,
+            ops_per_s=0.75,
+            gc_scale=1.0,
+            tts_enforced_s=0.2,
+        ),
+        WorkloadSpec(
+            name="compiler",
+            description="OpenJDK 7 front-end compiler",
+            category=1,
+            alloc_mb_s=330.0,
+            survival_frac=0.02,
+            tenure_frac=0.10,
+            young_target_mb=None,
+            observed_old_mb=86,
+            old_write_mb_s=14.0,
+            old_ws_mb=60,
+            misc_mb_s=8.0,
+            ops_per_s=0.9,
+            gc_scale=1.3,
+            tts_enforced_s=0.7,
+        ),
+        WorkloadSpec(
+            name="xml",
+            description="Apply style sheets to XML documents",
+            category=1,
+            alloc_mb_s=430.0,
+            survival_frac=0.01,
+            tenure_frac=0.08,
+            young_target_mb=None,
+            observed_old_mb=28,
+            old_write_mb_s=8.0,
+            old_ws_mb=24,
+            misc_mb_s=6.0,
+            ops_per_s=1.2,
+            gc_scale=1.1,
+            tts_enforced_s=0.3,
+        ),
+        WorkloadSpec(
+            name="sunflow",
+            description="An open-source image rendering system",
+            category=1,
+            alloc_mb_s=300.0,
+            survival_frac=0.015,
+            tenure_frac=0.10,
+            young_target_mb=None,
+            observed_old_mb=50,
+            old_write_mb_s=6.0,
+            old_ws_mb=32,
+            misc_mb_s=5.0,
+            ops_per_s=0.5,
+            gc_scale=1.0,
+            tts_enforced_s=0.25,
+        ),
+        WorkloadSpec(
+            name="serial",
+            description="Serialize and deserialize primitives and objects",
+            category=2,
+            alloc_mb_s=150.0,
+            survival_frac=0.025,
+            tenure_frac=0.10,
+            young_target_mb=700,
+            observed_old_mb=60,
+            old_write_mb_s=6.0,
+            old_ws_mb=40,
+            misc_mb_s=4.0,
+            ops_per_s=2.0,
+            gc_scale=0.9,
+            tts_enforced_s=0.2,
+        ),
+        WorkloadSpec(
+            name="crypto",
+            description="Sign and verify with cryptographic hashes",
+            category=2,
+            alloc_mb_s=160.0,
+            survival_frac=0.015,
+            tenure_frac=0.08,
+            young_target_mb=456,
+            observed_old_mb=18,
+            old_write_mb_s=3.0,
+            old_ws_mb=12,
+            misc_mb_s=4.0,
+            ops_per_s=3.2,
+            gc_scale=0.8,
+            tts_enforced_s=0.15,
+        ),
+        WorkloadSpec(
+            name="mpeg",
+            description="MP3 decoding",
+            category=2,
+            alloc_mb_s=60.0,
+            survival_frac=0.02,
+            tenure_frac=0.08,
+            young_target_mb=300,
+            observed_old_mb=40,
+            old_write_mb_s=3.0,
+            old_ws_mb=16,
+            misc_mb_s=3.0,
+            ops_per_s=2.5,
+            gc_scale=0.7,
+            tts_enforced_s=0.15,
+        ),
+        WorkloadSpec(
+            name="compress",
+            description="Compression by a modified Lempel-Ziv method",
+            category=2,
+            alloc_mb_s=90.0,
+            survival_frac=0.02,
+            tenure_frac=0.08,
+            young_target_mb=400,
+            observed_old_mb=25,
+            old_write_mb_s=4.0,
+            old_ws_mb=20,
+            misc_mb_s=3.0,
+            ops_per_s=1.8,
+            gc_scale=0.75,
+            tts_enforced_s=0.15,
+        ),
+        WorkloadSpec(
+            name="scimark",
+            description="Compute the LU factorization of matrices",
+            category=3,
+            alloc_mb_s=25.0,
+            survival_frac=0.15,
+            tenure_frac=0.20,
+            young_target_mb=128,
+            observed_old_mb=486,
+            old_write_mb_s=130.0,
+            old_ws_mb=140,
+            misc_mb_s=3.0,
+            ops_per_s=0.35,
+            gc_scale=0.6,
+            tts_enforced_s=0.1,
+        ),
+    ]
+}
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a workload by name; raises with the known names listed."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(REGISTRY))
+        raise ConfigurationError(f"unknown workload {name!r}; known: {known}") from None
+
+
+def workloads_in_category(category: int) -> list[WorkloadSpec]:
+    """All registered workloads of one category, by name."""
+    return sorted(
+        (spec for spec in REGISTRY.values() if spec.category == category),
+        key=lambda spec: spec.name,
+    )

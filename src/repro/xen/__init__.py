@@ -1,0 +1,19 @@
+"""Xen-style hypervisor substrate.
+
+Models the pieces of Xen 4.1 the paper's framework touches:
+
+- :class:`Domain` — a guest VM: page-granular versioned memory, vCPUs,
+  pause/resume lifecycle.
+- :class:`DirtyLog` — shadow-mode log-dirty tracking with the
+  peek-and-clear semantics the pre-copy loop relies on.
+- :class:`EventChannel` — the event-notification primitive the
+  migration daemon and the in-guest LKM communicate over.
+- :class:`Hypervisor` — a physical host that owns domains.
+"""
+
+from repro.xen.dirty_log import DirtyLog
+from repro.xen.domain import Domain
+from repro.xen.event_channel import EventChannel
+from repro.xen.hypervisor import Hypervisor
+
+__all__ = ["DirtyLog", "Domain", "EventChannel", "Hypervisor"]

@@ -1,0 +1,64 @@
+"""Physical hosts.
+
+A :class:`Hypervisor` owns domains and allocates event-channel ports.
+Two hypervisors joined by a :class:`~repro.net.link.Link` form the
+paper's testbed (two HP blades on a gigabit LAN).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, MigrationError
+from repro.net.link import Link
+from repro.xen.domain import Domain
+from repro.xen.event_channel import EventChannel
+
+
+class Hypervisor:
+    """One physical host running Xen."""
+
+    def __init__(self, name: str, mem_bytes: int = 12 << 30, cpus: int = 4) -> None:
+        self.name = name
+        self.mem_bytes = mem_bytes
+        self.cpus = cpus
+        self.domains: dict[str, Domain] = {}
+        self._next_port = 1
+
+    def create_domain(self, name: str, mem_bytes: int, vcpus: int = 4) -> Domain:
+        if name in self.domains:
+            raise ConfigurationError(f"domain {name!r} already exists on {self.name}")
+        in_use = sum(d.mem_bytes for d in self.domains.values() if d.running)
+        if in_use + mem_bytes > self.mem_bytes:
+            raise ConfigurationError(
+                f"host {self.name} cannot back a {mem_bytes >> 20} MiB domain"
+            )
+        dom = Domain(name, mem_bytes, vcpus)
+        self.domains[name] = dom
+        return dom
+
+    def adopt_domain(self, dom: Domain) -> None:
+        """Register a restored (migrated-in) domain on this host."""
+        if dom.name in self.domains:
+            raise MigrationError(
+                f"host {self.name} already has a domain named {dom.name!r}"
+            )
+        self.domains[dom.name] = dom
+
+    def remove_domain(self, name: str) -> Domain:
+        if name not in self.domains:
+            raise MigrationError(f"no domain {name!r} on host {self.name}")
+        return self.domains.pop(name)
+
+    def alloc_event_channel(self) -> EventChannel:
+        chan = EventChannel(port=self._next_port)
+        self._next_port += 1
+        return chan
+
+
+def make_testbed(
+    link: Link | None = None,
+    host_mem_bytes: int = 12 << 30,
+) -> tuple[Hypervisor, Hypervisor, Link]:
+    """The paper's testbed: two hosts and a gigabit link between them."""
+    source = Hypervisor("blade-a", host_mem_bytes)
+    dest = Hypervisor("blade-b", host_mem_bytes)
+    return source, dest, link if link is not None else Link()

@@ -1,0 +1,116 @@
+"""Domain save/restore: the non-live checkpoint path.
+
+Xen's toolstack can serialize a paused domain to a byte stream
+(``xc_domain_save``) and reconstruct it elsewhere
+(``xc_domain_restore``).  Live migration is that machinery run
+iteratively; high-availability systems like Remus run it repeatedly.
+This module implements the stream format for the simulated domains:
+
+    [magic u32] [version u16] [flags u16]
+    [name_len u16] [name bytes]
+    [mem_bytes u64] [vcpus u16] [n_records u32]
+    n_records x { [start_pfn u64] [count u32] [page versions i64 x count] }
+    [checksum u32]
+
+Records are run-length batches of consecutive PFNs, so a sparse save
+(skip-over areas omitted) stays compact.  The checksum is CRC32 over
+everything before it.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from repro.errors import MigrationError
+from repro.xen.domain import Domain
+
+_MAGIC = 0x4A41564D  # "JAVM"
+_VERSION = 1
+_HEADER = struct.Struct(">IHH")
+_NAME_LEN = struct.Struct(">H")
+_DOM_META = struct.Struct(">QHI")
+_RECORD_HEAD = struct.Struct(">QI")
+_CHECKSUM = struct.Struct(">I")
+
+
+def _runs(pfns: np.ndarray) -> list[tuple[int, int]]:
+    """Split sorted PFNs into (start, count) runs of consecutive pages."""
+    if pfns.size == 0:
+        return []
+    breaks = np.flatnonzero(np.diff(pfns) != 1) + 1
+    out = []
+    for chunk in np.split(pfns, breaks):
+        out.append((int(chunk[0]), int(chunk.size)))
+    return out
+
+
+def save_domain(domain: Domain, omit_pfns: np.ndarray | None = None) -> bytes:
+    """Serialize a paused domain; *omit_pfns* pages are left out.
+
+    Omission is the RemusDB "memory deprotection" hook: pages the
+    applications declared reproducible or unneeded are not checkpointed.
+    """
+    if not domain.paused:
+        raise MigrationError("domain must be paused to be saved")
+    keep = np.ones(domain.n_pages, dtype=bool)
+    if omit_pfns is not None and len(omit_pfns):
+        keep[np.asarray(omit_pfns, dtype=np.int64)] = False
+    pfns = np.flatnonzero(keep)
+    runs = _runs(pfns)
+
+    name_bytes = domain.name.encode("utf-8")
+    parts = [
+        _HEADER.pack(_MAGIC, _VERSION, 0),
+        _NAME_LEN.pack(len(name_bytes)),
+        name_bytes,
+        _DOM_META.pack(domain.mem_bytes, domain.vcpus, len(runs)),
+    ]
+    for start, count in runs:
+        parts.append(_RECORD_HEAD.pack(start, count))
+        versions = domain.pages.read(np.arange(start, start + count, dtype=np.int64))
+        parts.append(versions.astype(">i8").tobytes())
+    body = b"".join(parts)
+    return body + _CHECKSUM.pack(zlib.crc32(body) & 0xFFFFFFFF)
+
+
+def restore_domain(stream: bytes) -> Domain:
+    """Reconstruct a domain from a save stream; validates the checksum."""
+    if len(stream) < _HEADER.size + _CHECKSUM.size:
+        raise MigrationError("save stream truncated")
+    body, check = stream[: -_CHECKSUM.size], stream[-_CHECKSUM.size :]
+    (expected,) = _CHECKSUM.unpack(check)
+    if zlib.crc32(body) & 0xFFFFFFFF != expected:
+        raise MigrationError("save stream checksum mismatch")
+
+    off = 0
+    magic, version, _flags = _HEADER.unpack_from(body, off)
+    off += _HEADER.size
+    if magic != _MAGIC:
+        raise MigrationError(f"bad save stream magic {magic:#x}")
+    if version != _VERSION:
+        raise MigrationError(f"unsupported save stream version {version}")
+    (name_len,) = _NAME_LEN.unpack_from(body, off)
+    off += _NAME_LEN.size
+    name = body[off : off + name_len].decode("utf-8")
+    off += name_len
+    mem_bytes, vcpus, n_records = _DOM_META.unpack_from(body, off)
+    off += _DOM_META.size
+
+    domain = Domain(name, mem_bytes, vcpus)
+    domain.pause(0.0)  # restored domains start paused
+    for _ in range(n_records):
+        start, count = _RECORD_HEAD.unpack_from(body, off)
+        off += _RECORD_HEAD.size
+        versions = np.frombuffer(body, dtype=">i8", count=count, offset=off).astype(
+            np.int64
+        )
+        off += count * 8
+        if start + count > domain.n_pages:
+            raise MigrationError("save stream record out of bounds")
+        domain.install_pages(np.arange(start, start + count, dtype=np.int64), versions)
+    if off != len(body):
+        raise MigrationError("trailing bytes in save stream")
+    return domain

@@ -1,0 +1,114 @@
+"""Shared fixtures: small, fast guest stacks for unit and integration tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.guest.kernel import GuestKernel
+from repro.guest.lkm import AssistLKM
+from repro.jvm.gc_model import GcCostModel
+from repro.jvm.heap import GenerationalHeap
+from repro.jvm.hotspot import HotSpotJVM
+from repro.jvm.ti_agent import TIAgent
+from repro.net.link import Link
+from repro.sim.engine import Engine
+from repro.units import MiB
+from repro.workloads.spec import WorkloadSpec
+from repro.xen.domain import Domain
+
+#: A small, fast workload for integration tests: a 128 MiB VM migrates
+#: in well under a simulated second on the default link.
+TINY = WorkloadSpec(
+    name="tiny",
+    description="test workload",
+    category=1,
+    alloc_mb_s=40.0,
+    survival_frac=0.05,
+    tenure_frac=0.10,
+    young_target_mb=32,
+    observed_old_mb=8,
+    old_write_mb_s=2.0,
+    old_ws_mb=4,
+    misc_mb_s=1.0,
+    ops_per_s=100.0,
+    gc_scale=1.0,
+    tts_enforced_s=0.05,
+)
+
+
+@pytest.fixture
+def domain() -> Domain:
+    return Domain("test-vm", MiB(128))
+
+
+@pytest.fixture
+def kernel(domain: Domain) -> GuestKernel:
+    return GuestKernel(domain, kernel_reserved_bytes=MiB(8))
+
+
+@pytest.fixture
+def lkm(kernel: GuestKernel) -> AssistLKM:
+    return AssistLKM(kernel)
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine(dt=0.005)
+
+
+@pytest.fixture
+def link() -> Link:
+    return Link()
+
+
+def build_tiny_vm(
+    spec: WorkloadSpec = TINY,
+    mem_mb: int = 128,
+    max_young_mb: int = 32,
+    max_old_mb: int = 32,
+    kernel_reserved_mb: int = 8,
+    misc_mb: int = 4,
+    with_agent: bool = True,
+    seed: int = 1,
+    lkm_kwargs: dict | None = None,
+):
+    """A hand-rolled small guest (kernel, LKM, heap, JVM, agent)."""
+    domain = Domain("tiny-vm", MiB(mem_mb))
+    kernel = GuestKernel(
+        domain, kernel_reserved_bytes=MiB(kernel_reserved_mb), os_dirty_bytes_per_s=MiB(0.5)
+    )
+    lkm = AssistLKM(kernel, **(lkm_kwargs or {}))
+    process = kernel.spawn("tiny-java")
+    rng = np.random.default_rng(seed)
+    heap = GenerationalHeap(
+        process,
+        max_young_bytes=MiB(max_young_mb),
+        max_old_bytes=MiB(max_old_mb),
+        young_target_bytes=MiB(spec.young_target_mb or max_young_mb),
+        survival_frac=spec.survival_frac,
+        tenure_frac=spec.tenure_frac,
+        old_garbage_frac=0.9,  # keep the tiny Old generation collectable
+        cost_model=GcCostModel(scale=spec.gc_scale),
+        rng=rng,
+    )
+    heap.seed_old(MiB(spec.observed_old_mb))
+    jvm = HotSpotJVM(
+        process,
+        heap,
+        alloc_bytes_per_s=MiB(spec.alloc_mb_s),
+        ops_per_s=spec.ops_per_s,
+        old_write_bytes_per_s=MiB(spec.old_write_mb_s),
+        old_ws_bytes=MiB(spec.old_ws_mb),
+        misc_bytes_per_s=MiB(spec.misc_mb_s),
+        misc_region_bytes=MiB(misc_mb),
+        tts_enforced_s=spec.tts_enforced_s,
+        rng=rng,
+    )
+    agent = TIAgent(jvm, lkm) if with_agent else None
+    return domain, kernel, lkm, process, heap, jvm, agent
+
+
+@pytest.fixture
+def tiny_vm():
+    return build_tiny_vm()

@@ -1,0 +1,67 @@
+"""Live (runtime) engine selection — the Section-6 intelligent LKM."""
+
+import pytest
+
+from repro.core import MigrationExperiment, choose_engine_live, profile_vm
+from repro.core.builders import build_java_vm
+from repro.sim.engine import Engine
+from repro.units import GiB, MiB
+
+
+def warmed_vm(workload: str, seconds: float = 12.0, **kwargs):
+    vm = build_java_vm(workload=workload, **kwargs)
+    engine = Engine(0.005)
+    for actor in vm.actors():
+        engine.add(actor)
+    engine.run_until(seconds)
+    return vm
+
+
+def test_profile_measures_real_behaviour():
+    vm = warmed_vm("crypto")
+    profile = profile_vm(vm, 12.0)
+    # crypto's registry rate is 160 MB/s; GC pauses eat some of it.
+    assert 100 <= profile.alloc_mb_s <= 170
+    assert 0.0 <= profile.survival_frac <= 0.05
+    assert profile.young_committed_mb == pytest.approx(456, rel=0.05)
+    assert profile.old_used_mb > 10
+
+
+def test_live_decision_matches_registry_policy_for_extremes():
+    derby = warmed_vm("derby")
+    assert choose_engine_live(derby, 12.0).engine == "javmm"
+    scimark = warmed_vm("scimark")
+    assert choose_engine_live(scimark, 12.0).engine == "xen"
+
+
+def test_live_decision_reflects_observed_not_declared_behaviour():
+    # A "derby" whose real allocation rate is tiny: the live profile
+    # must override the registry's reputation and pick pre-copy.
+    from repro.workloads.spec import get_workload
+
+    quiet = get_workload("derby").with_overrides(
+        alloc_mb_s=4.0, old_write_mb_s=0.5, misc_mb_s=0.5
+    )
+    vm = warmed_vm(quiet)
+    decision = choose_engine_live(vm, 12.0)
+    assert decision.engine == "xen"
+    assert "read-intensive" in decision.reason
+
+
+def test_auto_engine_runs_javmm_for_derby():
+    result = MigrationExperiment(
+        workload="derby", engine="auto", warmup_s=12.0, cooldown_s=3.0
+    ).run()
+    assert result.engine == "javmm"
+    assert result.policy_decision is not None
+    assert result.report.verified is True
+    assert result.report.total_pages_skipped_bitmap > 0
+
+
+def test_auto_engine_runs_precopy_for_scimark():
+    result = MigrationExperiment(
+        workload="scimark", engine="auto", warmup_s=12.0, cooldown_s=3.0
+    ).run()
+    assert result.engine == "xen"
+    assert result.report.verified is True
+    assert result.report.total_pages_skipped_bitmap == 0

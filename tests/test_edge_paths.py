@@ -1,0 +1,108 @@
+"""Edge paths across newer modules: auto-profiling, hybrids, post-copy."""
+
+import numpy as np
+import pytest
+
+from repro.core.auto import ObservedProfile, profile_vm
+from repro.core.builders import build_java_vm
+from repro.errors import MigrationError
+from repro.migration.hybrid import CompressionHintMap, CompressionMethod
+from repro.migration.postcopy import PostCopyMigrator
+from repro.net.link import Link
+from repro.sim.engine import Engine
+from repro.units import GiB, MiB
+
+
+def test_profile_before_any_gc_is_well_defined():
+    vm = build_java_vm(workload="mpeg", mem_bytes=GiB(1), max_young_bytes=MiB(256))
+    profile = profile_vm(vm, 0.5)  # nothing ran yet
+    assert profile.survival_frac == 0.0
+    assert profile.gc_pause_mean_s == 0.0
+    assert profile.alloc_mb_s == 0.0
+    spec = profile.as_spec(vm.workload)
+    assert spec.name == "mpeg"
+
+
+def test_observed_profile_folds_into_spec():
+    profile = ObservedProfile(
+        alloc_mb_s=123.0,
+        survival_frac=0.07,
+        gc_pause_mean_s=0.4,
+        young_committed_mb=333.0,
+        old_used_mb=44.0,
+    )
+    from repro.workloads.spec import get_workload
+
+    spec = profile.as_spec(get_workload("derby"))
+    assert spec.alloc_mb_s == 123.0
+    assert spec.survival_frac == 0.07
+    assert spec.young_target_mb == 333
+    assert spec.observed_old_mb == 44
+
+
+def test_hint_map_defaults_and_bounds():
+    hints = CompressionHintMap(8, default=CompressionMethod.NONE)
+    payload, cpu = hints.payload_and_cpu(np.arange(8))
+    assert payload == 8 * 4096  # NONE ratio is 1.0
+    assert cpu == 0.0
+    payload, cpu = hints.payload_and_cpu(np.empty(0, dtype=np.int64))
+    assert payload == 0 and cpu == 0.0
+
+
+def test_hint_methods_roundtrip():
+    hints = CompressionHintMap(16)
+    hints.set_method(np.array([3, 5]), CompressionMethod.HEAVY)
+    got = hints.methods(np.array([3, 4, 5]))
+    assert list(got) == [3, 2, 3]  # HEAVY, default LIGHT, HEAVY
+
+
+def test_postcopy_cannot_start_twice():
+    from tests.conftest import build_tiny_vm
+
+    domain, kernel, lkm, process, heap, jvm, agent = build_tiny_vm()
+    migrator = PostCopyMigrator(domain, Link())
+    migrator.start(0.0)
+    with pytest.raises(MigrationError):
+        migrator.start(0.0)
+
+
+def test_postcopy_load_fraction_zero_when_idle():
+    from tests.conftest import build_tiny_vm
+
+    domain, kernel, lkm, process, heap, jvm, agent = build_tiny_vm()
+    migrator = PostCopyMigrator(domain, Link())
+    assert migrator.load_fraction() == 0.0
+
+
+def test_evacuation_single_vm():
+    from repro.core.evacuation import HostEvacuation, VMPlan
+
+    report = HostEvacuation(
+        [VMPlan("crypto", mem_mb=512, max_young_mb=128)], warmup_s=5.0
+    ).run()
+    assert len(report.outcomes) == 1
+    assert report.all_verified
+    # crypto at 512 MiB still dirties fast enough for the live policy
+    # to keep JAVMM.
+    assert report.outcomes[0].engine in ("javmm", "xen")
+
+
+def test_viz_stacked_bars_empty():
+    from repro.viz import stacked_bars
+
+    assert stacked_bars([]) == ""
+
+
+def test_analyzer_custom_interval():
+    from repro.sim.engine import Engine
+    from repro.workloads.analyzer import Analyzer
+    from tests.conftest import build_tiny_vm
+
+    domain, kernel, lkm, process, heap, jvm, agent = build_tiny_vm()
+    analyzer = Analyzer(jvm, interval_s=0.5)
+    engine = Engine(0.005)
+    engine.add(jvm)
+    engine.add(kernel)
+    engine.add(analyzer)
+    engine.run_until(2.0)
+    assert len(analyzer.samples) == 4

@@ -1,0 +1,63 @@
+"""The shared event-log timeline."""
+
+import pytest
+
+from repro.core import MigrationExperiment
+from repro.sim.eventlog import EventLog
+from repro.units import MiB
+
+
+def test_eventlog_basics():
+    log = EventLog()
+    log.log(1.0, "a", "first")
+    log.log(2.0, "b", "second")
+    assert len(log) == 2
+    assert [e.message for e in log.events("a")] == ["first"]
+    timeline = log.format_timeline()
+    assert "first" in timeline and "second" in timeline
+    assert timeline.index("first") < timeline.index("second")
+
+
+def test_eventlog_window_filter():
+    log = EventLog()
+    for t in range(5):
+        log.log(float(t), "x", f"e{t}")
+    windowed = log.format_timeline(start_s=1.5, end_s=3.5)
+    assert "e2" in windowed and "e3" in windowed
+    assert "e0" not in windowed and "e4" not in windowed
+    assert log.format_timeline(start_s=99.0) == "(no events)"
+
+
+def test_eventlog_capacity_bound():
+    log = EventLog(capacity=3)
+    for t in range(10):
+        log.log(float(t), "x", "m")
+    assert len(log) == 3
+    assert log.dropped == 7
+
+
+def test_migration_produces_interleaved_narrative():
+    exp = MigrationExperiment(
+        workload="crypto",
+        engine="javmm",
+        mem_bytes=MiB(512),
+        max_young_bytes=MiB(128),
+        warmup_s=3.0,
+        cooldown_s=1.0,
+    )
+    engine, vm, migrator = exp.build()
+    engine.run_until(3.0)
+    migrator.start(engine.now)
+    engine.run_while(lambda: not migrator.done, timeout=120)
+
+    sources = {e.source for e in vm.event_log.events()}
+    assert {"jvm", "lkm", "javmm"} <= sources
+    timeline = vm.event_log.format_timeline()
+    assert "MIGRATION_STARTED" in timeline
+    assert "enforced GC" in timeline
+    assert "SUSPENSION_READY" in timeline
+    assert "stop-and-copy" in timeline
+    assert "activated at destination (verified=True)" in timeline
+    # Events are time-ordered.
+    times = [e.time_s for e in vm.event_log.events()]
+    assert times == sorted(times)

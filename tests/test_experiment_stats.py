@@ -1,0 +1,50 @@
+"""Mean / 90% confidence-interval helpers (the paper's methodology)."""
+
+import pytest
+
+from repro.experiments.stats import Estimate, estimate
+
+
+def test_single_sample_has_zero_interval():
+    est = estimate([5.0])
+    assert est.mean == 5.0
+    assert est.ci90 == 0.0
+    assert str(est) == "5.00"
+
+
+def test_mean_and_interval_shape():
+    est = estimate([10.0, 12.0, 11.0])
+    assert est.mean == pytest.approx(11.0)
+    assert est.ci90 > 0
+    assert est.low < 11.0 < est.high
+    assert "±" in str(est)
+
+
+def test_tighter_with_more_samples():
+    wide = estimate([10.0, 12.0])
+    narrow = estimate([10.0, 12.0, 10.0, 12.0, 10.0, 12.0, 10.0, 12.0])
+    assert narrow.ci90 < wide.ci90
+
+
+def test_zero_variance_zero_interval():
+    est = estimate([3.0, 3.0, 3.0])
+    assert est.ci90 == 0.0
+
+
+def test_known_t_value():
+    # n=3, 90%: t(0.95, df=2) = 2.9200; sem of [1,2,3] = 1/sqrt(3).
+    est = estimate([1.0, 2.0, 3.0])
+    assert est.ci90 == pytest.approx(2.9200 * (1.0 / 3.0**0.5), rel=1e-3)
+
+
+def test_overlap_check():
+    a = estimate([10.0, 11.0, 12.0])
+    b = estimate([11.5, 12.5, 13.5])
+    c = estimate([100.0, 101.0, 102.0])
+    assert a.overlaps(b)
+    assert not a.overlaps(c)
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        estimate([])

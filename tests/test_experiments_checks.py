@@ -1,0 +1,76 @@
+"""The shape-check logic of the figure drivers, on synthetic rows.
+
+The benchmark suite exercises these against real simulations; here the
+check *logic* itself is validated: rows matching the paper must pass,
+rows that invert the paper's conclusions must fail.
+"""
+
+from repro.experiments.fig10 import CategoryRow
+from repro.experiments.fig10 import comparisons as fig10_checks
+from repro.experiments.fig12 import SweepRow
+from repro.experiments.fig12 import comparisons as fig12_checks
+from repro.experiments.scaleup import ScaleRow
+from repro.experiments.scaleup import comparisons as scaleup_checks
+
+
+def paperlike_fig10_rows():
+    return [
+        CategoryRow("derby", 66.0, 12.0, 7.0, 1.1, 9.0, 1.2),
+        CategoryRow("crypto", 40.0, 12.4, 4.5, 1.26, 4.5, 1.2),
+        CategoryRow("scimark", 30.0, 28.0, 4.0, 3.6, 1.2, 1.3),
+    ]
+
+
+def test_fig10_checks_pass_on_paper_numbers():
+    assert all(c.holds for c in fig10_checks(paperlike_fig10_rows()))
+
+
+def test_fig10_checks_fail_when_javmm_loses():
+    rows = [
+        CategoryRow("derby", 66.0, 70.0, 7.0, 8.0, 9.0, 10.0),  # javmm worse
+        CategoryRow("crypto", 40.0, 45.0, 4.5, 5.0, 4.5, 5.0),
+        CategoryRow("scimark", 30.0, 28.0, 4.0, 3.6, 1.2, 1.3),
+    ]
+    checks = fig10_checks(rows)
+    assert any(not c.holds for c in checks)
+
+
+def paperlike_fig12_rows():
+    return [
+        SweepRow("compiler", 512, 55.0, 17.0, 6.1, 1.6, 6.0, 1.2),
+        SweepRow("derby", 1024, 66.0, 12.0, 7.0, 1.1, 9.0, 1.2),
+        SweepRow("xml", 1536, 70.0, 6.3, 7.5, 0.5, 13.0, 1.2),
+    ]
+
+
+def test_fig12_checks_pass_on_paper_numbers():
+    assert all(c.holds for c in fig12_checks(paperlike_fig12_rows()))
+
+
+def test_fig12_checks_fail_when_trend_reverses():
+    rows = [
+        SweepRow("compiler", 512, 55.0, 10.0, 6.1, 1.0, 6.0, 1.2),
+        SweepRow("derby", 1024, 50.0, 20.0, 6.5, 2.0, 5.0, 1.2),
+        SweepRow("xml", 1536, 45.0, 30.0, 7.0, 4.0, 4.0, 1.2),  # javmm worse w/ young
+    ]
+    checks = fig12_checks(rows)
+    assert any(not c.holds for c in checks)
+
+
+def test_scaleup_checks_require_stable_reductions():
+    good = [
+        ScaleRow("a", 2, 1.0, 60.0, 11.0, 7.0, 1.2, 8.0, 1.0),
+        ScaleRow("b", 4, 2.5, 50.0, 9.0, 14.0, 2.3, 6.5, 0.6),
+        ScaleRow("c", 8, 10.0, 26.0, 4.6, 29.0, 4.6, 3.4, 0.5),
+    ]
+    assert all(c.holds for c in scaleup_checks(good))
+    # A scenario where the advantage collapses at scale must fail.
+    bad = good[:2] + [ScaleRow("c", 8, 10.0, 12.0, 11.0, 15.0, 14.0, 0.2, 1.0)]
+    assert any(not c.holds for c in scaleup_checks(bad))
+
+
+def test_reduction_properties():
+    row = CategoryRow("w", 100.0, 20.0, 10.0, 2.0, 8.0, 1.0)
+    assert row.time_reduction_pct == 80.0
+    assert row.traffic_reduction_pct == 80.0
+    assert row.downtime_reduction_pct == 87.5

@@ -1,0 +1,68 @@
+"""Fast smoke tests of the per-figure reproduction drivers.
+
+Full-fidelity runs live in ``benchmarks/``; here each driver is
+exercised on shortened parameters to catch wiring regressions.
+"""
+
+import pytest
+
+from repro.experiments import ablations, common, fig01, fig05, table1
+from repro.experiments.common import ascii_table, pct_reduction
+from repro.experiments.table2 import observe
+
+
+def test_pct_reduction():
+    assert pct_reduction(100.0, 25.0) == 75.0
+    assert pct_reduction(0.0, 10.0) == 0.0
+    assert pct_reduction(10.0, 15.0) == -50.0
+
+
+def test_ascii_table_alignment():
+    out = ascii_table(["a", "bbb"], [["1", "2"], ["333", "4"]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert len(set(map(len, lines))) == 1  # all rows same width
+
+
+def test_table1_rows_cover_registry():
+    specs = table1.rows()
+    assert len(specs) == 9
+    assert specs[0].name == "derby"
+
+
+def test_fig01_comparisons_shape():
+    result = common.run_migration("derby", "xen", warmup_s=5.0, cooldown_s=1.0)
+    checks = fig01.comparisons(result)
+    assert all(c.holds for c in checks), [c.metric for c in checks if not c.holds]
+    rows = fig01.rows(result)
+    assert len(rows) == result.report.n_iterations
+
+
+def test_fig05_single_workload_profile_short():
+    profile = fig05.profile_workload("crypto", duration_s=30.0)
+    assert profile.minor_gcs > 3
+    assert profile.garbage_fraction > 0.9
+    assert 0 < profile.avg_young_mb <= 1024
+    assert profile.gc_duration_s > 0
+
+
+def test_ablation_straggler_timeout_fast():
+    result = ablations.straggler_timeout(timeout_s=0.3)
+    assert result.completed
+    assert result.verified
+    assert result.timed_out_apps >= 1
+
+
+def test_ablation_policy_decisions():
+    decisions = dict(
+        (name, engine) for name, engine, _ in ablations.policy_decisions()
+    )
+    assert decisions["scimark"] == "xen"
+    assert decisions["derby"] == "javmm"
+    assert len(decisions) == 9
+
+
+def test_observe_reads_heap_state():
+    row = observe("crypto", max_young_mb=512, warmup_s=5.0)
+    assert 0 < row.observed_young_mb <= 512
+    assert row.observed_old_mb > 0

@@ -1,0 +1,114 @@
+"""Failure injection: misbehaving apps and degrading infrastructure.
+
+The framework "does require applications running in the migrating VM to
+be benign and cooperative" (Section 6) — but a *failing* application
+must never corrupt the migration, only forfeit its optimization.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.guest.lkm import LkmState
+from repro.migration.javmm import JavmmMigrator
+from repro.net.link import Link
+from repro.sim.engine import Engine
+from repro.units import MiB, mbit_per_s
+
+from tests.conftest import build_tiny_vm
+
+
+def build(lkm_kwargs=None, link=None):
+    domain, kernel, lkm, process, heap, jvm, agent = build_tiny_vm(
+        lkm_kwargs=lkm_kwargs
+    )
+    engine = Engine(0.005)
+    for actor in (jvm, kernel, lkm):
+        engine.add(actor)
+    migrator = JavmmMigrator(domain, link or Link(), lkm, jvms=[jvm])
+    engine.add(migrator)
+    return engine, domain, kernel, lkm, heap, jvm, agent, migrator
+
+
+def test_agent_detaching_mid_migration_is_safe():
+    """The JVM agent unloads after the first update: its cleared bits
+    must be conservatively restored at the final update (no reply =
+    no recoverability promise)."""
+    engine, domain, kernel, lkm, heap, jvm, agent, migrator = build(
+        lkm_kwargs={"reply_timeout_s": 0.3}
+    )
+    engine.run_until(1.0)
+    migrator.start(engine.now)
+    engine.run_until(engine.now + 0.3)  # first update done, bits cleared
+    agent.detach()  # the app is gone
+    engine.run_while(lambda: not migrator.done, timeout=240)
+    report = migrator.report
+    assert report.verified is True
+    assert report.violating_pages == 0
+    # Without a suspension reply, nothing stays skipped at the end.
+    assert report.mismatched_pages == 0
+
+
+def test_app_process_exit_mid_migration_is_safe():
+    """The whole Java process dies: its frames go back to the kernel,
+    and the freed content is dead by definition."""
+    engine, domain, kernel, lkm, heap, jvm, agent, migrator = build(
+        lkm_kwargs={"reply_timeout_s": 0.3}
+    )
+    engine.run_until(1.0)
+    migrator.start(engine.now)
+    engine.run_until(engine.now + 0.3)
+    agent.detach()
+    engine.remove(jvm)  # stop the mutator before tearing the process down
+    jvm.process.exit()
+    engine.run_while(lambda: not migrator.done, timeout=240)
+    assert migrator.report.verified is True
+    assert migrator.report.violating_pages == 0
+
+
+def test_lkm_without_timeout_waits_indefinitely_for_mute_app():
+    """Without timeouts, a mute app stalls the last iteration — the
+    unbounded-delay hazard Section 6 calls out."""
+    engine, domain, kernel, lkm, heap, jvm, agent, migrator = build()
+    # A second app that subscribes and never answers.
+    mute = kernel.spawn("mute")
+    kernel.netlink.subscribe(mute.pid, lambda m: None)
+    lkm.register_app(mute.pid, mute)
+    engine.run_until(1.0)
+    migrator.start(engine.now)
+    engine.run_until(engine.now + 30.0)
+    assert not migrator.done  # stuck waiting, exactly as the paper warns
+    assert lkm.state is LkmState.ENTERING_LAST_ITER
+
+
+def test_link_degradation_mid_migration():
+    """The link drops to 100 Mbit/s mid-migration: slower, still exact."""
+    link = Link()
+    engine, domain, kernel, lkm, heap, jvm, agent, migrator = build(link=link)
+    engine.run_until(1.0)
+    migrator.start(engine.now)
+    engine.run_until(engine.now + 0.5)
+    link.set_bandwidth(mbit_per_s(100))
+    engine.run_while(lambda: not migrator.done, timeout=600)
+    assert migrator.report.verified is True
+    assert migrator.report.violating_pages == 0
+    # The tail iterations ran at the degraded rate.
+    tail = migrator.report.iterations[-1]
+    assert tail.transfer_rate_bytes_s < mbit_per_s(120)
+
+
+def test_link_recovery_speeds_completion():
+    slow = Link(bandwidth_bytes_per_s=mbit_per_s(200))
+    engine, domain, kernel, lkm, heap, jvm, agent, migrator = build(link=slow)
+    engine.run_until(1.0)
+    migrator.start(engine.now)
+    engine.run_until(engine.now + 1.0)
+    slow.set_bandwidth(mbit_per_s(2000))  # congestion clears
+    engine.run_while(lambda: not migrator.done, timeout=600)
+    assert migrator.report.verified is True
+
+
+def test_set_bandwidth_validation():
+    link = Link()
+    with pytest.raises(ConfigurationError):
+        link.set_bandwidth(0)

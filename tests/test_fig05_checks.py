@@ -1,0 +1,66 @@
+"""Figure-5 shape-check logic on synthetic heap profiles."""
+
+from repro.experiments.fig05 import WORKLOADS, HeapProfile, comparisons
+
+
+def paperlike_profiles():
+    rows = {
+        # name: (young, old, garbage, live, gc_s, gcs)
+        "derby": (1022, 127, 807, 12.2, 1.10, 171),
+        "compiler": (1022, 126, 806, 16.4, 1.45, 153),
+        "xml": (1022, 63, 810, 8.1, 1.19, 194),
+        "sunflow": (1022, 97, 807, 12.2, 1.10, 157),
+        "serial": (698, 96, 551, 14.1, 0.71, 136),
+        "crypto": (455, 49, 362, 5.5, 0.41, 222),
+        "scimark": (128, 317, 98, 17.2, 0.15, 140),
+        "mpeg": (299, 27, 238, 4.9, 0.25, 141),
+        "compress": (399, 40, 317, 6.5, 0.35, 154),
+    }
+    out = []
+    for name in WORKLOADS:
+        young, old, garbage, live, gc_s, gcs = rows[name]
+        out.append(
+            HeapProfile(
+                workload=name,
+                avg_young_mb=young,
+                avg_old_mb=old,
+                garbage_per_gc_mb=garbage,
+                live_per_gc_mb=live,
+                garbage_fraction=garbage / (garbage + live),
+                gc_duration_s=gc_s,
+                minor_gcs=gcs,
+                gc_interval_s=600.0 / gcs,
+            )
+        )
+    return out
+
+
+def test_checks_pass_on_paperlike_profiles():
+    checks = comparisons(paperlike_profiles())
+    assert all(c.holds for c in checks), [c.metric for c in checks if not c.holds]
+
+
+def test_checks_fail_if_scimark_behaved_like_category1():
+    profiles = paperlike_profiles()
+    fixed = [
+        p if p.workload != "scimark" else HeapProfile(
+            "scimark", 1000, 50, 900, 9.0, 0.99, 1.0, 200, 3.0
+        )
+        for p in profiles
+    ]
+    checks = comparisons(fixed)
+    assert any(not c.holds for c in checks)
+
+
+def test_checks_fail_if_gc_slower_than_transfer():
+    profiles = paperlike_profiles()
+    slowed = [
+        HeapProfile(
+            p.workload, p.avg_young_mb, p.avg_old_mb, p.garbage_per_gc_mb,
+            p.live_per_gc_mb, p.garbage_fraction, p.gc_duration_s * 30,
+            p.minor_gcs, p.gc_interval_s,
+        )
+        for p in profiles
+    ]
+    checks = comparisons(slowed)
+    assert any(not c.holds for c in checks)

@@ -1,0 +1,56 @@
+"""Ablation: why G1 needs the `AreaAdded` protocol extension."""
+
+import numpy as np
+
+from repro.guest.kernel import GuestKernel
+from repro.guest.lkm import AssistLKM
+from repro.jvm.g1 import G1Agent, G1Heap, G1Runtime
+from repro.migration.assisted import AssistedMigrator
+from repro.net.link import Link
+from repro.sim.engine import Engine
+from repro.units import MiB
+from repro.xen.domain import Domain
+
+
+def migrate_g1(addition_notices: bool):
+    domain = Domain("g1-vm", MiB(128))
+    kernel = GuestKernel(domain, kernel_reserved_bytes=MiB(8))
+    lkm = AssistLKM(kernel)
+    process = kernel.spawn("g1-java")
+    heap = G1Heap(
+        process,
+        heap_bytes=MiB(48),
+        region_bytes=MiB(1),
+        young_regions_target=12,
+        rng=np.random.default_rng(8),
+    )
+    runtime = G1Runtime(process, heap, alloc_bytes_per_s=MiB(60))
+    agent = G1Agent(runtime, lkm, addition_notices=addition_notices)
+    engine = Engine(0.005)
+    for actor in (runtime, kernel, lkm):
+        engine.add(actor)
+    migrator = AssistedMigrator(domain, Link(), lkm)
+    engine.add(migrator)
+    engine.run_until(1.0)
+    migrator.start(engine.now)
+    engine.run_while(lambda: not migrator.done, timeout=240)
+    return migrator.report, heap, agent
+
+
+def test_without_addition_notices_migration_is_still_correct():
+    report, heap, agent = migrate_g1(addition_notices=False)
+    assert report.verified is True
+    assert report.violating_pages == 0
+    assert agent.add_notices == 0
+
+
+def test_addition_notices_preserve_the_skip_benefit():
+    with_notices, _, _ = migrate_g1(addition_notices=True)
+    without, _, _ = migrate_g1(addition_notices=False)
+    # Correct either way, but deferred expansion ships the churned
+    # Young regions it can no longer skip.
+    assert with_notices.total_wire_bytes < without.total_wire_bytes
+    assert (
+        with_notices.total_pages_skipped_bitmap
+        > without.total_pages_skipped_bitmap
+    )

@@ -1,0 +1,70 @@
+"""Guest kernel: frames, processes, background dirtying."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.guest.kernel import GuestKernel
+from repro.sim.engine import Engine
+from repro.units import MiB
+from repro.xen.domain import Domain
+
+
+def test_reserved_pages_not_allocatable(domain):
+    kernel = GuestKernel(domain, kernel_reserved_bytes=MiB(8))
+    pfns = kernel.alloc_frames(4)
+    assert all(p >= kernel.reserved_pages for p in pfns)
+
+
+def test_reservation_must_fit(domain):
+    with pytest.raises(ConfigurationError):
+        GuestKernel(domain, kernel_reserved_bytes=domain.mem_bytes)
+
+
+def test_allocated_or_reserved_covers_kernel_and_apps(kernel):
+    proc = kernel.spawn("app")
+    area = proc.mmap(MiB(1))
+    pfns = set(map(int, kernel.allocated_or_reserved_pfns()))
+    assert set(range(kernel.reserved_pages)) <= pfns
+    assert set(map(int, proc.write_pfns_of(area))) <= pfns
+
+
+def test_free_pfns_disjoint_from_allocated(kernel):
+    proc = kernel.spawn("app")
+    proc.mmap(MiB(1))
+    free = set(map(int, kernel.free_pfns()))
+    used = set(map(int, kernel.allocated_or_reserved_pfns()))
+    assert not free & used
+    assert len(free) + len(used) == kernel.domain.n_pages
+
+
+def test_os_housekeeping_dirties_kernel_pages(domain):
+    kernel = GuestKernel(domain, kernel_reserved_bytes=MiB(8), os_dirty_bytes_per_s=MiB(2))
+    engine = Engine(0.01)
+    engine.add(kernel)
+    domain.dirty_log.enable()
+    engine.run_until(1.0)
+    dirty = domain.dirty_log.peek()
+    assert len(dirty) > 0
+    assert all(p < kernel.reserved_pages for p in dirty)
+
+
+def test_os_housekeeping_sub_page_rates_still_dirty(domain):
+    kernel = GuestKernel(domain, kernel_reserved_bytes=MiB(8), os_dirty_bytes_per_s=1024)
+    engine = Engine(0.01)
+    engine.add(kernel)
+    domain.dirty_log.enable()
+    engine.run_until(30.0)
+    assert domain.dirty_log.count() > 0
+
+
+def test_paused_domain_stops_housekeeping(domain):
+    kernel = GuestKernel(domain, kernel_reserved_bytes=MiB(8))
+    domain.dirty_log.enable()
+    domain.pause(0.0)
+    kernel.step(0.01, 0.01)
+    assert domain.dirty_log.count() == 0
+
+
+def test_spawn_assigns_unique_pids(kernel):
+    pids = {kernel.spawn(f"p{i}").pid for i in range(5)}
+    assert len(pids) == 5

@@ -1,0 +1,99 @@
+"""Netlink multicast bus and the /proc registration entry."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.guest.netlink import NetlinkBus
+from repro.guest.procfs import ProcEntry, format_area_line
+from repro.mem.address import VARange
+
+
+def test_multicast_reaches_all_subscribers():
+    bus = NetlinkBus()
+    got_a, got_b = [], []
+    bus.subscribe(1, got_a.append)
+    bus.subscribe(2, got_b.append)
+    count = bus.multicast("hello")
+    assert count == 2
+    assert got_a == got_b == ["hello"]
+
+
+def test_multicast_with_no_subscribers():
+    bus = NetlinkBus()
+    assert bus.multicast("x") == 0
+
+
+def test_duplicate_subscribe_rejected():
+    bus = NetlinkBus()
+    bus.subscribe(1, lambda m: None)
+    with pytest.raises(ProtocolError):
+        bus.subscribe(1, lambda m: None)
+
+
+def test_unsubscribe_stops_delivery():
+    bus = NetlinkBus()
+    got = []
+    bus.subscribe(1, got.append)
+    bus.unsubscribe(1)
+    bus.multicast("x")
+    assert got == []
+    assert bus.subscriber_ids == []
+
+
+def test_send_to_kernel_routes_with_app_id():
+    bus = NetlinkBus()
+    received = []
+    bus.bind_kernel(lambda app_id, m: received.append((app_id, m)))
+    bus.subscribe(7, lambda m: None)
+    bus.send_to_kernel(7, "report")
+    assert received == [(7, "report")]
+
+
+def test_send_to_kernel_requires_subscription_and_kernel():
+    bus = NetlinkBus()
+    with pytest.raises(ProtocolError):
+        bus.send_to_kernel(1, "x")  # no kernel bound
+    bus.bind_kernel(lambda a, m: None)
+    with pytest.raises(ProtocolError):
+        bus.send_to_kernel(1, "x")  # not subscribed
+
+
+def test_traffic_logs():
+    bus = NetlinkBus()
+    bus.bind_kernel(lambda a, m: None)
+    bus.subscribe(1, lambda m: None)
+    bus.multicast("q")
+    bus.send_to_kernel(1, "r")
+    assert bus.sent_to_apps == ["q"]
+    assert bus.sent_to_kernel == [(1, "r")]
+
+
+# -- /proc entry -------------------------------------------------------------------
+
+
+def test_proc_entry_parses_lines():
+    got = []
+    entry = ProcEntry("/proc/test", lambda a, q, r: got.append((a, q, r)))
+    entry.write(format_area_line(5, 2, VARange(0x1000, 0x3000)))
+    assert got == [(5, 2, VARange(0x1000, 0x3000))]
+    assert entry.lines_written == 1
+
+
+def test_proc_entry_multiple_lines_and_blanks():
+    got = []
+    entry = ProcEntry("/proc/test", lambda a, q, r: got.append(a))
+    text = (
+        format_area_line(1, 1, VARange(0, 0x1000))
+        + "\n"
+        + format_area_line(2, 1, VARange(0x1000, 0x2000))
+    )
+    entry.write(text)
+    assert got == [1, 2]
+
+
+def test_proc_entry_rejects_garbage():
+    entry = ProcEntry("/proc/test", lambda a, q, r: None)
+    with pytest.raises(ProtocolError):
+        entry.write("not a valid line\n")
+    with pytest.raises(ProtocolError):
+        entry.write("1 2 zz-qq\n")

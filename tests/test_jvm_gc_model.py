@@ -1,0 +1,57 @@
+"""GC pause-time model."""
+
+import pytest
+
+from repro.jvm.gc_model import FullGcStats, GcCostModel, MinorGcStats
+from repro.units import GiB, MiB
+
+
+def test_minor_pause_scales_with_scanned_and_copied():
+    model = GcCostModel()
+    small = model.minor_pause(MiB(64), MiB(1))
+    large = model.minor_pause(GiB(1), MiB(1))
+    assert large > small
+    more_copy = model.minor_pause(MiB(64), MiB(32))
+    assert more_copy > small
+
+
+def test_minor_pause_has_base_floor():
+    model = GcCostModel(base_s=0.02)
+    assert model.minor_pause(0, 0) == pytest.approx(0.02)
+
+
+def test_scale_multiplies_work_not_base():
+    slow = GcCostModel(scale=2.0)
+    fast = GcCostModel(scale=1.0)
+    work_slow = slow.minor_pause(GiB(1), 0) - slow.base_s
+    work_fast = fast.minor_pause(GiB(1), 0) - fast.base_s
+    assert work_slow == pytest.approx(2.0 * work_fast)
+
+
+def test_compiler_calibration_point():
+    # "its 950MB of garbage takes 1.5 seconds to be collected"
+    model = GcCostModel(scale=1.3)
+    pause = model.minor_pause(MiB(970), MiB(20))
+    assert 1.2 <= pause <= 1.8
+
+
+def test_full_gc_calibration_point():
+    # "a full GC can take as long as 4 seconds to collect only 93MB"
+    model = GcCostModel()
+    pause = model.full_pause(MiB(100))
+    assert 3.0 <= pause <= 5.0
+
+
+def test_minor_stats_garbage_fraction():
+    stats = MinorGcStats(
+        scanned_bytes=1000, garbage_bytes=970, live_bytes=30,
+        promoted_bytes=10, survivor_bytes=20, duration_s=0.1,
+    )
+    assert stats.garbage_fraction == pytest.approx(0.97)
+    empty = MinorGcStats(0, 0, 0, 0, 0, 0.0)
+    assert empty.garbage_fraction == 0.0
+
+
+def test_full_stats_reclaimed():
+    stats = FullGcStats(old_before_bytes=1000, old_after_bytes=300, duration_s=1.0)
+    assert stats.reclaimed_bytes == 700

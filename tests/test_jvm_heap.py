@@ -1,0 +1,223 @@
+"""The generational heap: allocation, GC mechanics, resize, seeding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HeapError, OutOfMemoryError
+from repro.jvm.gc_model import GcCostModel
+from repro.jvm.heap import GenerationalHeap
+from repro.mem.address import VARange
+from repro.mem.constants import PAGE_SIZE
+from repro.units import KiB, MiB
+
+
+def make_heap(kernel, max_young=MiB(16), max_old=MiB(16), **kwargs):
+    proc = kernel.spawn("java")
+    defaults = dict(
+        initial_young_committed=max_young,
+        survival_frac=0.10,
+        tenure_frac=0.20,
+        rng=np.random.default_rng(3),
+    )
+    defaults.update(kwargs)
+    heap = GenerationalHeap(proc, max_young, max_old, **defaults)
+    return proc, heap
+
+
+def test_allocation_fills_eden_and_dirties_pages(kernel):
+    proc, heap = make_heap(kernel)
+    kernel.domain.dirty_log.enable()
+    got = heap.allocate(MiB(1))
+    assert got == MiB(1)
+    assert heap.eden_used == MiB(1)
+    assert kernel.domain.dirty_log.count() >= MiB(1) // PAGE_SIZE
+
+
+def test_allocation_short_return_at_eden_boundary(kernel):
+    proc, heap = make_heap(kernel)
+    cap = heap.eden_capacity
+    got = heap.allocate(cap + MiB(1))
+    assert got == cap
+    assert heap.needs_gc
+    assert heap.allocate(1) == 0
+
+
+def test_negative_allocation_rejected(kernel):
+    _, heap = make_heap(kernel)
+    with pytest.raises(HeapError):
+        heap.allocate(-1)
+
+
+def test_minor_gc_empties_eden_and_flips(kernel):
+    _, heap = make_heap(kernel)
+    heap.allocate(heap.eden_capacity)
+    from_before = heap.layout.from_space
+    stats = heap.perform_minor_gc()
+    assert heap.eden_used == 0
+    assert heap.layout.from_space != from_before  # labels flipped
+    assert stats.scanned_bytes == heap.eden_capacity
+    assert stats.garbage_bytes + stats.live_bytes == stats.scanned_bytes
+    assert heap.from_used == stats.survivor_bytes
+
+
+def test_minor_gc_survival_fraction_respected(kernel):
+    _, heap = make_heap(kernel, survival_frac=0.10)
+    heap.allocate(MiB(10))
+    stats = heap.perform_minor_gc()
+    assert stats.live_bytes == pytest.approx(0.10 * MiB(10), rel=0.15)
+    assert stats.garbage_fraction == pytest.approx(0.90, rel=0.05)
+
+
+def test_minor_gc_promotes_tenured_fraction(kernel):
+    _, heap = make_heap(kernel, survival_frac=0.10, tenure_frac=0.50)
+    heap.allocate(MiB(10))
+    old_before = heap.old_used
+    stats = heap.perform_minor_gc()
+    assert stats.promoted_bytes > 0
+    assert heap.old_used == old_before + stats.promoted_bytes
+    assert stats.promoted_bytes + stats.survivor_bytes == stats.live_bytes
+
+
+def test_survivor_overflow_promotes(kernel):
+    # More survivors than the To space holds: overflow goes to Old.
+    _, heap = make_heap(kernel, survival_frac=0.5, tenure_frac=0.0)
+    heap.allocate(heap.eden_capacity)
+    stats = heap.perform_minor_gc()
+    assert stats.survivor_bytes == heap.survivor_capacity
+    assert stats.promoted_bytes == stats.live_bytes - heap.survivor_capacity
+    assert heap.from_used == heap.survivor_capacity
+
+
+def test_gc_dirties_to_space_and_old(kernel):
+    _, heap = make_heap(kernel, survival_frac=0.2, tenure_frac=0.5)
+    heap.allocate(heap.eden_capacity)
+    to_space = heap.layout.to_space  # becomes From after the flip
+    kernel.domain.dirty_log.enable()
+    stats = heap.perform_minor_gc()
+    dirty = set(map(int, kernel.domain.dirty_log.peek()))
+    proc = heap.process
+    surv_pfns = proc.write_pfns_of(VARange(to_space.start, to_space.start + stats.survivor_bytes))
+    assert set(map(int, surv_pfns)) <= dirty
+
+
+def test_gc_empty_heap_is_cheap_noop(kernel):
+    _, heap = make_heap(kernel)
+    stats = heap.perform_minor_gc()
+    assert stats.scanned_bytes == 0
+    assert stats.live_bytes == 0
+    assert stats.duration_s >= 0.0
+
+
+def test_old_commit_grows_on_demand(kernel):
+    _, heap = make_heap(kernel, survival_frac=0.4, tenure_frac=1.0)
+    assert heap.old_committed == 0
+    heap.allocate(heap.eden_capacity)
+    heap.perform_minor_gc()
+    assert heap.old_committed >= heap.old_used > 0
+
+
+def test_full_gc_triggered_when_old_fills(kernel):
+    _, heap = make_heap(
+        kernel, max_old=MiB(4), survival_frac=0.1, tenure_frac=1.0, old_garbage_frac=0.8
+    )
+    for _ in range(10):
+        heap.allocate(heap.eden_capacity)
+        heap.perform_minor_gc()
+    assert heap.counters.full_gcs >= 1
+    assert heap.old_used <= heap.max_old_bytes
+
+
+def test_oom_when_old_garbage_insufficient(kernel):
+    _, heap = make_heap(
+        kernel, max_old=MiB(1), survival_frac=0.9, tenure_frac=1.0, old_garbage_frac=0.0
+    )
+    with pytest.raises(OutOfMemoryError):
+        for _ in range(20):
+            heap.allocate(heap.eden_capacity)
+            heap.perform_minor_gc()
+
+
+def test_seed_old(kernel):
+    _, heap = make_heap(kernel)
+    heap.seed_old(MiB(4))
+    assert heap.old_used == MiB(4)
+    assert heap.old_committed >= MiB(4)
+
+
+def test_seed_old_exactly_at_capacity(kernel):
+    # Regression: seeding the Old generation to exactly max_old must
+    # not trip the overflow check (xml/derby sweeps clamp to max).
+    _, heap = make_heap(kernel, max_old=MiB(8))
+    heap.seed_old(MiB(8))
+    assert heap.old_used == MiB(8)
+    assert heap.counters.full_gcs == 0
+
+
+def test_seed_survivors(kernel):
+    _, heap = make_heap(kernel)
+    heap.seed_survivors(KiB(64))
+    assert heap.from_used == KiB(64)
+    with pytest.raises(HeapError):
+        heap.seed_survivors(heap.survivor_capacity + 1)
+
+
+def test_resize_grow_commits_pages(kernel):
+    _, heap = make_heap(kernel, max_young=MiB(16), initial_young_committed=MiB(4))
+    before = heap.young_committed
+    heap.resize_young(MiB(8))
+    assert heap.young_committed == MiB(8)
+    assert heap.process.page_table.is_mapped(heap.layout.committed_range.end - PAGE_SIZE)
+    assert heap.eden_capacity > 0
+
+
+def test_resize_shrink_fires_callback_and_unmaps(kernel):
+    _, heap = make_heap(kernel, max_young=MiB(16), initial_young_committed=MiB(16))
+    freed = []
+    heap.on_young_shrunk = freed.append
+    heap.resize_young(MiB(8))
+    assert heap.young_committed == MiB(8)
+    assert len(freed) == 1
+    assert freed[0].length == MiB(8)
+    assert not heap.process.page_table.is_mapped(freed[0].start)
+
+
+def test_resize_shrink_blocked_by_survivors(kernel):
+    _, heap = make_heap(kernel, max_young=MiB(16), initial_young_committed=MiB(16))
+    heap.seed_survivors(heap.survivor_capacity)
+    with pytest.raises(HeapError):
+        heap.resize_young(MiB(1))
+
+
+def test_adaptive_growth_doubles_toward_target(kernel):
+    _, heap = make_heap(
+        kernel,
+        max_young=MiB(16),
+        initial_young_committed=MiB(2),
+        young_target_bytes=MiB(16),
+    )
+    sizes = [heap.young_committed]
+    for _ in range(4):
+        heap.allocate(heap.eden_capacity)
+        heap.perform_minor_gc()
+        sizes.append(heap.young_committed)
+    assert sizes[-1] == MiB(16)
+    assert sizes == sorted(sizes)  # monotone growth
+
+
+def test_occupied_from_range_page_aligned(kernel):
+    _, heap = make_heap(kernel)
+    heap.seed_survivors(KiB(6))  # 1.5 pages of live data
+    r = heap.occupied_from_range()
+    assert r.start == heap.layout.from_space.start
+    assert r.length == 2 * PAGE_SIZE  # rounded up: partial pages travel
+
+
+def test_counters_accumulate(kernel):
+    _, heap = make_heap(kernel)
+    heap.allocate(heap.eden_capacity)
+    heap.perform_minor_gc()
+    heap.allocate(MiB(1))
+    assert heap.counters.minor_gcs == 1
+    assert heap.counters.allocated_bytes == heap.eden_capacity + MiB(1)
+    assert heap.counters.gc_seconds > 0
+    assert len(heap.counters.minor_log) == 1

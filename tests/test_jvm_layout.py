@@ -1,0 +1,70 @@
+"""Heap layout: Eden/From/To geometry and survivor flips."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.jvm.layout import HeapLayout
+from repro.mem.address import VARange
+from repro.mem.constants import PAGE_SIZE
+from repro.units import MiB
+
+
+def make_layout(committed=MiB(10), ratio=8, max_young=MiB(64)):
+    return HeapLayout(
+        young_region=VARange(0x10000000, 0x10000000 + max_young),
+        old_region=VARange(0x20000000, 0x20000000 + MiB(64)),
+        survivor_ratio=ratio,
+        young_committed=committed,
+    )
+
+
+def test_spaces_partition_committed_young():
+    lay = make_layout()
+    assert lay.eden.length == lay.eden_bytes
+    assert lay.from_space.length == lay.survivor_bytes
+    assert lay.to_space.length == lay.survivor_bytes
+    total = lay.eden.length + lay.from_space.length + lay.to_space.length
+    assert total == lay.young_committed
+    # Contiguous: eden, then the two survivors.
+    assert lay.eden.start == lay.committed_range.start
+    assert lay.eden.end == min(lay.from_space.start, lay.to_space.start)
+
+
+def test_survivor_ratio_shape():
+    lay = make_layout(committed=MiB(10), ratio=8)
+    # Each survivor is ~1/10 of committed (8:1:1), page-aligned.
+    assert lay.survivor_bytes == (MiB(10) // 10 // PAGE_SIZE) * PAGE_SIZE
+    assert lay.eden_bytes >= 8 * lay.survivor_bytes
+
+
+def test_flip_swaps_labels_not_memory():
+    lay = make_layout()
+    from_before, to_before = lay.from_space, lay.to_space
+    lay.flip_survivors()
+    assert lay.from_space == to_before
+    assert lay.to_space == from_before
+    lay.flip_survivors()
+    assert lay.from_space == from_before
+
+
+def test_with_committed_resets_flip():
+    lay = make_layout()
+    lay.flip_survivors()
+    bigger = lay.with_committed(MiB(20))
+    assert bigger.young_committed == MiB(20)
+    assert not bigger.survivors_flipped
+    assert bigger.young_region == lay.young_region
+
+
+def test_committed_must_be_page_aligned_and_fit():
+    with pytest.raises(ConfigurationError):
+        make_layout(committed=MiB(1) + 1)
+    with pytest.raises(ConfigurationError):
+        make_layout(committed=MiB(128), max_young=MiB(64))
+    with pytest.raises(ConfigurationError):
+        HeapLayout(
+            young_region=VARange(0, MiB(64)),
+            old_region=VARange(MiB(64), MiB(128)),
+            survivor_ratio=0,
+            young_committed=MiB(8),
+        )

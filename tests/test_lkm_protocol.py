@@ -1,0 +1,194 @@
+"""LKM state machine and protocol flow (Figures 2 and 4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.guest import messages as msg
+from repro.guest.lkm import AssistLKM, LkmState
+from repro.guest.procfs import format_area_line
+from repro.mem.address import VARange
+from repro.units import MiB
+from repro.xen.event_channel import EventChannel
+
+
+class ScriptedApp:
+    """A cooperative application driven by the test."""
+
+    def __init__(self, kernel, lkm, area_bytes=MiB(4), auto_reply=True):
+        self.kernel = kernel
+        self.lkm = lkm
+        self.process = kernel.spawn("scripted")
+        self.area = self.process.mmap(area_bytes)
+        self.app_id = self.process.pid
+        self.auto_reply = auto_reply
+        self.inbox = []
+        self.leaving: tuple[VARange, ...] = ()
+        kernel.netlink.subscribe(self.app_id, self._on_msg)
+        lkm.register_app(self.app_id, self.process)
+
+    def _on_msg(self, message):
+        self.inbox.append(message)
+        if not self.auto_reply:
+            return
+        if isinstance(message, msg.SkipOverQuery):
+            self.reply_skip_areas(message.query_id)
+        elif isinstance(message, msg.PrepareSuspension):
+            self.reply_ready(message.query_id)
+
+    def reply_skip_areas(self, query_id):
+        self.lkm.proc_entry.write(format_area_line(self.app_id, query_id, self.area))
+        self.kernel.netlink.send_to_kernel(
+            self.app_id, msg.SkipAreasReply(self.app_id, query_id, 1)
+        )
+
+    def reply_ready(self, query_id, areas=None):
+        self.kernel.netlink.send_to_kernel(
+            self.app_id,
+            msg.SuspensionReadyReply(
+                self.app_id,
+                query_id,
+                areas=tuple(areas) if areas is not None else (self.area,),
+                leaving_ranges=self.leaving,
+            ),
+        )
+
+    def notify_shrink(self, ranges_left):
+        self.kernel.netlink.send_to_kernel(
+            self.app_id, msg.AreaShrunk(self.app_id, tuple(ranges_left))
+        )
+
+
+@pytest.fixture
+def wired(kernel, lkm):
+    chan = EventChannel()
+    daemon_inbox = []
+    chan.bind_daemon(daemon_inbox.append)
+    lkm.attach_event_channel(chan)
+    app = ScriptedApp(kernel, lkm)
+    return chan, daemon_inbox, app
+
+
+def test_initial_state(lkm):
+    assert lkm.state is LkmState.INITIALIZED
+    assert lkm.transfer_bitmap.count() == lkm.domain.n_pages  # all set
+
+
+def test_full_protocol_cycle(wired, lkm):
+    chan, daemon_inbox, app = wired
+    chan.send_to_guest(msg.MigrationBegin())
+    assert lkm.state is LkmState.MIGRATION_STARTED
+    assert isinstance(app.inbox[0], msg.SkipOverQuery)
+    # First update happened: the app's area bits are cleared.
+    pfns = app.process.page_table.walk(app.area)
+    assert not lkm.transfer_bitmap.test_pfns(pfns).any()
+
+    chan.send_to_guest(msg.EnterLastIter())
+    # App auto-replied, so the LKM went straight to SUSPENSION_READY.
+    assert lkm.state is LkmState.SUSPENSION_READY
+    assert isinstance(daemon_inbox[-1], msg.SuspensionReady)
+
+    chan.send_to_guest(msg.VMResumed())
+    assert lkm.state is LkmState.INITIALIZED
+    assert any(isinstance(m, msg.VMResumedNotice) for m in app.inbox)
+    # Reset for the next migration: everything transferable again.
+    assert lkm.transfer_bitmap.count() == lkm.domain.n_pages
+
+
+def test_out_of_order_daemon_messages_rejected(wired, lkm):
+    chan, _, _ = wired
+    with pytest.raises(ProtocolError):
+        chan.send_to_guest(msg.EnterLastIter())
+    with pytest.raises(ProtocolError):
+        chan.send_to_guest(msg.VMResumed())
+    chan.send_to_guest(msg.MigrationBegin())
+    with pytest.raises(ProtocolError):
+        chan.send_to_guest(msg.MigrationBegin())
+
+
+def test_lkm_waits_for_slow_app(kernel, lkm):
+    chan = EventChannel()
+    daemon_inbox = []
+    chan.bind_daemon(daemon_inbox.append)
+    lkm.attach_event_channel(chan)
+    app = ScriptedApp(kernel, lkm, auto_reply=False)
+    chan.send_to_guest(msg.MigrationBegin())
+    app.reply_skip_areas(app.inbox[0].query_id)
+    chan.send_to_guest(msg.EnterLastIter())
+    assert lkm.state is LkmState.ENTERING_LAST_ITER
+    assert daemon_inbox == []
+    # The app becomes ready later (e.g. after its GC).
+    app.reply_ready(app.inbox[-1].query_id)
+    assert lkm.state is LkmState.SUSPENSION_READY
+    assert isinstance(daemon_inbox[-1], msg.SuspensionReady)
+
+
+def test_stale_replies_ignored(wired, lkm, kernel):
+    chan, _, app = wired
+    chan.send_to_guest(msg.MigrationBegin())
+    # Duplicate / stale reply: no error, no double update.
+    before = lkm.stats.first_update_pages
+    kernel.netlink.send_to_kernel(
+        app.app_id, msg.SkipAreasReply(app.app_id, query_id=999, n_areas=0)
+    )
+    assert lkm.stats.first_update_pages == before
+
+
+def test_area_count_mismatch_rejected(kernel, lkm):
+    chan = EventChannel()
+    chan.bind_daemon(lambda m: None)
+    lkm.attach_event_channel(chan)
+    app = ScriptedApp(kernel, lkm, auto_reply=False)
+    chan.send_to_guest(msg.MigrationBegin())
+    qid = app.inbox[0].query_id
+    # Claims two areas but registered none via /proc.
+    with pytest.raises(ProtocolError):
+        kernel.netlink.send_to_kernel(
+            app.app_id, msg.SkipAreasReply(app.app_id, qid, n_areas=2)
+        )
+
+
+def test_app_with_no_areas(kernel, lkm):
+    chan = EventChannel()
+    daemon_inbox = []
+    chan.bind_daemon(daemon_inbox.append)
+    lkm.attach_event_channel(chan)
+    app = ScriptedApp(kernel, lkm, auto_reply=False)
+    chan.send_to_guest(msg.MigrationBegin())
+    qid = app.inbox[0].query_id
+    kernel.netlink.send_to_kernel(
+        app.app_id, msg.SkipAreasReply(app.app_id, qid, n_areas=0)
+    )
+    # Nothing skipped; all bits still set.
+    assert lkm.transfer_bitmap.count() == lkm.domain.n_pages
+
+
+def test_no_subscribers_short_circuits_prepare(kernel, lkm):
+    chan = EventChannel()
+    daemon_inbox = []
+    chan.bind_daemon(daemon_inbox.append)
+    lkm.attach_event_channel(chan)
+    chan.send_to_guest(msg.MigrationBegin())
+    chan.send_to_guest(msg.EnterLastIter())
+    assert lkm.state is LkmState.SUSPENSION_READY
+    assert isinstance(daemon_inbox[-1], msg.SuspensionReady)
+
+
+def test_shrink_ignored_when_no_migration(wired, lkm):
+    _, _, app = wired
+    app.notify_shrink([app.area])
+    assert lkm.stats.shrink_events == 0
+
+
+def test_unknown_app_message_rejected(kernel, lkm):
+    kernel.netlink.subscribe(999, lambda m: None)
+    with pytest.raises(ProtocolError):
+        kernel.netlink.send_to_kernel(999, "garbage")
+
+
+def test_overhead_accounting(wired, lkm):
+    chan, _, app = wired
+    chan.send_to_guest(msg.MigrationBegin())
+    # Bitmap (packed) plus 4 bytes per cached PFN.
+    pages = MiB(4) // 4096
+    assert lkm.overhead_bytes == lkm.transfer_bitmap.nbytes_packed + 4 * pages

@@ -1,0 +1,123 @@
+"""Mapping-change events inside skip-over areas (Section 3.3.4).
+
+The paper enumerates three ways a virtual page's PFN mapping can change
+without the area's VA range changing: (1) allocation (null → p),
+(2) remap (p_old → p_new), (3) swap-out (p → null), and argues
+migration stays correct for (1) while "currently assuming the absence"
+of (2) and (3).  These tests pin down the actual safety properties of
+the implementation under those events.
+"""
+
+import numpy as np
+import pytest
+
+from repro.guest import messages as msg
+from repro.migration.javmm import JavmmMigrator
+from repro.net.link import Link
+from repro.sim.engine import Engine
+from repro.units import MiB
+
+from tests.conftest import build_tiny_vm
+from tests.test_lkm_protocol import ScriptedApp
+
+
+def test_case1_allocation_into_skip_area_is_safe(kernel, lkm):
+    """null → p: a page committed into the area mid-migration.
+
+    Its transfer bit stays set until the final update, so it may be
+    unnecessarily transferred but never lost — the paper's argument.
+    """
+    from repro.xen.event_channel import EventChannel
+
+    chan = EventChannel()
+    chan.bind_daemon(lambda m: None)
+    lkm.attach_event_channel(chan)
+    app = ScriptedApp(kernel, lkm, area_bytes=MiB(1), auto_reply=False)
+    chan.send_to_guest(msg.MigrationBegin())
+    app.reply_skip_areas(app.inbox[0].query_id)
+    # The area grows by committing fresh pages (allocation).
+    grown = app.process.mmap_grow(app.area, MiB(1))
+    fresh = app.process.page_table.walk(
+        type(app.area)(app.area.end, grown.end)
+    )
+    # Bits still set: the pages would be transferred if dirtied.
+    assert lkm.transfer_bitmap.test_pfns(fresh).all()
+
+
+def test_case2_remap_inside_skip_area_remains_migration_safe():
+    """p_old → p_new: in-guest remapping of a Young-generation page.
+
+    The new frame's bit was never cleared (only p_old's was), so new
+    content is transferred; the old frame returns to the free pool whose
+    content is dead.  End-to-end migration must still verify.
+    """
+    domain, kernel, lkm, process, heap, jvm, agent = build_tiny_vm()
+    engine = Engine(0.005)
+    for actor in (jvm, kernel, lkm):
+        engine.add(actor)
+    migrator = JavmmMigrator(domain, Link(), lkm, jvms=[jvm])
+    engine.add(migrator)
+    engine.run_until(1.0)
+    migrator.start(engine.now)
+    engine.run_until(engine.now + 0.5)  # mid-migration
+
+    # Remap one Eden page onto a fresh frame (page compaction).
+    eden = heap.layout.eden
+    new_frame = kernel.alloc_frames(1)
+    old_frame = process.page_table.remap_page(eden.start, int(new_frame[0]))
+    kernel.free_frames(np.array([old_frame]))
+    domain.touch_pfns(new_frame)  # the in-guest copy dirties the target
+
+    engine.run_while(lambda: not migrator.done, timeout=120)
+    assert migrator.report.verified is True
+    assert migrator.report.violating_pages == 0
+
+
+def test_case2_remap_makes_pfn_cache_stale_but_conservative(kernel, lkm):
+    """After a remap, the cache still names p_old.
+
+    A subsequent shrink then re-enables transfer of the *old* frame —
+    harmless extra traffic — while the new frame's bit was never cleared
+    at all.  Nothing under-transfers."""
+    from repro.xen.event_channel import EventChannel
+
+    chan = EventChannel()
+    chan.bind_daemon(lambda m: None)
+    lkm.attach_event_channel(chan)
+    app = ScriptedApp(kernel, lkm, area_bytes=MiB(1), auto_reply=False)
+    chan.send_to_guest(msg.MigrationBegin())
+    app.reply_skip_areas(app.inbox[0].query_id)
+
+    va = app.area.start
+    new_frame = kernel.alloc_frames(1)
+    old_frame = app.process.page_table.remap_page(va, int(new_frame[0]))
+    # The new frame was never part of the first update: bit still set.
+    assert lkm.transfer_bitmap.test(int(new_frame[0]))
+    # Shrink notice for the remapped page: the cache answers with p_old.
+    app.notify_shrink([type(app.area)(va, va + 4096)])
+    assert lkm.transfer_bitmap.test(old_frame)
+
+
+def test_full_rewalk_final_update_handles_remaps_exactly(kernel):
+    """The paper's alternative final update re-walks the page tables,
+    so it sees post-remap reality: the new frame's bit is cleared and
+    the vanished old frame's bit is restored."""
+    from repro.guest.lkm import AssistLKM
+    from repro.xen.event_channel import EventChannel
+
+    lkm = AssistLKM(kernel, full_rewalk=True)
+    chan = EventChannel()
+    chan.bind_daemon(lambda m: None)
+    lkm.attach_event_channel(chan)
+    app = ScriptedApp(kernel, lkm, area_bytes=MiB(1), auto_reply=False)
+    chan.send_to_guest(msg.MigrationBegin())
+    app.reply_skip_areas(app.inbox[0].query_id)
+
+    va = app.area.start
+    new_frame = kernel.alloc_frames(1)
+    old_frame = app.process.page_table.remap_page(va, int(new_frame[0]))
+
+    chan.send_to_guest(msg.EnterLastIter())
+    app.reply_ready(app.inbox[-1].query_id)
+    assert not lkm.transfer_bitmap.test(int(new_frame[0]))  # now skipped
+    assert lkm.transfer_bitmap.test(old_frame)  # back to transferable

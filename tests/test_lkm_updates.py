@@ -1,0 +1,244 @@
+"""Transfer-bitmap update rules (Section 3.3.4, Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.guest import messages as msg
+from repro.guest.lkm import AssistLKM, LkmState
+from repro.mem.address import VARange
+from repro.mem.constants import PAGE_SIZE
+from repro.units import MiB
+from repro.xen.event_channel import EventChannel
+
+from tests.test_lkm_protocol import ScriptedApp
+
+
+def wire(kernel, lkm, **app_kwargs):
+    chan = EventChannel()
+    inbox = []
+    chan.bind_daemon(inbox.append)
+    lkm.attach_event_channel(chan)
+    app = ScriptedApp(kernel, lkm, **app_kwargs)
+    return chan, inbox, app
+
+
+def pfns_of(app, r):
+    return app.process.page_table.walk(r)
+
+
+def test_first_update_clears_only_fully_covered_pages(kernel, lkm):
+    chan, _, app = wire(kernel, lkm, area_bytes=MiB(1))
+    # Report an unaligned area: first and last pages only partially in.
+    app.area = VARange(app.area.start + 100, app.area.end - 100)
+    chan.send_to_guest(msg.MigrationBegin())
+    inner = pfns_of(app, VARange(app.area.start + PAGE_SIZE - 100, app.area.end - PAGE_SIZE + 100))
+    assert not lkm.transfer_bitmap.test_pfns(inner).any()
+    # The partially-covered boundary pages stay set.
+    first_page = app.process.page_table.translate(app.area.start)
+    last_page = app.process.page_table.translate(app.area.end - 1)
+    assert lkm.transfer_bitmap.test(first_page)
+    assert lkm.transfer_bitmap.test(last_page)
+
+
+def test_shrink_sets_bits_immediately(kernel, lkm):
+    chan, _, app = wire(kernel, lkm, area_bytes=MiB(2))
+    chan.send_to_guest(msg.MigrationBegin())
+    left = VARange(app.area.start, app.area.start + MiB(1))
+    left_pfns = pfns_of(app, left).copy()
+    app.notify_shrink([left])
+    assert lkm.transfer_bitmap.test_pfns(left_pfns).all()
+    assert lkm.stats.shrink_events == 1
+    assert lkm.stats.shrink_pages == len(left_pfns)
+    # Remaining area still cleared.
+    rest = pfns_of(app, VARange(left.end, app.area.end))
+    assert not lkm.transfer_bitmap.test_pfns(rest).any()
+
+
+def test_shrink_after_deallocation_uses_pfn_cache(kernel, lkm):
+    # The PFNs leave the page table before the notification arrives —
+    # exactly the case the PFN cache exists for.
+    chan, _, app = wire(kernel, lkm, area_bytes=MiB(2))
+    chan.send_to_guest(msg.MigrationBegin())
+    left = VARange(app.area.start, app.area.start + MiB(1))
+    left_pfns = pfns_of(app, left).copy()
+    app.process.munmap(left)  # frames are gone from the page table
+    app.notify_shrink([left])
+    assert lkm.transfer_bitmap.test_pfns(left_pfns).all()
+
+
+def test_expand_is_deferred_until_final_update(kernel, lkm):
+    chan, inbox, app = wire(kernel, lkm, area_bytes=MiB(1), auto_reply=False)
+    chan.send_to_guest(msg.MigrationBegin())
+    app.reply_skip_areas(app.inbox[0].query_id)
+    # The area grows mid-migration; no notification is sent (by design).
+    grown = app.process.mmap_grow(app.area, MiB(1))
+    new_space = VARange(app.area.end, grown.end)
+    new_pfns = pfns_of(app, new_space)
+    assert lkm.transfer_bitmap.test_pfns(new_pfns).all()  # still set
+
+    chan.send_to_guest(msg.EnterLastIter())
+    app.area = grown
+    app.reply_ready(app.inbox[-1].query_id)
+    # Final update cleared the expanded space.
+    assert not lkm.transfer_bitmap.test_pfns(new_pfns).any()
+    assert lkm.stats.expand_pages_final == len(new_pfns)
+
+
+def test_final_update_handles_shrunk_space_without_notice(kernel, lkm):
+    # An area that shrank but (contrary to the protocol) never notified:
+    # the final update still sets the bits from the cache.
+    chan, _, app = wire(kernel, lkm, area_bytes=MiB(2), auto_reply=False)
+    chan.send_to_guest(msg.MigrationBegin())
+    app.reply_skip_areas(app.inbox[0].query_id)
+    lower_half = VARange(app.area.start, app.area.start + MiB(1))
+    upper_half = VARange(lower_half.end, app.area.end)
+    upper_pfns = pfns_of(app, upper_half).copy()
+    chan.send_to_guest(msg.EnterLastIter())
+    app.reply_ready(app.inbox[-1].query_id, areas=[lower_half])
+    assert lkm.transfer_bitmap.test_pfns(upper_pfns).all()
+
+
+def test_leaving_ranges_set_bits_in_final_update(kernel, lkm):
+    # JAVMM's occupied From space: inside the area, but must be sent.
+    chan, _, app = wire(kernel, lkm, area_bytes=MiB(2), auto_reply=False)
+    chan.send_to_guest(msg.MigrationBegin())
+    app.reply_skip_areas(app.inbox[0].query_id)
+    survivors = VARange(app.area.start + MiB(1), app.area.start + MiB(1) + 8 * PAGE_SIZE)
+    surv_pfns = pfns_of(app, survivors).copy()
+    chan.send_to_guest(msg.EnterLastIter())
+    app.leaving = (survivors,)
+    app.reply_ready(app.inbox[-1].query_id)
+    assert lkm.transfer_bitmap.test_pfns(surv_pfns).all()
+    assert lkm.stats.leaving_pages_final == len(surv_pfns)
+    # The LKM's memory of the area now excludes the leaving range, so
+    # verification will not excuse those pages.
+    record = lkm.app_records()[0]
+    assert all(not area.overlaps(survivors) for area in record.areas)
+
+
+def test_full_rewalk_mode_equivalent_results(kernel):
+    lkm = AssistLKM(kernel, full_rewalk=True)
+    chan, inbox, app = wire(kernel, lkm, area_bytes=MiB(1), auto_reply=False)
+    chan.send_to_guest(msg.MigrationBegin())
+    app.reply_skip_areas(app.inbox[0].query_id)
+    grown = app.process.mmap_grow(app.area, MiB(1))
+    new_pfns = pfns_of(app, VARange(app.area.end, grown.end))
+    chan.send_to_guest(msg.EnterLastIter())
+    app.area = grown
+    app.reply_ready(app.inbox[-1].query_id)
+    assert not lkm.transfer_bitmap.test_pfns(new_pfns).any()
+    # The re-walk pays a modelled cost far above the incremental mode.
+    assert lkm.stats.final_update_seconds > 1e-4
+
+
+def test_final_update_duration_within_paper_envelope(kernel, lkm):
+    # "The final bitmap update is completed quickly, within 300 us".
+    chan, inbox, app = wire(kernel, lkm, area_bytes=MiB(4), auto_reply=False)
+    chan.send_to_guest(msg.MigrationBegin())
+    app.reply_skip_areas(app.inbox[0].query_id)
+    chan.send_to_guest(msg.EnterLastIter())
+    app.leaving = (VARange(app.area.start, app.area.start + MiB(1)),)
+    app.reply_ready(app.inbox[-1].query_id)
+    ready = [m for m in inbox if isinstance(m, msg.SuspensionReady)]
+    assert ready and ready[0].final_update_seconds < 300e-6
+
+
+def test_timeout_on_skip_query(kernel):
+    lkm = AssistLKM(kernel, reply_timeout_s=0.5)
+    chan, _, app = wire(kernel, lkm, auto_reply=False)
+    lkm.step(0.0, 0.005)
+    chan.send_to_guest(msg.MigrationBegin())
+    lkm.step(0.6, 0.005)  # past the deadline
+    assert lkm.stats.timed_out_apps == 1
+    # Nothing was cleared for the mute app.
+    assert lkm.transfer_bitmap.count() == lkm.domain.n_pages
+
+
+def test_timeout_on_prepare_restores_areas(kernel):
+    # An app that reported areas but never prepares: its cleared bits
+    # must be restored, otherwise live data could be skipped.
+    lkm = AssistLKM(kernel, reply_timeout_s=0.5)
+    chan = EventChannel()
+    inbox = []
+    chan.bind_daemon(inbox.append)
+    lkm.attach_event_channel(chan)
+    app = ScriptedApp(kernel, lkm, auto_reply=False)
+    lkm.step(0.0, 0.005)
+    chan.send_to_guest(msg.MigrationBegin())
+    app.reply_skip_areas(app.inbox[0].query_id)
+    area_pfns = pfns_of(app, app.area).copy()
+    assert not lkm.transfer_bitmap.test_pfns(area_pfns).any()
+    chan.send_to_guest(msg.EnterLastIter())
+    lkm.step(1.0, 0.005)  # deadline passes with no reply
+    assert lkm.state is LkmState.SUSPENSION_READY
+    assert lkm.transfer_bitmap.test_pfns(area_pfns).all()
+    assert isinstance(inbox[-1], msg.SuspensionReady)
+
+
+def test_multiple_apps_coordinate_independently(kernel, lkm):
+    chan = EventChannel()
+    inbox = []
+    chan.bind_daemon(inbox.append)
+    lkm.attach_event_channel(chan)
+    a = ScriptedApp(kernel, lkm, area_bytes=MiB(1), auto_reply=False)
+    b = ScriptedApp(kernel, lkm, area_bytes=MiB(2), auto_reply=False)
+    chan.send_to_guest(msg.MigrationBegin())
+    a.reply_skip_areas(a.inbox[0].query_id)
+    b.reply_skip_areas(b.inbox[0].query_id)
+    a_pfns, b_pfns = pfns_of(a, a.area), pfns_of(b, b.area)
+    assert not lkm.transfer_bitmap.test_pfns(a_pfns).any()
+    assert not lkm.transfer_bitmap.test_pfns(b_pfns).any()
+
+    chan.send_to_guest(msg.EnterLastIter())
+    a.reply_ready(a.inbox[-1].query_id)
+    assert lkm.state is LkmState.ENTERING_LAST_ITER  # still waiting on b
+    b.reply_ready(b.inbox[-1].query_id)
+    assert lkm.state is LkmState.SUSPENSION_READY
+
+
+def test_reset_after_resume_clears_pfn_cache(kernel, lkm):
+    chan, _, app = wire(kernel, lkm)
+    chan.send_to_guest(msg.MigrationBegin())
+    record = lkm.app_records()[0]
+    assert len(record.cache) > 0
+    chan.send_to_guest(msg.EnterLastIter())
+    chan.send_to_guest(msg.VMResumed())
+    assert len(record.cache) == 0
+    assert record.areas == []
+
+
+def test_per_app_pfn_caches_do_not_collide(kernel, lkm):
+    # Two apps with the SAME virtual addresses (every HotSpot maps its
+    # heap at the same base): their caches must stay separate, or one
+    # app's final update would set/clear bits for the other's frames.
+    chan = EventChannel()
+    chan.bind_daemon(lambda m: None)
+    lkm.attach_event_channel(chan)
+    a = ScriptedApp(kernel, lkm, area_bytes=MiB(1), auto_reply=False)
+    b = ScriptedApp(kernel, lkm, area_bytes=MiB(1), auto_reply=False)
+    # Force identical VA ranges (different PFNs underneath).
+    assert a.area == b.area
+    chan.send_to_guest(msg.MigrationBegin())
+    a.reply_skip_areas(a.inbox[0].query_id)
+    b.reply_skip_areas(b.inbox[0].query_id)
+    a_pfns = set(map(int, pfns_of(a, a.area)))
+    b_pfns = set(map(int, pfns_of(b, b.area)))
+    assert not a_pfns & b_pfns
+    rec_a = next(r for r in lkm.app_records() if r.app_id == a.app_id)
+    rec_b = next(r for r in lkm.app_records() if r.app_id == b.app_id)
+    assert set(map(int, rec_a.cache.peek_range(a.area))) == a_pfns
+    assert set(map(int, rec_b.cache.peek_range(b.area))) == b_pfns
+    chan.send_to_guest(msg.EnterLastIter())
+    # Only b declares its lower half as leaving (same VAs as a's!).
+    half = VARange(b.area.start, b.area.start + MiB(1) // 2)
+    b_half_pfns = pfns_of(b, half).copy()
+    b.leaving = (half,)
+    a.reply_ready(a.inbox[-1].query_id)
+    b.reply_ready(b.inbox[-1].query_id)
+    import numpy as np
+
+    # b's leaving pages are marked for transfer...
+    assert lkm.transfer_bitmap.test_pfns(b_half_pfns).all()
+    # ...while a's pages at the SAME virtual addresses stay skipped.
+    a_arr = np.asarray(sorted(a_pfns), dtype=np.int64)
+    assert not lkm.transfer_bitmap.test_pfns(a_arr).any()

@@ -1,0 +1,110 @@
+"""VA ranges and the paper's page-alignment rules (Section 3.3.2)."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.mem.address import VARange, coalesce, page_span_inner, page_span_outer
+from repro.mem.constants import PAGE_SIZE
+
+
+def test_basic_properties():
+    r = VARange(0x1000, 0x3000)
+    assert r.length == 0x2000
+    assert not r.empty
+    assert r.contains(0x1000)
+    assert r.contains(0x2FFF)
+    assert not r.contains(0x3000)
+
+
+def test_malformed_ranges_rejected():
+    with pytest.raises(AddressError):
+        VARange(0x2000, 0x1000)
+    with pytest.raises(AddressError):
+        VARange(-1, 0x1000)
+
+
+def test_empty_range():
+    r = VARange(0x1000, 0x1000)
+    assert r.empty
+    assert r.length == 0
+
+
+def test_intersection_and_overlap():
+    a = VARange(0x1000, 0x5000)
+    b = VARange(0x3000, 0x8000)
+    assert a.intersection(b) == VARange(0x3000, 0x5000)
+    assert a.overlaps(b)
+    c = VARange(0x8000, 0x9000)
+    assert not a.overlaps(c)
+    assert a.intersection(c).empty
+
+
+def test_contains_range():
+    outer = VARange(0x1000, 0x9000)
+    assert outer.contains_range(VARange(0x2000, 0x3000))
+    assert outer.contains_range(outer)
+    assert not outer.contains_range(VARange(0x0, 0x2000))
+    # Empty ranges are trivially contained.
+    assert outer.contains_range(VARange(0xFFFF0000, 0xFFFF0000))
+
+
+def test_subtract_middle_splits_in_two():
+    r = VARange(0x1000, 0x9000)
+    pieces = r.subtract(VARange(0x3000, 0x5000))
+    assert pieces == [VARange(0x1000, 0x3000), VARange(0x5000, 0x9000)]
+
+
+def test_subtract_edges_and_disjoint():
+    r = VARange(0x1000, 0x9000)
+    assert r.subtract(VARange(0x1000, 0x3000)) == [VARange(0x3000, 0x9000)]
+    assert r.subtract(VARange(0x5000, 0x9000)) == [VARange(0x1000, 0x5000)]
+    assert r.subtract(VARange(0xA000, 0xB000)) == [r]
+    assert r.subtract(r) == []
+
+
+def test_inner_span_shrinks_to_fully_covered_pages():
+    # The LKM's rule: only pages fully inside the area may be skipped.
+    r = VARange(PAGE_SIZE // 2, 3 * PAGE_SIZE + PAGE_SIZE // 2)
+    first, end = page_span_inner(r)
+    assert (first, end) == (1, 3)
+
+
+def test_inner_span_aligned_range_is_identity():
+    r = VARange(2 * PAGE_SIZE, 5 * PAGE_SIZE)
+    assert page_span_inner(r) == (2, 5)
+
+
+def test_inner_span_subpage_range_is_empty():
+    r = VARange(PAGE_SIZE + 1, 2 * PAGE_SIZE - 1)
+    first, end = page_span_inner(r)
+    assert first == end
+
+
+def test_outer_span_covers_touched_pages():
+    r = VARange(PAGE_SIZE // 2, 3 * PAGE_SIZE + 1)
+    assert page_span_outer(r) == (0, 4)
+
+
+def test_outer_span_of_empty_range_is_empty():
+    r = VARange(5 * PAGE_SIZE, 5 * PAGE_SIZE)
+    first, end = page_span_outer(r)
+    assert first == end == 5
+
+
+def test_coalesce_merges_adjacent_and_overlapping():
+    merged = coalesce(
+        [
+            VARange(0x5000, 0x6000),
+            VARange(0x1000, 0x2000),
+            VARange(0x2000, 0x3000),  # adjacent to the first
+            VARange(0x1800, 0x2800),  # overlapping
+            VARange(0x7000, 0x7000),  # empty, dropped
+        ]
+    )
+    assert merged == [VARange(0x1000, 0x3000), VARange(0x5000, 0x6000)]
+
+
+def test_ranges_are_ordered_and_hashable():
+    a, b = VARange(0x1000, 0x2000), VARange(0x3000, 0x4000)
+    assert a < b
+    assert len({a, b, VARange(0x1000, 0x2000)}) == 2

@@ -1,0 +1,75 @@
+"""Guest frame allocator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, FrameExhausted
+from repro.mem.frame_alloc import FrameAllocator
+
+
+def test_alloc_returns_requested_count():
+    fa = FrameAllocator(range(100, 120))
+    got = fa.alloc(5)
+    assert len(got) == 5
+    assert fa.free_frames == 15
+    assert fa.allocated_frames == 5
+    assert all(fa.is_allocated(p) for p in got)
+
+
+def test_low_pfns_first():
+    fa = FrameAllocator(range(10, 20))
+    assert list(fa.alloc(3)) == [10, 11, 12]
+
+
+def test_exhaustion_raises():
+    fa = FrameAllocator(range(4))
+    fa.alloc(4)
+    with pytest.raises(FrameExhausted):
+        fa.alloc(1)
+
+
+def test_free_recycles_lifo():
+    fa = FrameAllocator(range(8))
+    got = fa.alloc(3)
+    fa.free(got[:1])
+    again = fa.alloc(1)
+    # The freed frame comes back first (LIFO reuse-after-free hazard).
+    assert again[0] == got[0]
+
+
+def test_double_free_rejected():
+    fa = FrameAllocator(range(8))
+    got = fa.alloc(1)
+    fa.free(got)
+    with pytest.raises(ConfigurationError):
+        fa.free(got)
+
+
+def test_foreign_free_rejected():
+    fa = FrameAllocator(range(8))
+    with pytest.raises(ConfigurationError):
+        fa.free(np.array([999]))
+
+
+def test_duplicate_pool_rejected():
+    with pytest.raises(ConfigurationError):
+        FrameAllocator(np.array([1, 1, 2]))
+
+
+def test_negative_alloc_rejected():
+    fa = FrameAllocator(range(8))
+    with pytest.raises(ConfigurationError):
+        fa.alloc(-1)
+
+
+def test_allocated_and_free_views():
+    fa = FrameAllocator(range(6))
+    got = fa.alloc(2)
+    assert list(fa.allocated_pfns()) == sorted(got)
+    assert len(fa.free_pfns()) == 4
+    assert set(fa.free_pfns()) | set(fa.allocated_pfns()) == set(range(6))
+
+
+def test_zero_alloc_is_fine():
+    fa = FrameAllocator(range(4))
+    assert len(fa.alloc(0)) == 0

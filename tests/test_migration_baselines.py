@@ -1,0 +1,125 @@
+"""Related-work baselines: each pays its characteristic cost."""
+
+import pytest
+
+from repro.migration.baselines import (
+    CompressedPrecopyMigrator,
+    FreePageSkipMigrator,
+    StopAndCopyMigrator,
+    ThrottledPrecopyMigrator,
+)
+from repro.migration.precopy import PrecopyMigrator
+from repro.net.link import Link
+from repro.sim.engine import Engine
+from repro.units import MiB
+
+from tests.conftest import build_tiny_vm
+
+
+def run_engine(migrator_factory, warmup=1.0, timeout=300.0, mem_mb=128):
+    domain, kernel, lkm, process, heap, jvm, agent = build_tiny_vm(mem_mb=mem_mb)
+    engine = Engine(0.005)
+    for actor in (jvm, kernel, lkm):
+        engine.add(actor)
+    migrator = migrator_factory(domain, kernel, jvm)
+    engine.add(migrator)
+    engine.run_until(warmup)
+    migrator.start(engine.now)
+    engine.run_while(lambda: not migrator.done, timeout=timeout)
+    return migrator.report, domain, kernel, jvm, migrator
+
+
+def test_vanilla_reference():
+    report, *_ = run_engine(lambda d, k, j: PrecopyMigrator(d, Link()))
+    assert report.verified is True
+
+
+def test_throttled_restores_rates_and_slows_dirtying():
+    saved = {}
+
+    def factory(d, k, j):
+        saved["alloc"] = j.alloc_bytes_per_s
+        saved["jvm"] = j
+        return ThrottledPrecopyMigrator(d, Link(), jvms=[j], throttle_factor=0.25)
+
+    report, domain, kernel, jvm, migrator = run_engine(factory)
+    assert report.verified is True
+    # Rates restored after migration.
+    assert jvm.alloc_bytes_per_s == saved["alloc"]
+    # Throttling converges to the small-remainder stop rule.
+    assert "below threshold" in report.stop_reason or "cap" in report.stop_reason
+
+
+def test_throttle_factor_validated():
+    domain, kernel, lkm, process, heap, jvm, agent = build_tiny_vm()
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        ThrottledPrecopyMigrator(domain, Link(), jvms=[jvm], throttle_factor=0.0)
+
+
+def test_compression_sends_fewer_wire_bytes_but_more_cpu():
+    plain, *_ = run_engine(lambda d, k, j: PrecopyMigrator(d, Link()))
+    compressed, *_ = run_engine(
+        lambda d, k, j: CompressedPrecopyMigrator(d, Link(), compression_ratio=0.45)
+    )
+    assert compressed.verified is True
+    # Wire bytes per page reflect the ratio.
+    wire_per_page = compressed.total_wire_bytes / compressed.total_pages_sent
+    assert wire_per_page < 0.6 * 4096
+    assert compressed.cpu_seconds > plain.cpu_seconds
+
+
+def test_compression_ratio_validated():
+    domain, *_ = build_tiny_vm()
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        CompressedPrecopyMigrator(domain, Link(), compression_ratio=1.5)
+
+
+def test_compressor_throughput_bounds_transfer():
+    # A slow compressor dominates: effective rate ≈ compressor rate.
+    report, *_ = run_engine(
+        lambda d, k, j: CompressedPrecopyMigrator(
+            d, Link(), compression_ratio=0.5, compressor_bytes_per_s=MiB(20)
+        ),
+        timeout=600,
+    )
+    first = report.iterations[0]
+    payload_rate = first.bytes_sent / first.duration_s
+    assert payload_rate < MiB(25)
+
+
+def test_free_page_skip_on_mostly_empty_guest():
+    # Paper: "only in lightly-loaded VMs we may find a considerable
+    # number of free pages to be skipped".
+    report, domain, kernel, jvm, migrator = run_engine(
+        lambda d, k, j: FreePageSkipMigrator(d, Link(), kernel=k), mem_mb=256
+    )
+    assert report.verified is True
+    assert report.violating_pages == 0
+    # The guest uses well under half of its 256 MiB; lots skipped.
+    assert report.total_pages_skipped_bitmap > domain.n_pages * 0.3
+    assert report.iterations[0].pages_sent < domain.n_pages
+
+
+def test_free_page_skip_faster_than_vanilla_on_idle_vm():
+    plain, *_ = run_engine(lambda d, k, j: PrecopyMigrator(d, Link()), mem_mb=256)
+    skipping, *_ = run_engine(
+        lambda d, k, j: FreePageSkipMigrator(d, Link(), kernel=k), mem_mb=256
+    )
+    assert skipping.completion_time_s < plain.completion_time_s
+    assert skipping.total_wire_bytes < plain.total_wire_bytes
+
+
+def test_stop_and_copy_downtime_equals_completion():
+    report, domain, *_ = run_engine(lambda d, k, j: StopAndCopyMigrator(d, Link()))
+    assert report.verified is True
+    assert report.n_iterations == 1
+    assert report.iterations[0].is_last
+    # Non-live: the whole migration is downtime.
+    assert report.downtime.vm_downtime_s == pytest.approx(
+        report.completion_time_s, abs=0.05
+    )
+    assert report.iterations[0].pages_sent == domain.n_pages

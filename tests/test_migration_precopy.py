@@ -1,0 +1,135 @@
+"""Vanilla pre-copy: iteration mechanics, stop rules, correctness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MigrationError
+from repro.migration.precopy import MigrationPhase, PrecopyMigrator
+from repro.net.link import Link
+from repro.sim.engine import Engine
+from repro.units import MiB
+
+from tests.conftest import build_tiny_vm
+
+
+def setup_migration(mem_mb=128, link=None, migrator_cls=PrecopyMigrator, **mig_kwargs):
+    domain, kernel, lkm, process, heap, jvm, agent = build_tiny_vm(mem_mb=mem_mb)
+    engine = Engine(0.005)
+    for actor in (jvm, kernel, lkm):
+        engine.add(actor)
+    migrator = migrator_cls(domain, link or Link(), **mig_kwargs)
+    engine.add(migrator)
+    return engine, domain, kernel, jvm, migrator
+
+
+def run_to_done(engine, migrator, warmup=1.0, timeout=120.0):
+    engine.run_until(warmup)
+    migrator.start(engine.now)
+    engine.run_while(lambda: not migrator.done, timeout=timeout)
+    return migrator.report
+
+
+def test_idle_vm_migrates_in_one_pass_plus_short_stop():
+    # With only OS housekeeping dirtying, pre-copy converges quickly.
+    domain, kernel, lkm, process, heap, jvm, agent = build_tiny_vm()
+    engine = Engine(0.005)
+    engine.add(kernel)  # no JVM: a quiet guest
+    migrator = PrecopyMigrator(domain, Link())
+    engine.add(migrator)
+    report = run_to_done(engine, migrator)
+    assert report.verified is True
+    assert report.violating_pages == 0
+    assert report.iterations[0].pages_sent > 0
+    assert report.downtime.vm_downtime_s < 1.0
+    assert "below threshold" in report.stop_reason
+
+
+def test_first_iteration_sends_all_pages():
+    engine, domain, kernel, jvm, migrator = setup_migration()
+    report = run_to_done(engine, migrator)
+    first = report.iterations[0]
+    # Everything is either sent or skipped-as-redirtied.
+    assert first.pages_sent + first.pages_skipped_dirty == domain.n_pages
+
+
+def test_busy_vm_full_equality_at_destination():
+    engine, domain, kernel, jvm, migrator = setup_migration()
+    report = run_to_done(engine, migrator)
+    assert report.verified is True
+    assert report.mismatched_pages == 0  # vanilla must match everywhere
+    assert migrator.dest_domain.pages.mismatches(domain.pages).size == 0
+
+
+def test_domain_paused_only_for_last_iteration():
+    engine, domain, kernel, jvm, migrator = setup_migration()
+    report = run_to_done(engine, migrator)
+    assert not domain.paused  # resumed at the end
+    last = report.last_iteration
+    assert last.is_last
+    assert domain.paused_seconds == pytest.approx(
+        last.duration_s + migrator.resume_delay_s, abs=0.05
+    )
+
+
+def test_iteration_cap_stop_rule():
+    engine, domain, kernel, jvm, migrator = setup_migration(
+        max_iterations=3, max_factor=100.0
+    )
+    report = run_to_done(engine, migrator)
+    assert "iteration cap" in report.stop_reason
+    # 3 live iterations + stop-and-copy.
+    assert report.n_iterations == 4
+
+
+def test_traffic_cap_stop_rule():
+    # A slow link against a busy guest trips the traffic factor.
+    engine, domain, kernel, jvm, migrator = setup_migration(
+        link=Link(bandwidth_bytes_per_s=MiB(30)), max_factor=1.5
+    )
+    report = run_to_done(engine, migrator, timeout=300)
+    assert "traffic cap" in report.stop_reason
+    assert report.total_wire_bytes >= 1.5 * domain.mem_bytes
+
+
+def test_redirtied_pages_are_skipped_not_sent_twice_in_one_iteration():
+    engine, domain, kernel, jvm, migrator = setup_migration()
+    report = run_to_done(engine, migrator)
+    assert report.total_pages_skipped_dirty > 0
+    assert report.total_pages_skipped_bitmap == 0  # vanilla has no bitmap
+
+
+def test_cannot_start_twice():
+    engine, domain, kernel, jvm, migrator = setup_migration()
+    engine.run_until(0.5)
+    migrator.start(engine.now)
+    with pytest.raises(MigrationError):
+        migrator.start(engine.now)
+
+
+def test_load_fraction_reflects_activity():
+    engine, domain, kernel, jvm, migrator = setup_migration()
+    assert migrator.load_fraction() == 0.0
+    engine.run_until(0.5)
+    migrator.start(engine.now)
+    engine.step()
+    assert migrator.load_fraction() > 0.5  # first iteration: line rate
+    engine.run_while(lambda: not migrator.done, timeout=120)
+    assert migrator.load_fraction() == 0.0
+
+
+def test_report_totals_consistent():
+    engine, domain, kernel, jvm, migrator = setup_migration()
+    report = run_to_done(engine, migrator)
+    assert report.total_pages_sent == sum(r.pages_sent for r in report.iterations)
+    assert report.total_wire_bytes == migrator.link.meter.wire_bytes
+    assert report.completion_time_s > 0
+    assert report.cpu_seconds > 0
+    # Wire bytes exceed payload (per-page overhead).
+    assert report.total_wire_bytes > report.total_pages_sent * 4096
+
+
+def test_dirtying_rate_recorded_per_iteration():
+    engine, domain, kernel, jvm, migrator = setup_migration()
+    report = run_to_done(engine, migrator)
+    mid = [r for r in report.iterations if not r.is_last and r.duration_s > 0.1]
+    assert any(r.dirtying_rate_bytes_s > 0 for r in mid)

@@ -1,0 +1,102 @@
+"""Remus-style replication with RemusDB memory deprotection."""
+
+import numpy as np
+import pytest
+
+from repro.guest import messages as msg
+from repro.migration.remus import RemusReplicator
+from repro.net.link import Link
+from repro.sim.engine import Engine
+from repro.units import MiB
+
+from tests.conftest import build_tiny_vm
+
+
+def build_replicated(
+    with_deprotection: bool,
+    seconds: float = 3.0,
+    epoch_s: float = 0.2,
+    stop: bool = True,
+):
+    domain, kernel, lkm, process, heap, jvm, agent = build_tiny_vm()
+    engine = Engine(0.005)
+    for actor in (jvm, kernel, lkm):
+        engine.add(actor)
+    replicator = RemusReplicator(
+        domain, Link(), epoch_s=epoch_s, lkm=lkm if with_deprotection else None
+    )
+    engine.add(replicator)
+    # Let the heap reach its steady-state Young size first: skip-over
+    # areas registered before growth would miss the expansion (the
+    # protocol defers expansion handling to a final update replication
+    # never performs).
+    engine.run_until(2.5)
+    if with_deprotection:
+        # Deprotection reuses the migration protocol's first update:
+        # ask the applications for their skip-over areas.
+        from repro.xen.event_channel import EventChannel
+
+        chan = EventChannel()
+        chan.bind_daemon(lambda m: None)
+        lkm.attach_event_channel(chan)
+        chan.send_to_guest(msg.MigrationBegin())
+    engine.run_until(3.0)
+    replicator.start(engine.now)
+    engine.run_until(engine.now + seconds)
+    if stop:
+        replicator.stop(engine.now)
+    return replicator, engine, (domain, kernel, lkm, heap, jvm)
+
+
+def test_epoch_cadence():
+    replicator, _, _ = build_replicated(with_deprotection=False, seconds=2.0, epoch_s=0.25)
+    # Initial full checkpoint + one every 0.25 s (pauses stretch the wall
+    # clock a little, so allow one epoch of slack).
+    assert 6 <= len(replicator.report.epochs) <= 10
+
+
+def test_first_epoch_is_full_checkpoint():
+    replicator, _, (domain, *_) = build_replicated(with_deprotection=False, seconds=1.0)
+    assert replicator.report.epochs[0].pages_sent == domain.n_pages
+
+
+def test_backup_tracks_primary_outside_skip_areas():
+    replicator, engine, (domain, kernel, lkm, heap, jvm) = build_replicated(
+        with_deprotection=True, seconds=3.0, stop=False
+    )
+    from repro.migration.verify import verify_migration
+
+    # One more sync while replication is still live: the backup must
+    # then match the primary everywhere except the deprotected
+    # (skip-over) areas and free pages.
+    if domain.paused:
+        domain.unpause(engine.now)
+        replicator._paused_until = None
+    replicator._checkpoint(engine.now, domain.dirty_log.peek_and_clear())
+    result = verify_migration(domain, replicator.backup, kernel, lkm)
+    assert result.ok
+
+
+def test_deprotection_shrinks_checkpoints():
+    plain, _, _ = build_replicated(with_deprotection=False, seconds=3.0)
+    deprotected, _, _ = build_replicated(with_deprotection=True, seconds=3.0)
+    plain_pages = sum(e.pages_sent for e in plain.report.epochs[1:])
+    dep_pages = sum(e.pages_sent for e in deprotected.report.epochs[1:])
+    assert dep_pages < plain_pages * 0.7
+    assert any(e.pages_deprotected > 0 for e in deprotected.report.epochs[1:])
+
+
+def test_deprotection_shrinks_pauses():
+    plain, _, _ = build_replicated(with_deprotection=False, seconds=3.0)
+    deprotected, _, _ = build_replicated(with_deprotection=True, seconds=3.0)
+    assert (
+        deprotected.report.mean_pause_s
+        < plain.report.mean_pause_s
+    )
+
+
+def test_double_start_rejected():
+    replicator, _, _ = build_replicated(with_deprotection=False, seconds=0.5)
+    with pytest.raises(Exception):
+        replicator._running = True
+        replicator.start(99.0)

@@ -1,0 +1,73 @@
+"""Report structures and derived metrics."""
+
+import pytest
+
+from repro.migration.report import DowntimeBreakdown, IterationRecord, MigrationReport
+from repro.units import GiB
+
+
+def rec(index=1, sent=10, wire=45000, dur=1.0, **kw):
+    return IterationRecord(
+        index=index,
+        start_s=0.0,
+        duration_s=dur,
+        pending_pages=sent,
+        pages_sent=sent,
+        wire_bytes=wire,
+        pages_skipped_dirty=kw.pop("skip_dirty", 0),
+        pages_skipped_bitmap=kw.pop("skip_bitmap", 0),
+        **kw,
+    )
+
+
+def test_iteration_rates():
+    r = rec(sent=100, wire=424600, dur=2.0)
+    assert r.bytes_sent == 100 * 4096
+    assert r.transfer_rate_bytes_s == pytest.approx(212300)
+    r.set_dirtied_during(50)
+    assert r.dirtied_during_bytes == 50 * 4096
+    assert r.dirtying_rate_bytes_s == pytest.approx(50 * 4096 / 2.0)
+
+
+def test_zero_duration_rates_are_zero():
+    r = rec(dur=0.0)
+    assert r.transfer_rate_bytes_s == 0.0
+    assert r.dirtying_rate_bytes_s == 0.0
+
+
+def test_downtime_sums():
+    d = DowntimeBreakdown(
+        safepoint_s=0.2, enforced_gc_s=0.9, final_update_s=0.0003,
+        last_iter_s=0.1, resume_s=0.17,
+    )
+    assert d.vm_downtime_s == pytest.approx(0.2703)
+    assert d.app_downtime_s == pytest.approx(1.3703)
+
+
+def test_report_totals():
+    report = MigrationReport("test", GiB(2))
+    report.iterations = [
+        rec(1, sent=100, wire=400_000, skip_dirty=5),
+        rec(2, sent=50, wire=200_000, skip_bitmap=7, is_last=True),
+    ]
+    assert report.total_pages_sent == 150
+    assert report.total_wire_bytes == 600_000
+    assert report.total_pages_skipped_dirty == 5
+    assert report.total_pages_skipped_bitmap == 7
+    assert report.n_iterations == 2
+    assert report.last_iteration.is_last
+
+
+def test_completion_time():
+    report = MigrationReport("test", GiB(1), started_s=10.0, finished_s=22.5)
+    assert report.completion_time_s == pytest.approx(12.5)
+
+
+def test_summary_renders():
+    report = MigrationReport("javmm", GiB(2), started_s=0.0, finished_s=12.0)
+    report.iterations = [rec()]
+    report.verified = True
+    text = report.summary()
+    assert "javmm" in text
+    assert "verified: True" in text
+    assert "2.00 GiB" in text

@@ -1,0 +1,111 @@
+"""Coverage for smaller surfaces: errors, exports, experiment internals."""
+
+import pytest
+
+import repro
+from repro import errors
+from repro.experiments.fig11 import ThroughputSummary, summarize
+from repro.migration.report import DowntimeBreakdown, MigrationReport
+from repro.units import GiB
+
+
+def test_error_hierarchy_rooted_at_repro_error():
+    leaves = [
+        errors.ConfigurationError,
+        errors.AddressError,
+        errors.TranslationFault,
+        errors.FrameExhausted,
+        errors.HeapError,
+        errors.OutOfMemoryError,
+        errors.ProtocolError,
+        errors.MigrationError,
+        errors.MigrationVerificationError,
+        errors.SimulationError,
+    ]
+    for exc in leaves:
+        assert issubclass(exc, errors.ReproError)
+    assert issubclass(errors.OutOfMemoryError, errors.HeapError)
+    assert issubclass(errors.MigrationVerificationError, errors.MigrationError)
+
+
+def test_package_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+    assert repro.__version__
+
+
+def test_fig11_summarize_computes_drop():
+    from repro.core.experiment import ExperimentResult
+    from repro.workloads.analyzer import ThroughputSample
+
+    report = MigrationReport("xen", GiB(2), started_s=10.0, finished_s=20.0)
+    report.downtime = DowntimeBreakdown(last_iter_s=2.0, resume_s=0.17)
+    result = ExperimentResult(
+        workload="derby",
+        engine="xen",
+        report=report,
+        throughput=[
+            ThroughputSample(12.0, 0.8),
+            ThroughputSample(15.0, 0.0),  # downtime sample, excluded
+            ThroughputSample(18.0, 0.8),
+        ],
+        gc_log=[],
+        young_committed_at_migration=0,
+        old_used_at_migration=0,
+        observed_app_downtime_s=2.0,
+        mean_throughput_before=1.0,
+        mean_throughput_after=1.0,
+    )
+    summary = summarize(result)
+    assert isinstance(summary, ThroughputSummary)
+    assert summary.during_drop_pct == pytest.approx(20.0)
+    assert summary.observed_downtime_s == 2.0
+
+
+def test_experiment_build_is_side_effect_free_for_tests():
+    from repro.core import MigrationExperiment
+
+    exp = MigrationExperiment(workload="crypto", engine="xen")
+    engine, vm, migrator = exp.build()
+    assert migrator is not None
+    assert engine.now == 0.0
+    assert vm.domain.pages.total_dirty_events() > 0  # seeded heap writes
+
+
+def test_auto_build_defers_migrator():
+    from repro.core import MigrationExperiment
+
+    engine, vm, migrator = MigrationExperiment(workload="crypto", engine="auto").build()
+    assert migrator is None
+
+
+def test_throughput_drop_fraction_bounds():
+    from repro.core.experiment import ExperimentResult
+
+    report = MigrationReport("xen", GiB(1))
+    base = dict(
+        workload="w", engine="xen", report=report, throughput=[], gc_log=[],
+        young_committed_at_migration=0, old_used_at_migration=0,
+        observed_app_downtime_s=0.0,
+    )
+    r = ExperimentResult(**base, mean_throughput_before=2.0, mean_throughput_after=1.8)
+    assert r.throughput_drop_fraction == pytest.approx(0.1)
+    r0 = ExperimentResult(**base, mean_throughput_before=0.0, mean_throughput_after=1.0)
+    assert r0.throughput_drop_fraction == 0.0
+
+
+def test_migrate_convenience_api():
+    from repro.core import migrate, migrate_full
+    from repro.units import MiB
+
+    report = migrate(
+        "crypto", "xen", mem_bytes=MiB(512), max_young_bytes=MiB(128),
+        warmup_s=3.0, cooldown_s=1.0,
+    )
+    assert report.verified is True
+    result = migrate_full(
+        "crypto", "javmm", mem_bytes=MiB(512), max_young_bytes=MiB(128),
+        warmup_s=3.0, cooldown_s=1.0,
+    )
+    assert result.report.verified is True
+    assert result.event_log is not None

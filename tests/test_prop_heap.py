@@ -1,0 +1,126 @@
+"""Property-based tests on generational-heap invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.guest.kernel import GuestKernel
+from repro.jvm.heap import GenerationalHeap
+from repro.mem.constants import PAGE_SIZE
+from repro.units import MiB
+from repro.xen.domain import Domain
+
+
+def fresh_heap(survival, tenure, young_mb=8, old_mb=16):
+    domain = Domain("prop-vm", MiB(64))
+    kernel = GuestKernel(domain, kernel_reserved_bytes=MiB(4))
+    proc = kernel.spawn("java")
+    heap = GenerationalHeap(
+        proc,
+        max_young_bytes=MiB(young_mb),
+        max_old_bytes=MiB(old_mb),
+        initial_young_committed=MiB(young_mb),
+        survival_frac=survival,
+        tenure_frac=tenure,
+        rng=np.random.default_rng(0),
+    )
+    return domain, heap
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    survival=st.floats(0.0, 1.0),
+    tenure=st.floats(0.0, 1.0),
+    allocs=st.lists(st.integers(1, 1 << 21), min_size=1, max_size=20),
+)
+def test_heap_accounting_invariants(survival, tenure, allocs):
+    domain, heap = fresh_heap(survival, tenure)
+    for nbytes in allocs:
+        got = heap.allocate(nbytes)
+        assert 0 <= got <= nbytes
+        assert 0 <= heap.eden_used <= heap.eden_capacity
+        if heap.needs_gc:
+            stats = heap.perform_minor_gc()
+            # Conservation: scanned splits into garbage and live; live
+            # splits into survivors and promoted.
+            assert stats.garbage_bytes + stats.live_bytes == stats.scanned_bytes
+            assert stats.survivor_bytes + stats.promoted_bytes == stats.live_bytes
+            assert stats.survivor_bytes <= heap.survivor_capacity
+            assert heap.eden_used == 0
+            assert heap.from_used == stats.survivor_bytes
+            assert stats.duration_s > 0
+    assert heap.old_used <= heap.max_old_bytes
+    assert heap.old_committed <= heap.max_old_bytes
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    survival=st.floats(0.0, 0.3),
+    gcs=st.integers(1, 12),
+)
+def test_spaces_never_overlap_and_stay_in_bounds(survival, gcs):
+    domain, heap = fresh_heap(survival, 0.2)
+    for _ in range(gcs):
+        heap.allocate(heap.eden_capacity)
+        heap.perform_minor_gc()
+        lay = heap.layout
+        assert not lay.eden.overlaps(lay.from_space)
+        assert not lay.eden.overlaps(lay.to_space)
+        assert not lay.from_space.overlaps(lay.to_space)
+        assert lay.young_region.contains_range(lay.eden)
+        assert lay.young_region.contains_range(lay.from_space)
+        assert lay.young_region.contains_range(lay.to_space)
+        assert heap.occupied_from_range().length >= heap.from_used - PAGE_SIZE
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    sizes=st.lists(
+        st.integers(1, 16).map(lambda n: n * MiB(1)), min_size=1, max_size=8
+    )
+)
+def test_resize_sequence_preserves_mapping_consistency(sizes):
+    domain, heap = fresh_heap(0.05, 0.1, young_mb=16)
+    for target in sizes:
+        before = heap.from_used
+        try:
+            heap.resize_young(target)
+        except Exception:
+            continue
+        lay = heap.layout
+        # Committed range fully mapped; everything above unmapped.
+        pt = heap.process.page_table
+        assert pt.is_mapped(lay.committed_range.start)
+        assert pt.is_mapped(lay.committed_range.end - PAGE_SIZE)
+        if lay.committed_range.end < lay.young_region.end:
+            assert not pt.is_mapped(lay.committed_range.end)
+        assert heap.from_used == before  # survivors preserved
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_gc_page_effects_match_dirty_log(seed):
+    """Every GC dirties exactly the To-survivor and promoted-Old spans."""
+    domain, heap = fresh_heap(0.2, 0.5)
+    rngd = np.random.default_rng(seed)
+    heap.rng = rngd
+    heap.allocate(heap.eden_capacity)
+    domain.dirty_log.enable()
+    to_space_before = heap.layout.to_space
+    old_start = heap.layout.old_region.start + heap.old_used
+    stats = heap.perform_minor_gc()
+    dirty = set(map(int, domain.dirty_log.peek()))
+    proc = heap.process
+    from repro.mem.address import VARange
+
+    if stats.survivor_bytes:
+        surv = proc.write_pfns_of(
+            VARange(to_space_before.start, to_space_before.start + stats.survivor_bytes)
+        )
+        assert set(map(int, surv)) <= dirty
+    if stats.promoted_bytes:
+        promoted = proc.write_pfns_of(
+            VARange(old_start, old_start + stats.promoted_bytes)
+        )
+        assert set(map(int, promoted)) <= dirty

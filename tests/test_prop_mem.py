@@ -1,0 +1,151 @@
+"""Property-based tests on the memory substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.address import VARange, coalesce, page_span_inner, page_span_outer
+from repro.mem.bitmap import PageBitmap
+from repro.mem.constants import PAGE_SIZE
+from repro.mem.frame_alloc import FrameAllocator
+from repro.mem.page_table import PageTable
+from repro.mem.pfn_cache import PfnCache
+
+ranges = st.tuples(
+    st.integers(min_value=0, max_value=1 << 24),
+    st.integers(min_value=0, max_value=1 << 24),
+).map(lambda t: VARange(min(t), max(t)))
+
+
+@given(ranges)
+def test_inner_span_is_subset_of_outer(r):
+    inner = page_span_inner(r)
+    outer = page_span_outer(r)
+    if inner[0] < inner[1]:  # empty spans are trivially contained
+        assert outer[0] <= inner[0]
+        assert inner[1] <= outer[1]
+
+
+@given(ranges)
+def test_inner_pages_fully_covered(r):
+    first, end = page_span_inner(r)
+    for vpn in range(first, min(end, first + 4)):
+        assert r.contains_range(VARange(vpn * PAGE_SIZE, (vpn + 1) * PAGE_SIZE))
+
+
+@given(ranges)
+def test_outer_pages_cover_range(r):
+    first, end = page_span_outer(r)
+    if not r.empty:
+        assert first * PAGE_SIZE <= r.start
+        assert r.end <= end * PAGE_SIZE
+
+
+@given(ranges, ranges)
+def test_subtract_partitions(a, b):
+    """subtract(b) pieces plus the intersection exactly tile ``a``."""
+    pieces = a.subtract(b)
+    cut = a.intersection(b)
+    total = sum(p.length for p in pieces) + cut.length
+    assert total == a.length
+    for p in pieces:
+        assert a.contains_range(p)
+        assert not p.overlaps(b)
+
+
+@given(st.lists(ranges, max_size=10))
+def test_coalesce_preserves_membership(rs):
+    merged = coalesce(rs)
+    # Sorted, non-overlapping, non-adjacent.
+    for x, y in zip(merged, merged[1:]):
+        assert x.end < y.start
+    # Membership preserved for sampled points.
+    for r in rs:
+        if not r.empty:
+            assert any(m.contains(r.start) for m in merged)
+            assert any(m.contains(r.end - 1) for m in merged)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=255), max_size=64),
+    st.lists(st.integers(min_value=0, max_value=255), max_size=64),
+)
+def test_bitmap_set_clear_converges(to_set, to_clear):
+    bm = PageBitmap(256)
+    bm.set_pfns(np.array(to_set, dtype=np.int64))
+    bm.clear_pfns(np.array(to_clear, dtype=np.int64))
+    expected = set(to_set) - set(to_clear)
+    assert set(map(int, bm.set_pfns_array())) == expected
+
+
+@given(st.lists(st.integers(min_value=0, max_value=127), max_size=64))
+def test_bitmap_snapshot_clear_roundtrip(pfns):
+    bm = PageBitmap(128)
+    bm.set_pfns(np.array(pfns, dtype=np.int64))
+    got = set(map(int, bm.snapshot_and_clear()))
+    assert got == set(pfns)
+    assert bm.count() == 0
+
+
+@settings(max_examples=30)
+@given(st.lists(st.tuples(st.booleans(), st.integers(1, 8)), max_size=30))
+def test_frame_allocator_conservation(ops):
+    """Alloc/free sequences conserve the frame population."""
+    fa = FrameAllocator(range(64))
+    held: list[int] = []
+    for is_alloc, n in ops:
+        if is_alloc and fa.free_frames >= n:
+            held.extend(int(p) for p in fa.alloc(n))
+        elif not is_alloc and held:
+            take = held[:n]
+            held = held[n:]
+            fa.free(np.array(take))
+    assert fa.free_frames + fa.allocated_frames == 64
+    assert set(held) == set(map(int, fa.allocated_pfns()))
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 60), st.integers(1, 8)),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_page_table_walk_matches_per_page_translate(segments):
+    """Bulk walks agree with page-by-page translation."""
+    pt = PageTable()
+    next_pfn = 0
+    mapped: dict[int, int] = {}
+    for start, n in segments:
+        span = range(start, start + n)
+        if any(v in mapped for v in span):
+            continue
+        pfns = np.arange(next_pfn, next_pfn + n, dtype=np.int64)
+        pt.map_range(VARange(start * PAGE_SIZE, (start + n) * PAGE_SIZE), pfns)
+        for i, v in enumerate(span):
+            mapped[v] = next_pfn + i
+        next_pfn += n
+    walked = pt.walk(VARange(0, 80 * PAGE_SIZE))
+    expected = [mapped[v] for v in sorted(mapped)]
+    assert list(walked) == expected
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(st.integers(0, 63), min_size=1, max_size=32, unique=True),
+    st.lists(st.integers(0, 63), max_size=32, unique=True),
+)
+def test_pfn_cache_take_removes_exactly_queried(recorded, queried):
+    cache = PfnCache()
+    for vpn in recorded:
+        cache.record(vpn, np.array([vpn * 10]))
+    hit_vpns = [v for v in queried if v in recorded]
+    for vpn in queried:
+        got = cache.take_range(VARange(vpn * PAGE_SIZE, (vpn + 1) * PAGE_SIZE))
+        if vpn in recorded:
+            assert list(got) == [vpn * 10]
+        else:
+            assert list(got) == []
+    remaining = set(recorded) - set(hit_vpns)
+    assert set(map(int, cache.cached_vpns())) == remaining

@@ -1,0 +1,55 @@
+"""Calibration regression pins.
+
+These lock the headline reproduction numbers into the test suite so a
+model or parameter change that silently breaks the paper's shapes fails
+loudly here rather than in the (slower) benchmark run.  Tolerances are
+generous — the pins guard the *shape*, not the third digit.
+"""
+
+import pytest
+
+from repro.experiments.common import run_migration
+from repro.units import GIB
+
+
+@pytest.fixture(scope="module")
+def derby_runs():
+    return {
+        engine: run_migration("derby", engine, warmup_s=15.0, cooldown_s=2.0)
+        for engine in ("xen", "javmm")
+    }
+
+
+def test_xen_derby_matches_figure_1(derby_runs):
+    rep = derby_runs["xen"].report
+    assert 50 <= rep.completion_time_s <= 80  # paper: ~66 s
+    assert 5.5 <= rep.total_wire_bytes / GIB <= 8.0  # paper: ~7 GB
+    assert 6.0 <= rep.downtime.vm_downtime_s <= 11.0  # paper: ~8 s
+    assert rep.verified and rep.mismatched_pages == 0
+
+
+def test_javmm_derby_matches_figure_10(derby_runs):
+    rep = derby_runs["javmm"].report
+    assert 9 <= rep.completion_time_s <= 15  # paper: 12 s
+    assert 0.9 <= rep.total_wire_bytes / GIB <= 1.6  # < VM size
+    assert rep.downtime.app_downtime_s <= 2.0  # paper: 1.2 s
+    assert rep.verified and rep.violating_pages == 0
+
+
+def test_derby_reductions_exceed_seventy_percent(derby_runs):
+    xen, javmm = derby_runs["xen"].report, derby_runs["javmm"].report
+    assert 1 - javmm.completion_time_s / xen.completion_time_s > 0.70
+    assert 1 - javmm.total_wire_bytes / xen.total_wire_bytes > 0.70
+    assert 1 - javmm.downtime.app_downtime_s / xen.downtime.app_downtime_s > 0.70
+
+
+def test_javmm_cpu_saving(derby_runs):
+    # "JAVMM also uses up to 84% less CPU time than Xen".
+    xen, javmm = derby_runs["xen"].report, derby_runs["javmm"].report
+    assert 1 - javmm.cpu_seconds / xen.cpu_seconds > 0.5
+
+
+def test_lkm_memory_overhead_within_paper_bound(derby_runs):
+    # "JAVMM uses at most 1MB of memory for the transfer bitmap and PFN
+    # cache" (2 GB VM).
+    assert derby_runs["javmm"].report.lkm_overhead_bytes <= (1 << 20) + (64 << 10)

@@ -1,0 +1,30 @@
+"""JSON export of migration reports."""
+
+import json
+
+from repro.core import MigrationExperiment
+from repro.units import MiB
+
+
+def test_report_to_dict_is_json_serializable():
+    result = MigrationExperiment(
+        workload="crypto",
+        engine="javmm",
+        mem_bytes=MiB(512),
+        max_young_bytes=MiB(128),
+        warmup_s=3.0,
+        cooldown_s=1.0,
+    ).run()
+    payload = result.report.to_dict()
+    text = json.dumps(payload)
+    restored = json.loads(text)
+    assert restored["migrator"] == "javmm"
+    assert restored["verified"] is True
+    assert restored["violating_pages"] == 0
+    assert restored["n_iterations"] == len(restored["iterations"])
+    assert restored["total_wire_bytes"] == sum(
+        it["wire_bytes"] for it in restored["iterations"]
+    )
+    d = restored["downtime"]
+    assert d["app_downtime_s"] >= d["vm_downtime_s"]
+    assert any(it["is_last"] for it in restored["iterations"])

@@ -1,0 +1,151 @@
+"""The CLR-style runtime: the framework is runtime-agnostic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.guest.kernel import GuestKernel
+from repro.guest.lkm import AssistLKM
+from repro.migration.assisted import AssistedMigrator
+from repro.net.link import Link
+from repro.runtime.dotnet import DotNetAgent, DotNetRuntime, EphemeralHeap
+from repro.sim.engine import Engine
+from repro.units import MiB
+from repro.xen.domain import Domain
+
+
+def build_dotnet_vm(mem_mb=128, ephemeral_mb=24, alloc_mb_s=30.0):
+    domain = Domain("clr-vm", MiB(mem_mb))
+    kernel = GuestKernel(domain, kernel_reserved_bytes=MiB(8))
+    lkm = AssistLKM(kernel)
+    process = kernel.spawn("dotnet-app")
+    heap = EphemeralHeap(
+        process,
+        ephemeral_bytes=MiB(ephemeral_mb),
+        gen2_bytes=MiB(32),
+        rng=np.random.default_rng(9),
+    )
+    runtime = DotNetRuntime(process, heap, alloc_bytes_per_s=MiB(alloc_mb_s))
+    agent = DotNetAgent(runtime, lkm)
+    return domain, kernel, lkm, process, heap, runtime, agent
+
+
+def test_ephemeral_allocation_and_collection():
+    domain, kernel, lkm, process, heap, runtime, agent = build_dotnet_vm()
+    engine = Engine(0.005)
+    engine.add(runtime)
+    engine.add(kernel)
+    engine.run_until(3.0)
+    assert heap.collections >= 2
+    assert runtime.ops_completed > 0
+    # After a collection survivors sit compacted at the bottom.
+    assert heap.alloc_top >= heap.ephemeral.start + heap.survivor_bytes
+
+
+def test_compaction_puts_survivors_at_segment_bottom():
+    domain, kernel, lkm, process, heap, runtime, agent = build_dotnet_vm()
+    heap.allocate(heap.ephemeral.length)
+    survivors = heap.collect_ephemeral()
+    assert survivors > 0
+    prefix = heap.occupied_prefix()
+    assert prefix.start == heap.ephemeral.start
+    assert prefix.length >= survivors
+
+
+def test_gen2_fills_via_promotion():
+    domain, kernel, lkm, process, heap, runtime, agent = build_dotnet_vm()
+    before = heap.gen2_used
+    heap.allocate(heap.ephemeral.length)
+    heap.collect_ephemeral()
+    assert heap.gen2_used > before
+
+
+def test_too_small_segment_rejected():
+    domain = Domain("clr", MiB(64))
+    kernel = GuestKernel(domain, kernel_reserved_bytes=MiB(4))
+    process = kernel.spawn("x")
+    with pytest.raises(ConfigurationError):
+        EphemeralHeap(process, ephemeral_bytes=1024, gen2_bytes=MiB(1))
+
+
+def test_dotnet_vm_migrates_with_the_unmodified_framework():
+    """The paper's generality claim: same LKM, same daemon, new runtime."""
+    domain, kernel, lkm, process, heap, runtime, agent = build_dotnet_vm()
+    engine = Engine(0.005)
+    for actor in (runtime, kernel, lkm):
+        engine.add(actor)
+    migrator = AssistedMigrator(domain, Link(), lkm)
+    engine.add(migrator)
+    engine.run_until(1.0)
+    migrator.start(engine.now)
+    engine.run_while(lambda: not migrator.done, timeout=120)
+    report = migrator.report
+    assert report.verified is True
+    assert report.violating_pages == 0
+    # The ephemeral segment was skipped...
+    assert report.total_pages_skipped_bitmap > 0
+    # ...and exactly one enforced ephemeral GC ran before suspension.
+    assert runtime.held is False  # released after resume
+    assert heap.collections >= 1
+
+
+def test_managed_threads_held_until_resume():
+    domain, kernel, lkm, process, heap, runtime, agent = build_dotnet_vm()
+    engine = Engine(0.005)
+    for actor in (runtime, kernel, lkm):
+        engine.add(actor)
+    migrator = AssistedMigrator(domain, Link(), lkm)
+    engine.add(migrator)
+    engine.run_until(1.0)
+    migrator.start(engine.now)
+    # Drive until the runtime reaches the held state.
+    engine.run_while(lambda: not runtime.held and not migrator.done, timeout=120)
+    if runtime.held:
+        ops = runtime.ops_completed
+        engine.step()
+        assert runtime.ops_completed == ops  # frozen at the safepoint
+    engine.run_while(lambda: not migrator.done, timeout=120)
+    assert not runtime.held
+
+
+def test_mixed_jvm_and_dotnet_guest():
+    """Two different runtimes assisting in the same migration."""
+    from repro.jvm.ti_agent import TIAgent
+    from tests.conftest import TINY
+
+    domain = Domain("mixed-vm", MiB(192))
+    kernel = GuestKernel(domain, kernel_reserved_bytes=MiB(8))
+    lkm = AssistLKM(kernel)
+
+    # JVM side.
+    jproc = kernel.spawn("java-app")
+    from repro.jvm.heap import GenerationalHeap
+    from repro.jvm.hotspot import HotSpotJVM
+
+    jheap = GenerationalHeap(
+        jproc, MiB(32), MiB(32), young_target_bytes=MiB(32),
+        survival_frac=0.05, rng=np.random.default_rng(4),
+    )
+    jvm = HotSpotJVM(
+        jproc, jheap, alloc_bytes_per_s=MiB(40), ops_per_s=10,
+        misc_region_bytes=MiB(4), tts_enforced_s=0.05,
+    )
+    TIAgent(jvm, lkm)
+
+    # CLR side.
+    dproc = kernel.spawn("dotnet-app")
+    dheap = EphemeralHeap(dproc, MiB(24), MiB(16), rng=np.random.default_rng(5))
+    runtime = DotNetRuntime(dproc, dheap, alloc_bytes_per_s=MiB(25))
+    DotNetAgent(runtime, lkm)
+
+    engine = Engine(0.005)
+    for actor in (jvm, runtime, kernel, lkm):
+        engine.add(actor)
+    migrator = AssistedMigrator(domain, Link(), lkm)
+    engine.add(migrator)
+    engine.run_until(1.5)
+    migrator.start(engine.now)
+    engine.run_while(lambda: not migrator.done, timeout=240)
+    assert migrator.report.verified is True
+    assert migrator.report.violating_pages == 0
+    assert len(lkm.app_records()) == 2

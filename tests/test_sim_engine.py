@@ -1,0 +1,140 @@
+"""The fixed-step co-simulation engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Actor, Engine, SimClock, SimRng
+
+
+class Recorder(Actor):
+    def __init__(self, priority: int = 0, label: str = "") -> None:
+        self.priority = priority
+        self.label = label
+        self.calls: list[float] = []
+        self.order_log: list[str] = []
+
+    def step(self, now: float, dt: float) -> None:
+        self.calls.append(now)
+
+
+class OrderProbe(Actor):
+    def __init__(self, priority: int, log: list[str], label: str) -> None:
+        self.priority = priority
+        self._log = log
+        self._label = label
+
+    def step(self, now: float, dt: float) -> None:
+        self._log.append(self._label)
+
+
+def test_clock_starts_at_zero_and_advances_by_dt():
+    clock = SimClock(dt=0.01)
+    assert clock.now == 0.0
+    assert clock.advance() == pytest.approx(0.01)
+    assert clock.ticks == 1
+
+
+def test_clock_rejects_nonpositive_dt():
+    with pytest.raises(SimulationError):
+        SimClock(dt=0.0)
+    with pytest.raises(SimulationError):
+        SimClock(dt=-1.0)
+
+
+def test_clock_time_is_exact_multiple_of_ticks():
+    clock = SimClock(dt=0.005)
+    for _ in range(1000):
+        clock.advance()
+    assert clock.now == pytest.approx(5.0)
+    assert clock.ticks == 1000
+
+
+def test_engine_steps_all_actors_once_per_step():
+    engine = Engine(dt=0.01)
+    a, b = Recorder(), Recorder()
+    engine.add(a)
+    engine.add(b)
+    engine.step()
+    engine.step()
+    assert len(a.calls) == 2
+    assert len(b.calls) == 2
+    assert a.calls[0] == pytest.approx(0.01)
+
+
+def test_engine_priority_order_within_a_step():
+    engine = Engine(dt=0.01)
+    log: list[str] = []
+    engine.add(OrderProbe(10, log, "daemon"))
+    engine.add(OrderProbe(0, log, "jvm"))
+    engine.add(OrderProbe(20, log, "analyzer"))
+    engine.add(OrderProbe(5, log, "lkm"))
+    engine.step()
+    assert log == ["jvm", "lkm", "daemon", "analyzer"]
+
+
+def test_engine_registration_order_breaks_priority_ties():
+    engine = Engine(dt=0.01)
+    log: list[str] = []
+    engine.add(OrderProbe(0, log, "first"))
+    engine.add(OrderProbe(0, log, "second"))
+    engine.step()
+    assert log == ["first", "second"]
+
+
+def test_run_until_reaches_target_time():
+    engine = Engine(dt=0.005)
+    engine.run_until(1.0)
+    assert engine.now >= 1.0
+    assert engine.now < 1.0 + 2 * engine.dt
+
+
+def test_run_until_rejects_past_times():
+    engine = Engine(dt=0.01)
+    engine.run_until(0.5)
+    with pytest.raises(SimulationError):
+        engine.run_until(0.1)
+
+
+def test_run_while_stops_when_predicate_flips():
+    engine = Engine(dt=0.01)
+    rec = Recorder()
+    engine.add(rec)
+    engine.run_while(lambda: len(rec.calls) < 7)
+    assert len(rec.calls) == 7
+
+
+def test_run_while_times_out():
+    engine = Engine(dt=0.01)
+    with pytest.raises(SimulationError):
+        engine.run_while(lambda: True, timeout=0.5)
+
+
+def test_remove_actor():
+    engine = Engine(dt=0.01)
+    rec = Recorder()
+    engine.add(rec)
+    engine.step()
+    engine.remove(rec)
+    engine.step()
+    assert len(rec.calls) == 1
+
+
+def test_rng_streams_are_deterministic_and_independent():
+    a, b = SimRng(42), SimRng(42)
+    assert a.stream("x").random() == b.stream("x").random()
+    # Consuming one stream does not disturb another.
+    c = SimRng(42)
+    c.stream("y").random()
+    assert c.stream("x").random() == SimRng(42).stream("x").random()
+
+
+def test_rng_different_names_differ():
+    rng = SimRng(42)
+    assert rng.stream("a").random() != rng.stream("b").random()
+
+
+def test_rng_uniform_bounds():
+    rng = SimRng(7)
+    for _ in range(100):
+        v = rng.uniform("u", 2.0, 3.0)
+        assert 2.0 <= v <= 3.0

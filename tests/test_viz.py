@@ -1,0 +1,77 @@
+"""Terminal visualizations."""
+
+from repro.migration.report import DowntimeBreakdown, IterationRecord, MigrationReport
+from repro.units import GiB
+from repro.viz import (
+    downtime_breakdown_bar,
+    iteration_boxes,
+    stacked_bars,
+    throughput_sparkline,
+)
+from repro.workloads.analyzer import ThroughputSample
+
+
+def make_report():
+    report = MigrationReport("test", GiB(1), started_s=0.0, finished_s=10.0)
+    report.iterations = [
+        IterationRecord(1, 0.0, 6.0, 1000, 1000, 4_246_000, 0, 0),
+        IterationRecord(2, 6.0, 3.0, 400, 400, 1_698_400, 10, 0, is_waiting=True),
+        IterationRecord(3, 9.0, 1.0, 50, 50, 212_300, 0, 0, is_last=True),
+    ]
+    report.downtime = DowntimeBreakdown(0.2, 0.6, 0.0003, 0.4, 0.17)
+    return report
+
+
+def test_iteration_boxes_widths_proportional():
+    out = iteration_boxes(make_report(), width=60)
+    lines = out.splitlines()
+    assert len(lines) == 4  # 3 boxes + legend
+    first_bar = lines[0].split("|")[1].strip()
+    last_bar = lines[2].split("|")[1].strip()
+    assert len(first_bar) > len(last_bar)
+    assert "W" in lines[1]
+    assert "L" in lines[2]
+
+
+def test_sparkline_marks_migration_window():
+    samples = [ThroughputSample(float(t), 0.0 if 10 <= t <= 12 else 5.0) for t in range(20)]
+    out = throughput_sparkline(samples, migration_window=(9.0, 13.0))
+    lines = out.splitlines()
+    assert len(lines) == 3
+    assert "^" in lines[2]
+    # Downtime shows as the lowest glyph.
+    assert " " in lines[1]
+
+
+def test_sparkline_empty():
+    assert throughput_sparkline([]) == "(no samples)"
+
+
+def test_sparkline_downsamples_to_width():
+    samples = [ThroughputSample(float(t), 1.0) for t in range(500)]
+    out = throughput_sparkline(samples, width=40)
+    assert len(out.splitlines()[1]) <= 40
+
+
+def test_stacked_bars_share_scale():
+    out = stacked_bars(
+        [
+            ("xen", {"transfer": 8.0}),
+            ("javmm", {"transfer": 1.0}),
+        ],
+        width=40,
+        unit=" s",
+    )
+    lines = out.splitlines()
+    xen_bar = lines[0].split("|")[1]
+    javmm_bar = lines[1].split("|")[1]
+    assert xen_bar.count("#") == 40
+    assert javmm_bar.count("#") == 5
+    assert "8.00 s" in lines[0]
+
+
+def test_downtime_breakdown_bar_contains_components():
+    out = downtime_breakdown_bar(make_report())
+    assert "safepoint" in out
+    assert "enforced GC" in out
+    assert "resume" in out

@@ -1,0 +1,104 @@
+"""Trace-driven workloads."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.jvm.heap import GenerationalHeap
+from repro.migration.javmm import JavmmMigrator
+from repro.net.link import Link
+from repro.sim.engine import Engine
+from repro.units import MiB
+from repro.workloads.trace import TraceDrivenJVM, TracePoint, parse_trace_csv
+
+from tests.conftest import build_tiny_vm
+
+CSV = """
+# time, alloc, old, misc, ops
+0,   40, 2, 1, 100
+2,    2, 0, 0, 10
+4,   40, 2, 1, 100
+"""
+
+
+def test_parse_trace_csv():
+    points = parse_trace_csv(CSV)
+    assert len(points) == 3
+    assert points[0] == TracePoint(0.0, 40.0, 2.0, 1.0, 100.0)
+    assert points[1].alloc_mb_s == 2.0
+
+
+def test_parse_rejects_bad_input():
+    with pytest.raises(ConfigurationError):
+        parse_trace_csv("1,2,3\n")
+    with pytest.raises(ConfigurationError):
+        parse_trace_csv("0, a, b, c, d\n")
+    with pytest.raises(ConfigurationError):
+        parse_trace_csv("# only comments\n")
+    with pytest.raises(ConfigurationError):
+        parse_trace_csv("5,1,1,1,1\n0,1,1,1,1\n")  # out of order
+
+
+def build_trace_jvm(csv_text=CSV):
+    domain, kernel, lkm, process, heap, jvm, agent = build_tiny_vm(with_agent=False)
+    # Replace the fixed-rate JVM with a trace-driven one on a new process.
+    proc = kernel.spawn("trace-java")
+    theap = GenerationalHeap(
+        proc,
+        max_young_bytes=MiB(32),
+        max_old_bytes=MiB(32),
+        young_target_bytes=MiB(32),
+        rng=np.random.default_rng(5),
+    )
+    theap.seed_old(MiB(4))
+    tjvm = TraceDrivenJVM.from_csv(proc, theap, csv_text, misc_region_bytes=MiB(4))
+    return domain, kernel, lkm, tjvm
+
+
+def test_rates_follow_breakpoints():
+    domain, kernel, lkm, tjvm = build_trace_jvm()
+    engine = Engine(0.005)
+    engine.add(tjvm)
+    engine.add(kernel)
+    engine.run_until(1.0)
+    busy_alloc = tjvm.heap.counters.allocated_bytes
+    assert tjvm.alloc_bytes_per_s == MiB(40)
+    engine.run_until(2.5)
+    assert tjvm.alloc_bytes_per_s == MiB(2)
+    at_quiet_start = tjvm.heap.counters.allocated_bytes
+    engine.run_until(3.5)
+    quiet_alloc = tjvm.heap.counters.allocated_bytes - at_quiet_start
+    # One quiet second allocates ~20x less than one busy second.
+    assert quiet_alloc < busy_alloc / 5
+    engine.run_until(5.0)
+    assert tjvm.alloc_bytes_per_s == MiB(40)
+
+
+def test_point_at_lookup():
+    points = parse_trace_csv(CSV)
+    domain, kernel, lkm, tjvm = build_trace_jvm()
+    assert tjvm.point_at(0.0) == points[0]
+    assert tjvm.point_at(1.99) == points[0]
+    assert tjvm.point_at(2.0) == points[1]
+    assert tjvm.point_at(99.0) == points[2]
+
+
+def test_migration_during_quiet_phase_converges_fast():
+    """Migrating during the trace's quiet phase behaves like an idle VM."""
+    domain, kernel, lkm, tjvm = build_trace_jvm(
+        "0, 40, 2, 1, 100\n1.5, 0.5, 0, 0, 5\n"
+    )
+    engine = Engine(0.005)
+    engine.add(tjvm)
+    engine.add(kernel)
+    engine.add(lkm)
+    from repro.migration.precopy import PrecopyMigrator
+
+    migrator = PrecopyMigrator(domain, Link())
+    engine.add(migrator)
+    engine.run_until(2.0)  # now in the quiet phase
+    migrator.start(engine.now)
+    engine.run_while(lambda: not migrator.done, timeout=120)
+    assert migrator.report.verified is True
+    assert "below threshold" in migrator.report.stop_reason
+    assert migrator.report.downtime.vm_downtime_s < 0.5

@@ -1,0 +1,182 @@
+"""Workload registry, analyzer and the cache application."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.guest import messages as msg
+from repro.sim.engine import Engine
+from repro.units import GiB, MiB
+from repro.workloads.analyzer import Analyzer
+from repro.workloads.cache_app import CacheApp
+from repro.workloads.spec import (
+    CATEGORY_DESCRIPTIONS,
+    REGISTRY,
+    get_workload,
+    workloads_in_category,
+)
+
+from tests.conftest import build_tiny_vm
+
+
+def test_registry_has_all_nine_table1_workloads():
+    expected = {
+        "derby", "compiler", "xml", "sunflow", "serial",
+        "crypto", "scimark", "mpeg", "compress",
+    }
+    assert set(REGISTRY) == expected
+
+
+def test_categories_match_section_5_3():
+    cat1 = {w.name for w in workloads_in_category(1)}
+    cat2 = {w.name for w in workloads_in_category(2)}
+    cat3 = {w.name for w in workloads_in_category(3)}
+    assert cat1 == {"derby", "compiler", "xml", "sunflow"}
+    assert cat2 == {"serial", "crypto", "mpeg", "compress"}
+    assert cat3 == {"scimark"}
+    assert set(CATEGORY_DESCRIPTIONS) == {1, 2, 3}
+
+
+def test_category_profiles_are_consistent():
+    # Category 1: high allocation, short-lived; Category 3: the reverse.
+    for spec in workloads_in_category(1):
+        assert spec.alloc_mb_s >= 250
+        assert spec.survival_frac <= 0.05
+    scimark = get_workload("scimark")
+    assert scimark.alloc_mb_s < 50
+    assert scimark.survival_frac >= 0.10
+
+
+def test_get_workload_error_lists_names():
+    with pytest.raises(ConfigurationError, match="derby"):
+        get_workload("nope")
+
+
+def test_with_overrides():
+    spec = get_workload("derby").with_overrides(alloc_mb_s=10.0)
+    assert spec.alloc_mb_s == 10.0
+    assert spec.name == "derby"
+    assert get_workload("derby").alloc_mb_s != 10.0  # original untouched
+
+
+def test_build_creates_runnable_jvm(kernel):
+    spec = get_workload("crypto")
+    proc = kernel.spawn("java")
+    jvm = spec.build(
+        proc, max_young_bytes=MiB(32), max_old_bytes=MiB(32), misc_region_bytes=MiB(4)
+    )
+    assert jvm.heap.old_used == MiB(18)  # seeded observed Old
+    engine = Engine(0.005)
+    engine.add(jvm)
+    engine.run_until(0.2)
+    assert jvm.heap.counters.allocated_bytes > 0
+
+
+def test_invalid_category_rejected():
+    from repro.workloads.spec import WorkloadSpec
+
+    with pytest.raises(ConfigurationError):
+        WorkloadSpec(
+            name="x", description="", category=9, alloc_mb_s=1, survival_frac=0,
+            tenure_frac=0, young_target_mb=None, observed_old_mb=0,
+            old_write_mb_s=0, old_ws_mb=0, misc_mb_s=0, ops_per_s=1,
+            gc_scale=1, tts_enforced_s=0.1,
+        )
+
+
+# -- analyzer -------------------------------------------------------------------
+
+
+def test_analyzer_samples_once_per_second(tiny_vm):
+    domain, kernel, lkm, process, heap, jvm, agent = tiny_vm
+    analyzer = Analyzer(jvm)
+    engine = Engine(0.005)
+    engine.add(jvm)
+    engine.add(kernel)
+    engine.add(analyzer)
+    engine.run_until(5.0)
+    assert len(analyzer.samples) == 5
+    assert analyzer.mean_throughput() > 0
+
+
+def test_analyzer_observes_downtime_from_outside(tiny_vm):
+    domain, kernel, lkm, process, heap, jvm, agent = tiny_vm
+    analyzer = Analyzer(jvm)
+    engine = Engine(0.005)
+    engine.add(jvm)
+    engine.add(kernel)
+    engine.add(analyzer)
+    engine.run_until(2.0)
+    domain.pause(engine.now)
+    engine.run_until(5.0)
+    domain.unpause(engine.now)
+    engine.run_until(8.0)
+    assert analyzer.zero_throughput_seconds() >= 2.0
+    assert analyzer.max_zero_run_seconds() >= 2.0
+    # Throughput recovered after the pause.
+    assert analyzer.samples[-1].ops_per_s > 0
+
+
+def test_max_zero_run_ignores_isolated_blips(tiny_vm):
+    domain, kernel, lkm, process, heap, jvm, agent = tiny_vm
+    analyzer = Analyzer(jvm)
+    from repro.workloads.analyzer import ThroughputSample
+
+    analyzer.samples = [
+        ThroughputSample(1.0, 5.0),
+        ThroughputSample(2.0, 0.0),
+        ThroughputSample(3.0, 5.0),
+        ThroughputSample(4.0, 0.0),
+        ThroughputSample(5.0, 0.0),
+        ThroughputSample(6.0, 0.0),
+        ThroughputSample(7.0, 5.0),
+    ]
+    assert analyzer.max_zero_run_seconds() == 3.0
+    assert analyzer.zero_throughput_seconds() == 4.0
+
+
+# -- cache application --------------------------------------------------------------
+
+
+def test_cache_app_reports_cold_region(kernel, lkm):
+    app = CacheApp(kernel, lkm, cache_bytes=MiB(8), hot_fraction=0.25)
+    assert app.hot_region.length == MiB(2)
+    assert app.cold_region.length == MiB(6)
+    assert app.cold_region.start == app.hot_region.end
+
+
+def test_cache_app_serves_and_dirties_hot_data(kernel, lkm):
+    app = CacheApp(kernel, lkm, cache_bytes=MiB(8), write_bytes_per_s=MiB(4))
+    engine = Engine(0.005)
+    engine.add(app)
+    kernel.domain.dirty_log.enable()
+    engine.run_until(1.0)
+    assert app.ops_completed > 0
+    dirty = set(map(int, kernel.domain.dirty_log.peek()))
+    hot = set(map(int, app.process.write_pfns_of(app.hot_region)))
+    cold = set(map(int, app.process.write_pfns_of(app.cold_region)))
+    assert dirty & hot
+    assert not dirty & cold  # only the hot region is touched
+
+
+def test_cache_app_hot_fraction_validated(kernel, lkm):
+    with pytest.raises(ConfigurationError):
+        CacheApp(kernel, lkm, hot_fraction=0.0)
+
+
+def test_cache_app_protocol_round(kernel, lkm):
+    from repro.xen.event_channel import EventChannel
+
+    chan = EventChannel()
+    inbox = []
+    chan.bind_daemon(inbox.append)
+    lkm.attach_event_channel(chan)
+    app = CacheApp(kernel, lkm, cache_bytes=MiB(8))
+    chan.send_to_guest(msg.MigrationBegin())
+    cold_pfns = app.process.write_pfns_of(app.cold_region)
+    assert not lkm.transfer_bitmap.test_pfns(cold_pfns).any()
+    hot_pfns = app.process.write_pfns_of(app.hot_region)
+    assert lkm.transfer_bitmap.test_pfns(hot_pfns).all()
+    chan.send_to_guest(msg.EnterLastIter())
+    assert isinstance(inbox[-1], msg.SuspensionReady)
+    chan.send_to_guest(msg.VMResumed())
+    assert app.resumed_with_cold_cache

@@ -1,0 +1,87 @@
+"""Domains: versioned memory, dirty log wiring, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, MigrationError
+from repro.mem.constants import PAGE_SIZE
+from repro.units import MiB
+from repro.xen.domain import Domain
+
+
+def test_shape():
+    d = Domain("vm", MiB(64))
+    assert d.n_pages == MiB(64) // PAGE_SIZE
+    assert d.vcpus == 4
+    assert not d.paused
+    assert d.running
+
+
+def test_invalid_memory_rejected():
+    with pytest.raises(ConfigurationError):
+        Domain("vm", 0)
+    with pytest.raises(ConfigurationError):
+        Domain("vm", PAGE_SIZE + 1)
+    with pytest.raises(ConfigurationError):
+        Domain("vm", MiB(1), vcpus=0)
+
+
+def test_touch_bumps_versions():
+    d = Domain("vm", MiB(1))
+    d.touch_pfns(np.array([0, 1, 0]))
+    assert d.pages.version(0) == 2
+    assert d.pages.version(1) == 1
+
+
+def test_touch_marks_dirty_log_only_when_enabled():
+    d = Domain("vm", MiB(1))
+    d.touch_pfns(np.array([0]))
+    assert d.dirty_log.count() == 0  # log-dirty off
+    d.dirty_log.enable()
+    d.touch_pfns(np.array([1]))
+    d.touch_range(2, 4)
+    assert sorted(d.dirty_log.peek()) == [1, 2, 3]
+
+
+def test_paused_domain_cannot_write():
+    d = Domain("vm", MiB(1))
+    d.pause(1.0)
+    with pytest.raises(MigrationError):
+        d.touch_pfns(np.array([0]))
+    with pytest.raises(MigrationError):
+        d.touch_range(0, 1)
+
+
+def test_pause_unpause_accounting():
+    d = Domain("vm", MiB(1))
+    d.pause(1.0)
+    assert d.paused
+    d.unpause(3.5)
+    assert d.paused_seconds == pytest.approx(2.5)
+    with pytest.raises(MigrationError):
+        d.unpause(4.0)
+    with pytest.raises(MigrationError):
+        d.pause(4.0), d.pause(4.5)
+
+
+def test_make_destination_same_shape_and_paused():
+    src = Domain("vm", MiB(2), vcpus=2)
+    dst = src.make_destination()
+    assert dst.n_pages == src.n_pages
+    assert dst.vcpus == 2
+    assert dst.paused
+
+
+def test_read_install_roundtrip():
+    src = Domain("vm", MiB(1))
+    dst = src.make_destination()
+    src.touch_pfns(np.array([3, 3]))
+    pfns = np.array([3])
+    dst.install_pages(pfns, src.read_pages(pfns))
+    assert dst.pages.version(3) == 2
+
+
+def test_destroy():
+    d = Domain("vm", MiB(1))
+    d.destroy()
+    assert not d.running

@@ -1,0 +1,79 @@
+"""Event channels and hypervisor hosts."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MigrationError, ProtocolError
+from repro.units import GiB, MiB
+from repro.xen.event_channel import EventChannel
+from repro.xen.hypervisor import Hypervisor, make_testbed
+
+
+def test_bidirectional_delivery():
+    chan = EventChannel(port=1)
+    got_guest, got_daemon = [], []
+    chan.bind_guest(got_guest.append)
+    chan.bind_daemon(got_daemon.append)
+    chan.send_to_guest("begin")
+    chan.send_to_daemon("ready")
+    assert got_guest == ["begin"]
+    assert got_daemon == ["ready"]
+
+
+def test_unbound_endpoint_raises():
+    chan = EventChannel()
+    with pytest.raises(ProtocolError):
+        chan.send_to_guest("x")
+    with pytest.raises(ProtocolError):
+        chan.send_to_daemon("x")
+
+
+def test_trace_records_directions():
+    chan = EventChannel()
+    chan.bind_guest(lambda m: None)
+    chan.bind_daemon(lambda m: None)
+    chan.send_to_guest("a")
+    chan.send_to_daemon("b")
+    assert chan.messages("daemon->guest") == ["a"]
+    assert chan.messages("guest->daemon") == ["b"]
+    assert chan.messages() == ["a", "b"]
+
+
+def test_trace_timestamps_use_clock_hook():
+    chan = EventChannel(now_fn=lambda: 42.0)
+    chan.bind_guest(lambda m: None)
+    chan.send_to_guest("a")
+    assert chan.trace[0].time == 42.0
+
+
+def test_hypervisor_creates_domains_within_memory():
+    host = Hypervisor("h", mem_bytes=GiB(1))
+    host.create_domain("a", MiB(512))
+    with pytest.raises(ConfigurationError):
+        host.create_domain("b", MiB(768))
+    with pytest.raises(ConfigurationError):
+        host.create_domain("a", MiB(64))  # duplicate name
+
+
+def test_hypervisor_adopt_and_remove():
+    src = Hypervisor("src", mem_bytes=GiB(1))
+    dst = Hypervisor("dst", mem_bytes=GiB(1))
+    dom = src.create_domain("vm", MiB(256))
+    moved = src.remove_domain("vm")
+    dst.adopt_domain(moved)
+    assert "vm" in dst.domains
+    with pytest.raises(MigrationError):
+        dst.adopt_domain(dom)
+    with pytest.raises(MigrationError):
+        src.remove_domain("vm")
+
+
+def test_event_channel_ports_unique():
+    host = Hypervisor("h")
+    a, b = host.alloc_event_channel(), host.alloc_event_channel()
+    assert a.port != b.port
+
+
+def test_make_testbed_defaults():
+    src, dst, link = make_testbed()
+    assert src.name != dst.name
+    assert link.bandwidth > 0

@@ -1,0 +1,87 @@
+"""Domain save/restore streams and checkpoint omission."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MigrationError
+from repro.units import MiB
+from repro.xen.domain import Domain
+from repro.xen.saverestore import restore_domain, save_domain
+
+
+def make_dirty_domain():
+    d = Domain("saved-vm", MiB(8), vcpus=2)
+    d.touch_pfns(np.array([0, 5, 5, 100]))
+    d.touch_range(200, 300)
+    d.pause(0.0)
+    return d
+
+
+def test_roundtrip_preserves_everything():
+    src = make_dirty_domain()
+    restored = restore_domain(save_domain(src))
+    assert restored.name == src.name
+    assert restored.mem_bytes == src.mem_bytes
+    assert restored.vcpus == src.vcpus
+    assert restored.paused
+    assert len(restored.pages.mismatches(src.pages)) == 0
+
+
+def test_save_requires_paused_domain():
+    d = Domain("running", MiB(1))
+    with pytest.raises(MigrationError):
+        save_domain(d)
+
+
+def test_omitted_pages_absent_from_stream():
+    src = make_dirty_domain()
+    full = save_domain(src)
+    omit = np.arange(200, 300, dtype=np.int64)
+    sparse = save_domain(src, omit_pfns=omit)
+    assert len(sparse) < len(full)
+    restored = restore_domain(sparse)
+    mismatch = set(map(int, restored.pages.mismatches(src.pages)))
+    assert mismatch == set(range(200, 300))
+
+
+def test_omitting_nothing_matches_full_save():
+    src = make_dirty_domain()
+    assert save_domain(src, omit_pfns=np.empty(0, dtype=np.int64)) == save_domain(src)
+
+
+def test_checksum_detects_corruption():
+    stream = bytearray(save_domain(make_dirty_domain()))
+    stream[40] ^= 0xFF
+    with pytest.raises(MigrationError, match="checksum"):
+        restore_domain(bytes(stream))
+
+
+def test_truncated_stream_rejected():
+    stream = save_domain(make_dirty_domain())
+    with pytest.raises(MigrationError):
+        restore_domain(stream[:10])
+
+
+def test_bad_magic_rejected():
+    stream = bytearray(save_domain(make_dirty_domain()))
+    stream[0] = 0x00
+    # Fixing the checksum to isolate the magic check:
+    import struct
+    import zlib
+
+    body = bytes(stream[:-4])
+    stream = body + struct.pack(">I", zlib.crc32(body) & 0xFFFFFFFF)
+    with pytest.raises(MigrationError, match="magic"):
+        restore_domain(stream)
+
+
+def test_sparse_save_uses_run_length_records():
+    # Omitting a large middle region must shrink the stream by roughly
+    # the omitted page payload.
+    src = Domain("big", MiB(16))
+    src.pause(0.0)
+    full = save_domain(src)
+    omit = np.arange(1024, 3072, dtype=np.int64)
+    sparse = save_domain(src, omit_pfns=omit)
+    saved = len(full) - len(sparse)
+    assert saved >= 2048 * 8 - 64  # page payloads minus one record header
