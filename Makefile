@@ -7,8 +7,10 @@ PYTHON ?= python
 install:
 	pip install -e . --no-build-isolation
 
+# Mirrors CI (.github/workflows/ci.yml): run from the source tree,
+# no install step required.
 test:
-	$(PYTHON) -m pytest tests/
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

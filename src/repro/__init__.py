@@ -12,7 +12,10 @@ The package provides, as a discrete-time co-simulation:
 - migration engines (``repro.migration``): vanilla pre-copy, the
   assisted framework, JAVMM, and related-work baselines;
 - a public experiment API (``repro.core``) and per-figure reproduction
-  drivers (``repro.experiments``).
+  drivers (``repro.experiments``);
+- deterministic fault injection (``repro.faults``) with abort/rollback
+  in every pre-copy engine and a retrying, degrading
+  :class:`MigrationSupervisor`.
 
 Quick start::
 
@@ -25,27 +28,40 @@ from repro.core import (
     ExperimentResult,
     JavaVM,
     MigrationExperiment,
+    MigrationSupervisor,
     PolicyDecision,
+    SupervisionResult,
     build_java_vm,
     choose_engine,
     make_migrator,
     migrate,
     migrate_full,
+    supervised_migrate,
 )
-from repro.errors import ReproError
+from repro.errors import FaultInjectionError, MigrationAbortedError, ReproError
+from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultPlan
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ExperimentResult",
+    "FaultEvent",
+    "FaultInjectionError",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
     "JavaVM",
+    "MigrationAbortedError",
     "MigrationExperiment",
+    "MigrationSupervisor",
     "PolicyDecision",
     "ReproError",
+    "SupervisionResult",
     "__version__",
     "build_java_vm",
     "choose_engine",
     "make_migrator",
     "migrate",
     "migrate_full",
+    "supervised_migrate",
 ]

@@ -58,13 +58,70 @@ def build_parser() -> argparse.ArgumentParser:
     migrate.add_argument(
         "--json", action="store_true", help="emit the migration report as JSON"
     )
+    migrate.add_argument(
+        "--supervise",
+        action="store_true",
+        help=(
+            "run under a MigrationSupervisor: retry aborted migrations with "
+            "exponential backoff, degrading javmm -> assisted -> xen"
+        ),
+    )
+    migrate.add_argument(
+        "--max-attempts",
+        type=int,
+        default=4,
+        help="attempt budget for --supervise (default: %(default)s)",
+    )
     return parser
+
+
+def _run_supervised(args: argparse.Namespace) -> int:
+    from repro.core import supervised_migrate
+    from repro.units import MiB
+
+    engine = "javmm" if args.engine == "auto" else args.engine
+    result, _vm = supervised_migrate(
+        workload=args.workload,
+        engine_name=engine,
+        seed=args.seed,
+        vm_kwargs={
+            "mem_bytes": MiB(args.mem_mb),
+            "max_young_bytes": MiB(args.young_mb),
+        },
+        max_attempts=args.max_attempts,
+    )
+    if args.json:
+        payload = {
+            "ok": result.ok,
+            "engine": result.engine,
+            "n_attempts": result.n_attempts,
+            "engines_tried": result.degradations,
+            "attempts": [
+                {
+                    "attempt": rec.attempt,
+                    "engine": rec.engine,
+                    "aborted": rec.aborted,
+                    "reason": rec.reason,
+                    "waited_before_s": rec.waited_before_s,
+                }
+                for rec in result.attempts
+            ],
+            "report": result.report.to_dict() if result.report else None,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(result.summary())
+        if result.report is not None:
+            print(result.report.summary())
+    return 0 if result.ok and result.report and result.report.verified else 1
 
 
 def _run_migrate(args: argparse.Namespace) -> int:
     from repro.core import MigrationExperiment
     from repro.units import MiB
 
+    if args.supervise:
+        return _run_supervised(args)
     result = MigrationExperiment(
         workload=args.workload,
         engine=args.engine,

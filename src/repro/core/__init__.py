@@ -11,6 +11,8 @@ Typical use::
   TI agent, analyzer) running one of the registered workloads.
 - :class:`MigrationExperiment` — warm up, migrate, cool down, report.
 - :func:`choose_engine` — the Section 6 "intelligent framework" policy.
+- :class:`MigrationSupervisor` — retry an aborted migration with
+  backoff, degrading ``javmm`` → ``assisted`` → ``xen``.
 """
 
 from repro.core.api import migrate, migrate_full
@@ -19,15 +21,24 @@ from repro.core.builders import JavaVM, build_java_vm, make_migrator
 from repro.core.evacuation import EvacuationReport, HostEvacuation, VMPlan
 from repro.core.experiment import ExperimentResult, MigrationExperiment
 from repro.core.policy import PolicyDecision, choose_engine
+from repro.core.supervisor import (
+    AttemptRecord,
+    MigrationSupervisor,
+    SupervisionResult,
+    supervised_migrate,
+)
 
 __all__ = [
+    "AttemptRecord",
     "EvacuationReport",
     "ExperimentResult",
     "HostEvacuation",
     "JavaVM",
     "MigrationExperiment",
+    "MigrationSupervisor",
     "ObservedProfile",
     "PolicyDecision",
+    "SupervisionResult",
     "VMPlan",
     "build_java_vm",
     "choose_engine",
@@ -36,4 +47,5 @@ __all__ = [
     "migrate",
     "migrate_full",
     "profile_vm",
+    "supervised_migrate",
 ]

@@ -1,0 +1,276 @@
+"""Supervised migration: retry, back off, degrade.
+
+A single migration attempt can die mid-flight — the link drops, the
+in-guest agent stops answering, the destination host disappears.  The
+watchdogs in :class:`~repro.migration.precopy.PrecopyMigrator` turn
+those into a clean abort (source keeps running); this module turns the
+abort into a *policy*:
+
+- **retry** the migration with exponential backoff (the guest runs
+  normally while the supervisor waits out a transient outage);
+- **degrade** the engine when the assist path itself is implicated:
+  ``javmm`` → ``assisted`` → ``xen``.  An abort during
+  ``waiting-for-apps`` means the guest side stopped answering, so the
+  next attempt drops one level of assistance immediately; repeated
+  aborts on the same engine degrade too.  When a workload profile is
+  available the Section-6 policy (:func:`~repro.core.policy.choose_engine`)
+  is consulted on the way down — if it vetoes JAVMM anyway, the
+  supervisor skips straight to plain pre-copy rather than burning an
+  attempt on ``assisted``.
+
+Every attempt builds a *fresh* daemon via
+:func:`~repro.core.builders.make_migrator`; the LKM rollback performed
+by the aborted attempt guarantees the guest protocol state machine is
+back in INITIALIZED, so a new ``MigrationBegin`` is always legal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.builders import JavaVM, make_migrator
+from repro.core.policy import choose_engine
+from repro.errors import ConfigurationError, MigrationAbortedError, SimulationError
+from repro.migration.report import MigrationReport
+from repro.net.link import Link
+from repro.sim.engine import Engine
+
+#: Assistance levels, most to least assisted.  Degradation walks right.
+DEGRADATION_CHAIN = ("javmm", "assisted", "xen")
+
+
+@dataclass
+class AttemptRecord:
+    """One supervised migration attempt, successful or not."""
+
+    attempt: int
+    engine: str
+    report: MigrationReport
+    aborted: bool
+    reason: str = ""
+    waited_before_s: float = 0.0  # backoff slept before this attempt
+
+
+@dataclass
+class SupervisionResult:
+    """Outcome of a supervised migration."""
+
+    ok: bool
+    engine: str  # engine of the final attempt
+    report: MigrationReport | None
+    attempts: list[AttemptRecord] = field(default_factory=list)
+    degradations: list[str] = field(default_factory=list)  # engines tried, in order
+    migrator: object | None = None  # the final daemon (holds dest_domain)
+
+    @property
+    def n_attempts(self) -> int:
+        return len(self.attempts)
+
+    def summary(self) -> str:
+        lines = [
+            f"supervised migration: {'SUCCEEDED' if self.ok else 'FAILED'} "
+            f"after {self.n_attempts} attempt(s) "
+            f"(engines tried: {' -> '.join(self.degradations)})"
+        ]
+        for rec in self.attempts:
+            verdict = f"aborted ({rec.reason})" if rec.aborted else "completed"
+            lines.append(
+                f"  attempt {rec.attempt} [{rec.engine}]"
+                f"{f' after {rec.waited_before_s:.2f}s backoff' if rec.waited_before_s else ''}: "
+                f"{verdict}"
+            )
+        return "\n".join(lines)
+
+
+class MigrationSupervisor:
+    """Retries a migration with backoff, degrading the engine as needed."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        vm: JavaVM,
+        link: Link,
+        engine_name: str = "javmm",
+        max_attempts: int = 4,
+        backoff_s: float = 0.5,
+        backoff_factor: float = 2.0,
+        degrade_after: int = 2,
+        stall_timeout_s: float | None = 2.0,
+        phase_timeouts: "dict[str, float] | None" = None,
+        attempt_timeout_s: float = 600.0,
+        injector: object | None = None,
+        consult_policy: bool = True,
+        migrator_kwargs: dict | None = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ConfigurationError("supervisor needs max_attempts >= 1")
+        if degrade_after < 1:
+            raise ConfigurationError("supervisor needs degrade_after >= 1")
+        self.engine = engine
+        self.vm = vm
+        self.link = link
+        self.engine_name = engine_name
+        self.max_attempts = max_attempts
+        self.backoff_s = backoff_s
+        self.backoff_factor = backoff_factor
+        #: consecutive aborts on one engine before dropping a level
+        self.degrade_after = degrade_after
+        self.stall_timeout_s = stall_timeout_s
+        self.phase_timeouts = (
+            dict(phase_timeouts)
+            if phase_timeouts is not None
+            else {"waiting-for-apps": 2.0}
+        )
+        self.attempt_timeout_s = attempt_timeout_s
+        #: optional FaultInjector to re-bind to each attempt's daemon
+        self.injector = injector
+        self.consult_policy = consult_policy
+        self.migrator_kwargs = dict(migrator_kwargs or {})
+
+    # -- engine degradation ------------------------------------------------------------
+
+    def _next_engine(self, current: str) -> str:
+        """One level less assistance, with the Section-6 policy veto."""
+        if current not in DEGRADATION_CHAIN:
+            return current  # no defined fallback: keep retrying as-is
+        index = DEGRADATION_CHAIN.index(current)
+        if index + 1 >= len(DEGRADATION_CHAIN):
+            return current
+        candidate = DEGRADATION_CHAIN[index + 1]
+        if candidate != "xen" and self.consult_policy:
+            decision = choose_engine(
+                self.vm.workload, self.vm.jvm.heap.max_young_bytes, self.link
+            )
+            if decision.engine == "xen":
+                return "xen"
+        return candidate
+
+    @staticmethod
+    def _should_degrade(record: AttemptRecord, consecutive_same_engine: int,
+                        degrade_after: int) -> bool:
+        # waiting-for-apps means the guest assist path went quiet: the
+        # agent or LKM is hung/crashed, so less assistance, not more
+        # patience, is the fix.
+        if record.report.abort_phase == "waiting-for-apps":
+            return True
+        return consecutive_same_engine >= degrade_after
+
+    # -- the loop ----------------------------------------------------------------------
+
+    def run(self) -> SupervisionResult:
+        result = SupervisionResult(ok=False, engine=self.engine_name, report=None)
+        current = self.engine_name
+        result.degradations.append(current)
+        consecutive = 0
+        wait = 0.0
+        for attempt in range(1, self.max_attempts + 1):
+            if wait > 0.0:
+                # Back off: the guest keeps running at the source while
+                # the (possibly transient) failure clears.
+                self.engine.run_until(self.engine.now + wait)
+            migrator = make_migrator(
+                current,
+                self.vm,
+                self.link,
+                stall_timeout_s=self.stall_timeout_s,
+                phase_timeouts=self.phase_timeouts,
+                **self.migrator_kwargs,
+            )
+            migrator.report.attempt = attempt
+            self.engine.add(migrator)
+            self.vm.jvm.migration_load = migrator.load_fraction
+            if self.injector is not None:
+                self.injector.bind_migrator(migrator)
+            migrator.start(self.engine.now)
+            record = AttemptRecord(
+                attempt=attempt,
+                engine=current,
+                report=migrator.report,
+                aborted=False,
+                waited_before_s=wait,
+            )
+            try:
+                self.engine.run_while(
+                    lambda: not migrator.finished, timeout=self.attempt_timeout_s
+                )
+                record.aborted = migrator.aborted
+                record.reason = migrator.report.abort_reason
+            except MigrationAbortedError as exc:
+                record.aborted = True
+                record.reason = str(exc)
+            except SimulationError:
+                # The attempt ran out its wall-clock budget without the
+                # watchdog firing; abort it ourselves.
+                migrator.abort(self.engine.now, "supervision timeout")
+                record.aborted = True
+                record.reason = "supervision timeout"
+            finally:
+                self.engine.remove(migrator)
+            result.attempts.append(record)
+
+            if not record.aborted:
+                result.ok = True
+                result.engine = current
+                result.report = migrator.report
+                result.migrator = migrator
+                return result
+
+            consecutive += 1
+            result.report = migrator.report
+            result.engine = current
+            wait = self.backoff_s * (self.backoff_factor ** (attempt - 1))
+            if self._should_degrade(record, consecutive, self.degrade_after):
+                degraded = self._next_engine(current)
+                if degraded != current:
+                    current = degraded
+                    consecutive = 0
+                    result.degradations.append(current)
+        return result
+
+
+def supervised_migrate(
+    workload: str = "derby",
+    engine_name: str = "javmm",
+    plan: object | None = None,
+    link: Link | None = None,
+    warmup_s: float = 5.0,
+    dt: float = 0.005,
+    seed: int = 20150421,
+    vm_kwargs: dict | None = None,
+    **supervisor_kwargs,
+) -> tuple[SupervisionResult, JavaVM]:
+    """Build a guest, optionally arm a fault plan, and migrate supervised.
+
+    Returns ``(result, vm)`` so callers can inspect both the supervision
+    outcome and the guest (e.g. verify the destination image against the
+    source).  *plan* is a :class:`~repro.faults.FaultPlan`; its injector
+    is bound to the link, LKM, agent and netlink bus, and re-bound to
+    each attempt's daemon.
+    """
+    from repro.core.builders import build_java_vm
+    from repro.faults import FaultInjector
+
+    sim = Engine(dt)
+    vm = build_java_vm(workload=workload, seed=seed, **(vm_kwargs or {}))
+    for actor in vm.actors():
+        sim.add(actor)
+    link = link or Link()
+    if warmup_s > 0:
+        sim.run_until(warmup_s)
+    injector = None
+    if plan is not None:
+        # Registered only now, after warm-up, so the plan's t=0 is the
+        # supervised migration's start rather than guest boot.
+        injector = FaultInjector(
+            plan,
+            link=link,
+            lkm=vm.lkm,
+            agent=vm.agent,
+            netlink=vm.kernel.netlink,
+        )
+        injector.arm(sim.now)
+        sim.add(injector)
+    supervisor = MigrationSupervisor(
+        sim, vm, link, engine_name=engine_name, injector=injector, **supervisor_kwargs
+    )
+    return supervisor.run(), vm

@@ -47,5 +47,24 @@ class MigrationVerificationError(MigrationError):
     """Destination memory did not match the source after migration."""
 
 
+class MigrationAbortedError(MigrationError):
+    """A migration was aborted mid-flight and rolled back to the source.
+
+    The source domain is left running and undamaged; the partially
+    populated destination has been discarded.  The aborted attempt's
+    :class:`~repro.migration.report.MigrationReport` (with
+    ``aborted=True`` and the abort reason/phase filled in) is attached
+    as :attr:`report` when available.
+    """
+
+    def __init__(self, reason: str, report: object | None = None) -> None:
+        super().__init__(reason)
+        self.report = report
+
+
+class FaultInjectionError(ReproError):
+    """A fault plan or injector was misconfigured (not a simulated fault)."""
+
+
 class SimulationError(ReproError):
     """The discrete-time engine was misused (e.g. time moved backwards)."""

@@ -1,0 +1,25 @@
+"""Deterministic fault injection for migration robustness testing.
+
+The paper assumes benign applications on a healthy gigabit LAN; real
+migrations fail mid-flight.  This subsystem injects those failures into
+a running simulation so every migrator can be driven through them:
+
+- a :class:`FaultPlan` is a declarative, seeded schedule of
+  :class:`FaultEvent` instances (link outages, degradations, packet
+  loss, netlink drop/delay/duplication, agent and LKM hangs/crashes,
+  destination-host death);
+- a :class:`FaultInjector` is an actor that replays the plan against
+  the bound targets at simulated time, reverting duration-bounded
+  faults when their window closes.
+
+The recovery machinery these faults exercise lives next to the
+mechanisms they break: watchdog deadlines and ``abort()`` in
+``repro.migration.precopy``, assist-state rollback in
+``repro.guest.lkm``, and retry/degradation in
+``repro.core.supervisor``.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+
+__all__ = ["FaultEvent", "FaultInjector", "FaultKind", "FaultPlan"]

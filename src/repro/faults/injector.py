@@ -1,0 +1,204 @@
+"""The fault injector: replays a fault plan against live targets.
+
+The injector is an actor stepped *before* the LKM and the migration
+daemon (priority 1), so a fault that fires at time *t* is visible to
+everything else in the same step — a severed link yields a zero byte
+budget immediately, a hung agent misses the query multicast in flight.
+
+Targets are bound by keyword; an event whose target is missing raises
+:class:`~repro.errors.FaultInjectionError` at fire time rather than
+being silently skipped, because a plan that cannot fault anything is a
+broken test.  The migrator binding is re-pointable
+(:meth:`bind_migrator`) so a supervisor can keep one injector across
+retry attempts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import FaultInjectionError, ProtocolError
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.sim.actor import Actor
+
+
+class FaultInjector(Actor):
+    """Drives a :class:`FaultPlan` against a running simulation."""
+
+    priority = 1
+    name = "fault-injector"
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        link: Any | None = None,
+        lkm: Any | None = None,
+        agent: Any | None = None,
+        netlink: Any | None = None,
+        migrator: Any | None = None,
+    ) -> None:
+        self.plan = plan
+        self.link = link
+        self.lkm = lkm
+        self.agent = agent
+        self.netlink = netlink
+        self.migrator = migrator
+        #: (time, event) log of everything injected, for tests/reports
+        self.injected: list[tuple[float, FaultEvent]] = []
+        self._pending: list[FaultEvent] = list(plan)
+        self._reversions: list[tuple[float, Callable[[], None]]] = []
+        self._delayed: list[tuple[float, str, int | None, Any]] = []
+        self._armed_at: float | None = None
+        self._now = 0.0
+        # netlink fault windows (absolute sim time)
+        self._drop_until = float("-inf")
+        self._delay_until = float("-inf")
+        self._delay_s = 0.0
+        self._dup_until = float("-inf")
+        if netlink is not None:
+            netlink.fault_filter = self._filter
+
+    def bind_migrator(self, migrator: Any) -> None:
+        """Point iteration triggers and DEST_KILL at a (new) migrator."""
+        self.migrator = migrator
+
+    def arm(self, now: float) -> None:
+        """Fix the plan's t=0; ``at_s`` offsets count from here.
+
+        Without an explicit call, the injector arms itself at its first
+        step — convenient when it is registered at engine start, wrong
+        when a warm-up phase runs first.
+        """
+        self._armed_at = now
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every event fired and every reversion ran."""
+        return not self._pending and not self._reversions and not self._delayed
+
+    # -- actor --------------------------------------------------------------------------
+
+    def step(self, now: float, dt: float) -> None:
+        self._now = now
+        if self._armed_at is None:
+            self._armed_at = now - dt
+        rel = now - self._armed_at
+        for due_at, revert in [r for r in self._reversions if r[0] <= now]:
+            revert()
+            self._reversions.remove((due_at, revert))
+        self._deliver_delayed(now)
+        for event in [e for e in self._pending if self._due(e, rel)]:
+            self._pending.remove(event)
+            self._apply(event, now)
+
+    # -- triggers -----------------------------------------------------------------------
+
+    def _due(self, event: FaultEvent, rel: float) -> bool:
+        if event.at_s is not None:
+            return rel >= event.at_s
+        if self.migrator is None:
+            return False  # iteration triggers wait for a bound migrator
+        return getattr(self.migrator, "iteration", 0) >= event.at_iteration
+
+    # -- application --------------------------------------------------------------------
+
+    def _apply(self, event: FaultEvent, now: float) -> None:
+        self.injected.append((now, event))
+        kind = event.kind
+        if kind is FaultKind.LINK_DOWN:
+            link = self._require(self.link, "link", event)
+            link.sever()
+            self._schedule_revert(event, now, link.restore)
+        elif kind is FaultKind.LINK_DEGRADE:
+            link = self._require(self.link, "link", event)
+            previous = link.bandwidth
+            link.set_bandwidth(event.value)
+
+            def revert(link=link, previous=previous):
+                link.bandwidth = previous  # effective rate, bypass efficiency
+
+            self._schedule_revert(event, now, revert)
+        elif kind is FaultKind.LINK_LOSS:
+            link = self._require(self.link, "link", event)
+            previous_loss = link.loss_rate
+            link.set_loss_rate(event.value)
+            self._schedule_revert(
+                event, now, lambda: link.set_loss_rate(previous_loss)
+            )
+        elif kind is FaultKind.NETLINK_DROP:
+            self._require(self.netlink, "netlink", event)
+            self._drop_until = self._window_end(event, now)
+        elif kind is FaultKind.NETLINK_DELAY:
+            self._require(self.netlink, "netlink", event)
+            self._delay_until = self._window_end(event, now)
+            self._delay_s = float(event.value)
+        elif kind is FaultKind.NETLINK_DUPLICATE:
+            self._require(self.netlink, "netlink", event)
+            self._dup_until = self._window_end(event, now)
+        elif kind is FaultKind.AGENT_HANG:
+            agent = self._require(self.agent, "agent", event)
+            agent.hang()
+            self._schedule_revert(event, now, agent.unhang)
+        elif kind is FaultKind.AGENT_CRASH:
+            self._require(self.agent, "agent", event).crash()
+        elif kind is FaultKind.LKM_HANG:
+            lkm = self._require(self.lkm, "lkm", event)
+            lkm.hang()
+            self._schedule_revert(event, now, lkm.unhang)
+        elif kind is FaultKind.DEST_KILL:
+            migrator = self._require(self.migrator, "migrator", event)
+            migrator.notify_destination_failed("destination host died")
+        else:  # pragma: no cover - exhaustive dispatch
+            raise FaultInjectionError(f"unhandled fault kind {kind!r}")
+
+    @staticmethod
+    def _require(target: Any, name: str, event: FaultEvent) -> Any:
+        if target is None:
+            raise FaultInjectionError(
+                f"fault {event.kind.value} fired but no {name} is bound"
+            )
+        return target
+
+    def _schedule_revert(
+        self, event: FaultEvent, now: float, revert: Callable[[], None]
+    ) -> None:
+        if event.duration_s is not None:
+            self._reversions.append((now + event.duration_s, revert))
+
+    @staticmethod
+    def _window_end(event: FaultEvent, now: float) -> float:
+        return float("inf") if event.duration_s is None else now + event.duration_s
+
+    # -- netlink interception ------------------------------------------------------------
+
+    def _filter(self, direction: str, app_id: int | None, message: Any):
+        now = self._now
+        if now <= self._drop_until:
+            return []
+        out = [message]
+        if now <= self._dup_until:
+            out = [message, message]
+        if now <= self._delay_until:
+            for m in out:
+                self._delayed.append((now + self._delay_s, direction, app_id, m))
+            return []
+        return out
+
+    def _deliver_delayed(self, now: float) -> None:
+        due = [d for d in self._delayed if d[0] <= now]
+        for entry in due:
+            self._delayed.remove(entry)
+            _, direction, app_id, message = entry
+            try:
+                if direction == "multicast":
+                    self.netlink.multicast(message, _bypass_faults=True)
+                else:
+                    self.netlink.send_to_kernel(app_id, message, _bypass_faults=True)
+            except ProtocolError:
+                pass  # the endpoint went away while the message was in flight
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FaultInjector({len(self.injected)} fired, "
+            f"{len(self._pending)} pending)"
+        )

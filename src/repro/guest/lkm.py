@@ -127,6 +127,10 @@ class AssistLKM(Actor):
         self._awaiting: set[int] = set()
         self._deadline: float | None = None
         self._suspension_replies: dict[int, msg.SuspensionReadyReply] = {}
+        #: fault-injection state: a hung LKM queues messages instead of
+        #: processing them (kernel thread wedged, not crashed)
+        self.hung = False
+        self._hang_queue: list[tuple[str, int | None, object]] = []
         #: optional shared timeline (see repro.sim.eventlog)
         self.event_log = None
         kernel.netlink.bind_kernel(self._on_app_message)
@@ -167,6 +171,23 @@ class AssistLKM(Actor):
             # The departed app was the last one being waited for.
             self._finish_final_update()
 
+    # -- fault surface (repro.faults) ---------------------------------------------------
+
+    def hang(self) -> None:
+        """Wedge the LKM: messages queue, timeouts stop firing."""
+        self.hung = True
+
+    def unhang(self) -> None:
+        """Recover from a hang, processing queued messages in order."""
+        self.hung = False
+        queued, self._hang_queue = self._hang_queue, []
+        for source, app_id, message in queued:
+            if source == "daemon":
+                self._on_daemon_message(message)
+            else:
+                assert app_id is not None
+                self._on_app_message(app_id, message)
+
     # -- queries used by the migration daemon ------------------------------------------
 
     def transfer_mask(self, pfns: np.ndarray) -> np.ndarray:
@@ -187,6 +208,8 @@ class AssistLKM(Actor):
 
     def step(self, now: float, dt: float) -> None:
         self._now = now
+        if self.hung:
+            return  # a wedged kernel thread fires no timeouts either
         if self._deadline is None or now < self._deadline:
             return
         # Straggler handling (Section 6): stop waiting at the deadline.
@@ -201,12 +224,17 @@ class AssistLKM(Actor):
     # -- daemon-side messages --------------------------------------------------------------
 
     def _on_daemon_message(self, message: object) -> None:
+        if self.hung:
+            self._hang_queue.append(("daemon", None, message))
+            return
         if isinstance(message, msg.MigrationBegin):
             self._begin_migration()
         elif isinstance(message, msg.EnterLastIter):
             self._enter_last_iter()
         elif isinstance(message, msg.VMResumed):
             self._vm_resumed()
+        elif isinstance(message, msg.MigrationAborted):
+            self._migration_aborted(message.reason)
         else:
             raise ProtocolError(f"LKM cannot handle daemon message {message!r}")
 
@@ -255,12 +283,44 @@ class AssistLKM(Actor):
         self.state = LkmState.INITIALIZED
         self._log("VM resumed; state -> INITIALIZED")
 
+    def _migration_aborted(self, reason: str = "") -> None:
+        """Roll the assist state back after a daemon-side abort.
+
+        Restoring a bit must also mark the page dirty (safety rule 4):
+        while the bit was cleared the daemon consumed the page's
+        dirtiness without transferring it.  The destination image is
+        discarded on abort, so this only matters if the transfer bitmap
+        were consulted again before a fresh MigrationBegin — being
+        conservative here keeps the invariant unconditional.
+        """
+        if self.state is LkmState.INITIALIZED:
+            return  # nothing in flight; aborts are idempotent
+        for record in self._apps.values():
+            for area in record.areas:
+                pfns = record.cache.take_range(area)
+                self.transfer_bitmap.set_pfns(pfns)
+                self.domain.dirty_log.mark(pfns)
+            record.areas = []
+            record.cache.clear()
+        self.transfer_bitmap.set_all()
+        self._staged_areas.clear()
+        self._awaiting.clear()
+        self._suspension_replies.clear()
+        self._deadline = None
+        self.state = LkmState.INITIALIZED
+        self.kernel.netlink.multicast(msg.MigrationAbortedNotice(reason))
+        self._log(f"migration aborted ({reason or 'no reason given'}); "
+                  "state -> INITIALIZED")
+
     # -- application-side messages ------------------------------------------------------------
 
     def _on_proc_area(self, app_id: int, query_id: int, area: VARange) -> None:
         self._staged_areas.setdefault((app_id, query_id), []).append(area)
 
     def _on_app_message(self, app_id: int, message: object) -> None:
+        if self.hung:
+            self._hang_queue.append(("app", app_id, message))
+            return
         if isinstance(message, msg.SkipAreasReply):
             self._on_skip_areas_reply(app_id, message)
         elif isinstance(message, msg.AreaShrunk):

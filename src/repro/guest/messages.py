@@ -35,6 +35,20 @@ class VMResumed:
     """The VM is running at the destination."""
 
 
+@dataclass(frozen=True)
+class MigrationAborted:
+    """The migration was aborted; the VM stays at the source.
+
+    The LKM must roll its assist state back: restore every cleared
+    transfer bit, mark the withheld pages dirty (their dirtiness may
+    have been consumed while they were skipped), forget per-app areas
+    and caches, release any applications held at a safepoint, and
+    return to INITIALIZED so a retry can start cleanly.
+    """
+
+    reason: str = ""
+
+
 # -- LKM -> migration daemon ------------------------------------------------------
 
 
@@ -65,6 +79,13 @@ class PrepareSuspension:
 @dataclass(frozen=True)
 class VMResumedNotice:
     """The VM resumed in the destination; recover or forget skip areas."""
+
+
+@dataclass(frozen=True)
+class MigrationAbortedNotice:
+    """The migration was aborted; release held threads, forget areas."""
+
+    reason: str = ""
 
 
 # -- applications -> LKM (netlink unicast) -----------------------------------------

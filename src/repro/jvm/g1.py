@@ -333,6 +333,9 @@ class G1Agent:
             self.runtime.enforce_gc()
         elif isinstance(message, msg.VMResumedNotice):
             self.runtime.release()
+        elif isinstance(message, msg.MigrationAbortedNotice):
+            self._pending_query = None
+            self.runtime.release()
         else:
             raise ProtocolError(f"G1 agent cannot handle {message!r}")
 

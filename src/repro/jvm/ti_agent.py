@@ -36,6 +36,10 @@ class TIAgent:
         self._pending_query_id: int | None = None
         self._enforced_in_flight = False
         self.shrink_notices = 0
+        #: fault-injection state: a hung agent queues netlink traffic
+        self.hung = False
+        self._hang_queue: list[object] = []
+        self.detached = False
 
         self._netlink.subscribe(self.app_id, self._on_netlink)
         lkm.register_app(self.app_id, jvm.process)
@@ -44,20 +48,52 @@ class TIAgent:
 
     def detach(self) -> None:
         """Unload the agent (unsubscribe and drop callbacks)."""
+        self.detached = True
         self._netlink.unsubscribe(self.app_id)
         self.lkm.unregister_app(self.app_id)
         self.jvm.heap.on_young_shrunk = None
         self.jvm.on_enforced_ready = None
 
+    # -- fault surface (repro.faults) -------------------------------------------------
+
+    def hang(self) -> None:
+        """Wedge the agent thread: netlink traffic queues unanswered."""
+        self.hung = True
+
+    def unhang(self) -> None:
+        """Recover from a hang, processing queued messages in order."""
+        self.hung = False
+        queued, self._hang_queue = self._hang_queue, []
+        for message in queued:
+            self._on_netlink(message)
+
+    def crash(self) -> None:
+        """The agent dies mid-protocol.
+
+        Same visible effect as a clean unload — the kernel reaps the
+        netlink socket either way — but it also releases Java threads
+        the dead agent can no longer release itself.
+        """
+        if not self.detached:
+            self.detach()
+        self._pending_query_id = None
+        self._enforced_in_flight = False
+        self.jvm.release()
+
     # -- netlink delivery -------------------------------------------------------------
 
     def _on_netlink(self, message: object) -> None:
+        if self.hung:
+            self._hang_queue.append(message)
+            return
         if isinstance(message, msg.SkipOverQuery):
             self._reply_skip_areas(message.query_id)
         elif isinstance(message, msg.PrepareSuspension):
             self._prepare_suspension(message.query_id)
         elif isinstance(message, msg.VMResumedNotice):
             self._on_vm_resumed()
+        elif isinstance(message, msg.MigrationAbortedNotice):
+            self._on_migration_aborted()
         else:
             raise ProtocolError(f"TI agent cannot handle {message!r}")
 
@@ -76,6 +112,12 @@ class TIAgent:
     def _on_vm_resumed(self) -> None:
         self.jvm.release()
 
+    def _on_migration_aborted(self) -> None:
+        """Abort rollback: drop protocol state, free held threads."""
+        self._pending_query_id = None
+        self._enforced_in_flight = False
+        self.jvm.release()
+
     # -- JVM callbacks -------------------------------------------------------------------
 
     def _on_young_shrunk(self, freed: VARange) -> None:
@@ -87,6 +129,8 @@ class TIAgent:
 
     def _on_enforced_ready(self) -> None:
         """The enforced GC finished; Java threads are held at the safepoint."""
+        if self.hung:
+            return  # the wedged agent thread cannot send its reply
         if not self._enforced_in_flight or self._pending_query_id is None:
             # An enforced GC not initiated by the protocol (tests drive
             # this directly); nothing to report.

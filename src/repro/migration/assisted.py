@@ -77,6 +77,15 @@ class AssistedMigrator(PrecopyMigrator):
         self.report.lkm_overhead_bytes = self.lkm.overhead_bytes
         self.channel.send_to_guest(msg.VMResumed())
 
+    def _on_aborted(self, now: float, reason: str) -> None:
+        # Runs while log-dirty mode is still on: the LKM's rollback
+        # re-marks every restored-bit page dirty, and those marks must
+        # land in the live log (they are what makes a retried migration
+        # resend pages the aborted attempt skipped).
+        self.report.lkm_overhead_bytes = self.lkm.overhead_bytes
+        self._suspension_ready = False
+        self.channel.send_to_guest(msg.MigrationAborted(reason))
+
     # -- bitmap consultation --------------------------------------------------------------
 
     def _transfer_allowed(self, pfns: np.ndarray) -> np.ndarray:

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import MigrationError
+from repro.errors import MigrationAbortedError, MigrationError
 from repro.mem.bitmap import PageBitmap
 from repro.mem.constants import PAGE_SIZE
 from repro.migration.precopy import (
@@ -72,6 +72,7 @@ class PostCopyMigrator(Actor):
         self._last_step_wire = 0.0
         self._step_capacity = 1.0
         self._recent_stall = 0.0
+        self._dest_failed_reason: str | None = None
 
     # -- control -----------------------------------------------------------------
 
@@ -96,6 +97,24 @@ class PostCopyMigrator(Actor):
     def done(self) -> bool:
         return self.phase is MigrationPhase.DONE
 
+    @property
+    def aborted(self) -> bool:
+        return self.phase is MigrationPhase.ABORTED
+
+    @property
+    def finished(self) -> bool:
+        return self.done or self.aborted
+
+    def notify_destination_failed(self, reason: str) -> None:
+        """Destination died.  Post-copy can only survive this while the
+        vCPU state is still in flight (RESUMING); once the VM runs at
+        the destination the source image is stale and there is nothing
+        to roll back to — the VM is lost, which is the recovery argument
+        *for* pre-copy."""
+        if self.phase in (MigrationPhase.IDLE, MigrationPhase.DONE):
+            return
+        self._dest_failed_reason = reason
+
     def load_fraction(self) -> float:
         """Guest slowdown: link contention plus demand-fault stalls."""
         if self.phase in (MigrationPhase.IDLE, MigrationPhase.DONE):
@@ -107,9 +126,27 @@ class PostCopyMigrator(Actor):
 
     def step(self, now: float, dt: float) -> None:
         self._recent_stall = 0.0
-        if self.phase in (MigrationPhase.IDLE, MigrationPhase.DONE):
+        if self.phase in (MigrationPhase.IDLE, MigrationPhase.DONE, MigrationPhase.ABORTED):
             self._last_step_wire = 0.0
             return
+        if self._dest_failed_reason is not None:
+            reason, self._dest_failed_reason = self._dest_failed_reason, None
+            if self.phase is MigrationPhase.RESUMING:
+                # vCPU state never activated remotely: resume at source.
+                self.domain.dirty_log.disable()
+                self.domain.unpause(now)
+                self.link.release_consumer(self)
+                self.report.aborted = True
+                self.report.abort_reason = reason
+                self.report.abort_phase = MigrationPhase.RESUMING.value
+                self.report.source_intact = True
+                self.report.finished_s = now
+                self.phase = MigrationPhase.ABORTED
+                raise MigrationAbortedError(reason, self.report)
+            raise MigrationError(
+                f"post-copy cannot roll back after resume: {reason} "
+                "(remaining pages are unreachable; the VM is lost)"
+            )
         if self.phase is MigrationPhase.RESUMING:
             self._resume_timer -= dt
             if self._resume_timer <= 0.0:

@@ -25,9 +25,10 @@ import enum
 
 import numpy as np
 
-from repro.errors import MigrationError
+from repro.errors import MigrationAbortedError, MigrationError
 from repro.mem.constants import PAGE_SIZE
 from repro.migration.report import DowntimeBreakdown, IterationRecord, MigrationReport
+from repro.migration.verify import verify_source_after_abort
 from repro.net.link import Link
 from repro.sim.actor import Actor
 from repro.units import GIB
@@ -54,6 +55,7 @@ class MigrationPhase(enum.Enum):
     LAST_COPY = "stop-and-copy"
     RESUMING = "resuming"
     DONE = "done"
+    ABORTED = "aborted"
 
 
 class PrecopyMigrator(Actor):
@@ -73,6 +75,8 @@ class PrecopyMigrator(Actor):
         min_iteration_s: float = 0.02,
         source_host: "Hypervisor | None" = None,
         dest_host: "Hypervisor | None" = None,
+        stall_timeout_s: float | None = None,
+        phase_timeouts: "dict[str, float] | None" = None,
     ) -> None:
         self.domain = domain
         self.link = link
@@ -84,6 +88,16 @@ class PrecopyMigrator(Actor):
         self.resume_delay_s = resume_delay_s
         #: Per-iteration overhead floor (bitmap sync hypercalls, batching).
         self.min_iteration_s = min_iteration_s
+        #: Watchdog: abort if no bytes hit the wire for this long.  A
+        #: severed link shows up here — every phase that should be
+        #: transferring stops making progress.  ``None`` disables it.
+        self.stall_timeout_s = stall_timeout_s
+        #: Watchdog: per-phase wall-clock deadlines keyed by
+        #: ``MigrationPhase.value`` (e.g. ``{"waiting-for-apps": 5.0}``).
+        #: A hung in-guest agent stalls WAITING_APPS while the waiting
+        #: iterations keep sending dirty pages, so wire-progress
+        #: monitoring alone cannot catch it; the phase deadline can.
+        self.phase_timeouts = dict(phase_timeouts) if phase_timeouts else {}
 
         self.phase = MigrationPhase.IDLE
         self.dest_domain: Domain | None = None
@@ -101,6 +115,13 @@ class PrecopyMigrator(Actor):
         self._resume_timer = 0.0
         self._last_step_wire = 0.0
         self._step_capacity = 1.0
+        self._last_progress_at = 0.0
+        self._watch_phase = self.phase
+        self._phase_entered_at = 0.0
+        self._dest_failed_reason: str | None = None
+        #: source page versions at start(); abort() proves against this
+        #: snapshot that rollback left the source undamaged
+        self.source_versions_at_start: np.ndarray | None = None
         #: optional shared timeline (see repro.sim.eventlog)
         self.event_log = None
 
@@ -111,8 +132,11 @@ class PrecopyMigrator(Actor):
         if self.phase is not MigrationPhase.IDLE:
             raise MigrationError("migration already started")
         self.dest_domain = self.domain.make_destination()
+        self.source_versions_at_start = self.domain.pages.snapshot()
         self.domain.dirty_log.enable()
         self.link.register_consumer(self)
+        self._last_progress_at = now
+        self._phase_entered_at = now
         self.report.started_s = now
         self._log(now, "migration started; log-dirty enabled")
         self._on_migration_started(now)
@@ -124,13 +148,67 @@ class PrecopyMigrator(Actor):
         return self.phase is MigrationPhase.DONE
 
     @property
+    def aborted(self) -> bool:
+        return self.phase is MigrationPhase.ABORTED
+
+    @property
     def finished(self) -> bool:
-        return self.done
+        """The daemon needs no more steps (completed or aborted)."""
+        return self.done or self.aborted
+
+    @property
+    def iteration(self) -> int:
+        """The pre-copy iteration currently in flight (1-based; 0 before
+        start).  Fault plans use this for ``at_iteration`` triggers."""
+        return self._iter_index
+
+    def notify_destination_failed(self, reason: str) -> None:
+        """The destination host died; abort on the next step.
+
+        Called from outside the daemon (fault injector, orchestration),
+        possibly mid-engine-step, so the rollback itself is deferred to
+        :meth:`step` where a consistent ``now`` is available.
+        """
+        if self.phase in (MigrationPhase.IDLE, MigrationPhase.DONE):
+            return
+        if self._dest_failed_reason is None:
+            self._dest_failed_reason = reason
+
+    def abort(self, now: float, reason: str) -> None:
+        """Abandon the migration and roll the source back to normal.
+
+        The source domain keeps running (it is unpaused if the abort
+        lands during stop-and-copy), log-dirty mode is switched off, the
+        half-built destination image is discarded, and the report records
+        the failed attempt plus a source-integrity verdict.  The
+        ``_on_aborted`` hook runs *before* the dirty log is disabled so
+        the assisted rollback (restoring transfer bits re-marks those
+        pages dirty) still lands in the log.
+        """
+        if self.phase in (MigrationPhase.IDLE, MigrationPhase.DONE, MigrationPhase.ABORTED):
+            raise MigrationError(f"cannot abort migration in phase {self.phase.value}")
+        self.report.aborted = True
+        self.report.abort_reason = reason
+        self.report.abort_phase = self.phase.value
+        self._log(now, f"migration aborted during {self.phase.value}: {reason}")
+        self._on_aborted(now, reason)
+        self.domain.dirty_log.disable()
+        if self.domain.paused:
+            self.domain.unpause(now)
+        self.link.release_consumer(self)
+        self.dest_domain = None
+        self.report.finished_s = now
+        if self.source_versions_at_start is not None:
+            self.report.source_intact = verify_source_after_abort(
+                self.domain, self.source_versions_at_start
+            ).ok
+        self.phase = MigrationPhase.ABORTED
+        self._dest_failed_reason = None
 
     def load_fraction(self) -> float:
         """Share of link capacity used in the previous step (for the
         guest-interference model)."""
-        if self.phase in (MigrationPhase.IDLE, MigrationPhase.DONE):
+        if self.phase in (MigrationPhase.IDLE, MigrationPhase.DONE, MigrationPhase.ABORTED):
             return 0.0
         if self._step_capacity <= 0:
             return 0.0
@@ -139,9 +217,14 @@ class PrecopyMigrator(Actor):
     # -- actor -------------------------------------------------------------------------------
 
     def step(self, now: float, dt: float) -> None:
-        if self.phase in (MigrationPhase.IDLE, MigrationPhase.DONE):
+        if self.phase in (MigrationPhase.IDLE, MigrationPhase.DONE, MigrationPhase.ABORTED):
             self._last_step_wire = 0.0
             return
+        if self._dest_failed_reason is not None:
+            reason = self._dest_failed_reason
+            self.abort(now, reason)
+            raise MigrationAbortedError(reason, self.report)
+        self._watchdog(now)
         if self.phase is MigrationPhase.RESUMING:
             self._last_step_wire = 0.0
             self._resume_timer -= dt
@@ -175,6 +258,27 @@ class PrecopyMigrator(Actor):
             if not self._end_iteration(now):
                 break
         self._last_step_wire = self.link.meter.wire_bytes - step_wire_before
+        if self._last_step_wire > 0:
+            self._last_progress_at = now
+
+    def _watchdog(self, now: float) -> None:
+        """Abort when a deadline fires.  Raises MigrationAbortedError."""
+        if self.phase is not self._watch_phase:
+            self._watch_phase = self.phase
+            self._phase_entered_at = now
+        limit = self.phase_timeouts.get(self.phase.value)
+        if limit is not None and now - self._phase_entered_at > limit:
+            reason = f"phase {self.phase.value!r} exceeded its {limit:.3g}s deadline"
+            self.abort(now, reason)
+            raise MigrationAbortedError(reason, self.report)
+        if (
+            self.stall_timeout_s is not None
+            and self.phase is not MigrationPhase.RESUMING
+            and now - self._last_progress_at > self.stall_timeout_s
+        ):
+            reason = f"no transfer progress for {self.stall_timeout_s:.3g}s"
+            self.abort(now, reason)
+            raise MigrationAbortedError(reason, self.report)
 
     # -- hooks for the assisted subclass -------------------------------------------------------
 
@@ -203,6 +307,10 @@ class PrecopyMigrator(Actor):
 
     def _on_resumed(self, now: float) -> None:
         """Subclass hook: the VM has been activated at the destination."""
+
+    def _on_aborted(self, now: float, reason: str) -> None:
+        """Subclass hook: runs at the start of abort(), while log-dirty
+        mode is still on and the guest protocol endpoints are live."""
 
     def _verify(self) -> None:
         """Subclass hook: strict full-equality check for vanilla."""

@@ -95,6 +95,11 @@ class MigrationReport:
     violating_pages: int = 0
     lkm_overhead_bytes: int = 0
     stop_reason: str = ""
+    aborted: bool = False
+    abort_reason: str = ""
+    abort_phase: str = ""  # MigrationPhase.value when the abort landed
+    source_intact: bool | None = None  # post-abort source integrity check
+    attempt: int = 1  # ordinal under a MigrationSupervisor (1 = first try)
 
     # -- totals -------------------------------------------------------------------------
 
@@ -143,6 +148,11 @@ class MigrationReport:
             "violating_pages": self.violating_pages,
             "stop_reason": self.stop_reason,
             "lkm_overhead_bytes": self.lkm_overhead_bytes,
+            "aborted": self.aborted,
+            "abort_reason": self.abort_reason,
+            "abort_phase": self.abort_phase,
+            "source_intact": self.source_intact,
+            "attempt": self.attempt,
             "downtime": {
                 "safepoint_s": self.downtime.safepoint_s,
                 "enforced_gc_s": self.downtime.enforced_gc_s,
@@ -171,6 +181,17 @@ class MigrationReport:
 
     def summary(self) -> str:
         """A human-readable one-paragraph summary."""
+        if self.aborted:
+            lines = [
+                f"{self.migrator}: migration of {fmt_bytes(self.vm_bytes)} VM "
+                f"ABORTED after {fmt_seconds(self.completion_time_s)} "
+                f"(attempt {self.attempt}, during {self.abort_phase or '?'}): "
+                f"{self.abort_reason}",
+                f"  traffic wasted: {fmt_bytes(self.total_wire_bytes)} over "
+                f"{self.n_iterations} iterations",
+                f"  source intact after rollback: {self.source_intact}",
+            ]
+            return "\n".join(lines)
         lines = [
             f"{self.migrator}: migrated {fmt_bytes(self.vm_bytes)} VM in "
             f"{fmt_seconds(self.completion_time_s)} over {self.n_iterations} iterations",

@@ -13,6 +13,15 @@ anything at resume time.  Pages allowed to differ:
 
 Everything else must match exactly.  For a vanilla migration the
 allowed set is empty: all pages must match.
+
+An *aborted* migration has its own proof obligation: the rollback must
+leave the source undamaged.  Migration only ever reads source pages and
+installs into the destination, and guest writes only ever increase a
+page's version — so after an abort every source version must be >= its
+value when the migration started.  A regression means the abort path
+wrote into (or rolled back) live source memory, which would corrupt the
+still-running VM.  :func:`verify_source_after_abort` checks exactly
+that.
 """
 
 from __future__ import annotations
@@ -78,4 +87,27 @@ def verify_migration(
         mismatched_pages=int(mismatch.size),
         violating_pages=int(violating.size),
         violating_pfns=tuple(int(p) for p in violating[:32]),
+    )
+
+
+def verify_source_after_abort(
+    source: Domain, versions_at_start: np.ndarray
+) -> VerificationResult:
+    """Prove an aborted migration left the source domain undamaged.
+
+    *versions_at_start* is the version snapshot taken when the migration
+    began.  Any page whose version went *backwards* since then was
+    clobbered by the abort path and counts as a violation; pages whose
+    versions grew are just the guest running normally.
+    """
+    current = source.pages.snapshot()
+    if current.shape != versions_at_start.shape:
+        regressed = np.arange(current.size, dtype=np.int64)
+    else:
+        regressed = np.flatnonzero(current < versions_at_start)
+    return VerificationResult(
+        ok=regressed.size == 0,
+        mismatched_pages=int(regressed.size),
+        violating_pages=int(regressed.size),
+        violating_pfns=tuple(int(p) for p in regressed[:32]),
     )

@@ -9,6 +9,23 @@ not.
 A migration daemon consumes capacity through a per-step byte budget
 (:meth:`capacity_bytes`), so transfer progress and workload dirtying
 interleave at simulation-step granularity.
+
+Real migration links fail in ways the paper's healthy-LAN testbed never
+exercises, so the link also models three degradation modes for the
+fault-injection subsystem (``repro.faults``):
+
+- **severing** (:meth:`sever` / :meth:`restore`): capacity drops to
+  zero while the link is down — an outage, not a reconfiguration, which
+  is why it is separate from :meth:`set_bandwidth`'s positive-only
+  validation;
+- **degradation**: :meth:`set_bandwidth` mid-flight (already used by
+  the failover tests);
+- **packet loss with retransmission**: with loss rate *p*, TCP delivers
+  every byte eventually but each wire byte is carried an expected
+  ``1/(1-p)`` times, so *goodput* — the budget handed to consumers —
+  shrinks to ``bandwidth * (1-p)`` while the accounted wire traffic
+  still fills the physical pipe.  :attr:`retransmit_wire_bytes` tracks
+  the waste.
 """
 
 from __future__ import annotations
@@ -41,6 +58,10 @@ class Link:
         self.page_overhead = int(page_overhead_bytes)
         self.meter = TrafficMeter()
         self._consumers: set[object] = set()
+        self._severed = False
+        self.loss_rate = 0.0
+        #: wire bytes spent re-carrying lost data (goodput accounting)
+        self.retransmit_wire_bytes = 0
 
     def set_bandwidth(self, bandwidth_bytes_per_s: float) -> None:
         """Change the raw link speed mid-flight (congestion, failover).
@@ -51,6 +72,33 @@ class Link:
         if bandwidth_bytes_per_s <= 0:
             raise ConfigurationError("link bandwidth must be positive")
         self.bandwidth = float(bandwidth_bytes_per_s) * self._efficiency
+
+    # -- fault surface (repro.faults) --------------------------------------------------
+
+    @property
+    def severed(self) -> bool:
+        return self._severed
+
+    def sever(self) -> None:
+        """Take the link down: capacity is zero until :meth:`restore`."""
+        self._severed = True
+
+    def restore(self) -> None:
+        """Bring a severed link back up at its configured bandwidth."""
+        self._severed = False
+
+    def set_loss_rate(self, loss_rate: float) -> None:
+        """Set the packet-loss probability (0 disables the loss model)."""
+        if not 0.0 <= loss_rate < 1.0:
+            raise ConfigurationError("loss rate must be in [0, 1)")
+        self.loss_rate = float(loss_rate)
+
+    @property
+    def goodput(self) -> float:
+        """Usable bytes/s after outages and retransmissions."""
+        if self._severed:
+            return 0.0
+        return self.bandwidth * (1.0 - self.loss_rate)
 
     # -- fair sharing (gang migration) -----------------------------------------------
 
@@ -85,18 +133,22 @@ class Link:
     @property
     def pages_per_second(self) -> float:
         """Sustained page transfer rate."""
-        return self.bandwidth / self.page_wire_bytes
+        return self.goodput / self.page_wire_bytes
 
     def capacity_bytes(self, dt: float) -> float:
-        """Wire bytes this link can move in a *dt*-second step."""
-        return self.bandwidth * dt
+        """Usable bytes this link can move in a *dt*-second step."""
+        return self.goodput * dt
 
     def time_to_send_pages(self, n_pages: int) -> float:
         """Seconds to push *n_pages* full pages through the link."""
-        return n_pages * self.page_wire_bytes / self.bandwidth
+        if self.goodput <= 0:
+            return float("inf")
+        return n_pages * self.page_wire_bytes / self.goodput
 
     def time_to_send_bytes(self, n_bytes: float) -> float:
-        return n_bytes / self.bandwidth
+        if self.goodput <= 0:
+            return float("inf")
+        return n_bytes / self.goodput
 
     def account_pages(self, n_pages: int, payload_bytes: int | None = None) -> int:
         """Record *n_pages* sent; returns wire bytes consumed.
@@ -106,6 +158,12 @@ class Link:
         """
         payload = n_pages * PAGE_SIZE if payload_bytes is None else int(payload_bytes)
         wire = payload + n_pages * self.page_overhead
+        if self.loss_rate > 0.0:
+            # Lost frames are re-carried: the consumer's goodput budget
+            # already shrank, so the extra bytes fill the physical pipe.
+            retrans = int(round(wire * self.loss_rate / (1.0 - self.loss_rate)))
+            self.retransmit_wire_bytes += retrans
+            wire += retrans
         self.meter.add(pages=n_pages, payload_bytes=payload, wire_bytes=wire)
         return wire
 

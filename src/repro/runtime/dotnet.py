@@ -201,6 +201,9 @@ class DotNetAgent:
             self.runtime.enforce_gc()
         elif isinstance(message, msg.VMResumedNotice):
             self.runtime.release()
+        elif isinstance(message, msg.MigrationAbortedNotice):
+            self._pending_query = None
+            self.runtime.release()
         else:
             raise ProtocolError(f".NET agent cannot handle {message!r}")
 

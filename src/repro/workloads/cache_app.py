@@ -119,5 +119,8 @@ class CacheApp(Actor):
         elif isinstance(message, msg.VMResumedNotice):
             self._held = False
             self.resumed_with_cold_cache = True
+        elif isinstance(message, msg.MigrationAbortedNotice):
+            # Still at the source: resume serving from the warm cache.
+            self._held = False
         else:
             raise ProtocolError(f"cache app cannot handle {message!r}")

@@ -64,8 +64,8 @@ def test_every_experiment_module_registered_in_cli():
 
 def test_readme_example_count_matches_directory():
     scripts = list((ROOT / "examples").glob("*.py"))
-    assert len(scripts) == 9
-    assert "nine runnable scripts" in read("README.md")
+    assert len(scripts) == 10
+    assert "ten runnable scripts" in read("README.md")
 
 
 def test_workload_registry_documented_in_table1_order():

@@ -1,0 +1,259 @@
+"""The fault-injection subsystem: plans, the injector, and its targets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultPlan
+from repro.guest.netlink import NetlinkBus
+from repro.net.link import Link
+from repro.sim.engine import Engine
+from repro.units import MiB
+
+
+# -- plan validation ---------------------------------------------------------------
+
+
+def test_event_needs_exactly_one_trigger():
+    with pytest.raises(FaultInjectionError):
+        FaultEvent(FaultKind.LINK_DOWN)
+    with pytest.raises(FaultInjectionError):
+        FaultEvent(FaultKind.LINK_DOWN, at_s=1.0, at_iteration=2)
+    FaultEvent(FaultKind.LINK_DOWN, at_s=1.0)
+    FaultEvent(FaultKind.LINK_DOWN, at_iteration=2)
+
+
+def test_event_rejects_bad_numbers():
+    with pytest.raises(FaultInjectionError):
+        FaultEvent(FaultKind.LINK_DOWN, at_s=-1.0)
+    with pytest.raises(FaultInjectionError):
+        FaultEvent(FaultKind.LINK_DOWN, at_iteration=0)
+    with pytest.raises(FaultInjectionError):
+        FaultEvent(FaultKind.LINK_DOWN, at_s=1.0, duration_s=0.0)
+
+
+def test_valued_kinds_require_a_value():
+    with pytest.raises(FaultInjectionError):
+        FaultEvent(FaultKind.LINK_DEGRADE, at_s=1.0)
+    with pytest.raises(FaultInjectionError):
+        FaultPlan().link_loss(at_s=1.0, loss_rate=1.0)
+    with pytest.raises(FaultInjectionError):
+        FaultPlan().link_degrade(at_s=1.0, bandwidth_bytes_per_s=0.0)
+
+
+def test_irreversible_kinds_reject_durations():
+    with pytest.raises(FaultInjectionError):
+        FaultEvent(FaultKind.AGENT_CRASH, at_s=1.0, duration_s=2.0)
+    with pytest.raises(FaultInjectionError):
+        FaultEvent(FaultKind.DEST_KILL, at_s=1.0, duration_s=2.0)
+
+
+def test_fluent_builder_accumulates():
+    plan = (
+        FaultPlan()
+        .link_outage(at_s=1.0, duration_s=0.5)
+        .agent_hang(at_iteration=3)
+        .kill_destination(at_s=9.0)
+    )
+    assert len(plan) == 3
+    assert [e.kind for e in plan] == [
+        FaultKind.LINK_DOWN,
+        FaultKind.AGENT_HANG,
+        FaultKind.DEST_KILL,
+    ]
+
+
+def test_link_flap_expands_to_spaced_outages():
+    plan = FaultPlan().link_flap(at_s=2.0, down_s=0.1, count=3, spacing_s=1.0)
+    assert len(plan) == 3
+    assert [e.at_s for e in plan] == [2.0, 3.0, 4.0]
+    assert all(e.duration_s == 0.1 for e in plan)
+
+
+def test_chaos_is_a_pure_function_of_the_seed():
+    a = FaultPlan.chaos(seed=7, horizon_s=10.0, n_events=6)
+    b = FaultPlan.chaos(seed=7, horizon_s=10.0, n_events=6)
+    assert a.events == b.events
+    c = FaultPlan.chaos(seed=8, horizon_s=10.0, n_events=6)
+    assert a.events != c.events
+    # Only recoverable kinds: a supervised migration can always finish.
+    irreversible = {FaultKind.AGENT_CRASH, FaultKind.DEST_KILL}
+    assert not any(e.kind in irreversible for e in a.events)
+
+
+# -- link faults -------------------------------------------------------------------
+
+
+def test_link_sever_and_restore():
+    link = Link()
+    assert link.goodput > 0
+    link.sever()
+    assert link.severed
+    assert link.goodput == 0.0
+    assert link.capacity_bytes(1.0) == 0.0
+    assert link.time_to_send_pages(1) == float("inf")
+    link.restore()
+    assert not link.severed
+    assert link.goodput > 0
+
+
+def test_link_loss_shrinks_goodput_and_accounts_retransmits():
+    link = Link()
+    healthy = link.goodput
+    link.set_loss_rate(0.25)
+    assert link.goodput == pytest.approx(0.75 * healthy)
+    wire = link.account_pages(100)
+    # Each wire byte is carried an expected 1/(1-p) times.
+    assert link.retransmit_wire_bytes > 0
+    assert wire == pytest.approx(100 * link.page_wire_bytes / 0.75, rel=0.01)
+    link.set_loss_rate(0.0)
+    assert link.goodput == healthy
+
+
+def test_injector_times_link_outage_window():
+    link = Link()
+    plan = FaultPlan().link_outage(at_s=0.5, duration_s=0.3)
+    injector = FaultInjector(plan, link=link)
+    engine = Engine(0.1)
+    engine.add(injector)
+    engine.run_until(0.4)
+    assert not link.severed
+    engine.run_until(0.6)
+    assert link.severed
+    engine.run_until(1.0)
+    assert not link.severed
+    assert injector.exhausted
+
+
+def test_injector_reverts_degrade_to_previous_bandwidth():
+    link = Link()
+    before = link.bandwidth
+    plan = FaultPlan().link_degrade(
+        at_s=0.2, bandwidth_bytes_per_s=MiB(10), duration_s=0.3
+    )
+    injector = FaultInjector(plan, link=link)
+    engine = Engine(0.1)
+    engine.add(injector)
+    engine.run_until(0.4)
+    assert link.bandwidth < before
+    engine.run_until(1.0)
+    assert link.bandwidth == pytest.approx(before)
+
+
+def test_injector_requires_a_bound_target():
+    plan = FaultPlan().link_outage(at_s=0.1)
+    injector = FaultInjector(plan)  # no link bound
+    engine = Engine(0.1)
+    engine.add(injector)
+    with pytest.raises(FaultInjectionError):
+        engine.run_until(0.5)
+
+
+def test_iteration_trigger_waits_for_a_migrator():
+    class FakeMigrator:
+        iteration = 0
+
+        def notify_destination_failed(self, reason):
+            self.failed = reason
+
+    link = Link()
+    plan = FaultPlan().link_outage(at_iteration=3)
+    injector = FaultInjector(plan, link=link)
+    engine = Engine(0.1)
+    engine.add(injector)
+    engine.run_until(1.0)
+    assert not link.severed  # no migrator bound: trigger stays pending
+    mig = FakeMigrator()
+    injector.bind_migrator(mig)
+    engine.run_until(2.0)
+    assert not link.severed
+    mig.iteration = 3
+    engine.run_until(2.1)
+    assert link.severed
+
+
+def test_dest_kill_notifies_the_migrator():
+    class FakeMigrator:
+        iteration = 1
+        failed = None
+
+        def notify_destination_failed(self, reason):
+            self.failed = reason
+
+    mig = FakeMigrator()
+    injector = FaultInjector(FaultPlan().kill_destination(at_s=0.1), migrator=mig)
+    engine = Engine(0.1)
+    engine.add(injector)
+    engine.run_until(0.5)
+    assert mig.failed == "destination host died"
+
+
+# -- netlink faults ----------------------------------------------------------------
+
+
+def _bus_with_counters():
+    bus = NetlinkBus()
+    received = []
+    kernel_got = []
+    bus.subscribe(1, received.append)
+    bus.bind_kernel(lambda app_id, m: kernel_got.append((app_id, m)))
+    return bus, received, kernel_got
+
+
+def test_netlink_drop_window_black_holes_messages():
+    bus, received, kernel_got = _bus_with_counters()
+    plan = FaultPlan().netlink_drop(at_s=0.0, duration_s=0.5)
+    injector = FaultInjector(plan, netlink=bus)
+    engine = Engine(0.1)
+    engine.add(injector)
+    engine.run_until(0.3)
+    bus.multicast("query")
+    bus.send_to_kernel(1, "reply")
+    assert received == []
+    assert kernel_got == []
+    engine.run_until(1.0)
+    bus.multicast("query2")
+    assert received == ["query2"]
+
+
+def test_netlink_duplicate_window_delivers_twice():
+    bus, received, kernel_got = _bus_with_counters()
+    plan = FaultPlan().netlink_duplicate(at_s=0.0, duration_s=0.5)
+    injector = FaultInjector(plan, netlink=bus)
+    engine = Engine(0.1)
+    engine.add(injector)
+    engine.run_until(0.3)
+    bus.multicast("query")
+    assert received == ["query", "query"]
+    bus.send_to_kernel(1, "reply")
+    assert kernel_got == [(1, "reply"), (1, "reply")]
+
+
+def test_netlink_delay_redelivers_later_in_order():
+    bus, received, kernel_got = _bus_with_counters()
+    plan = FaultPlan().netlink_delay(at_s=0.0, delay_s=0.3, duration_s=0.25)
+    injector = FaultInjector(plan, netlink=bus)
+    engine = Engine(0.1)
+    engine.add(injector)
+    engine.run_until(0.2)
+    bus.multicast("a")
+    bus.multicast("b")
+    assert received == []  # held
+    engine.run_until(0.4)
+    assert received == []  # still in flight
+    engine.run_until(0.7)
+    assert received == ["a", "b"]
+    assert injector.exhausted
+
+
+def test_delayed_message_to_gone_subscriber_is_dropped():
+    bus, received, _ = _bus_with_counters()
+    plan = FaultPlan().netlink_delay(at_s=0.0, delay_s=0.3, duration_s=0.25)
+    injector = FaultInjector(plan, netlink=bus)
+    engine = Engine(0.1)
+    engine.add(injector)
+    engine.run_until(0.2)
+    bus.send_to_kernel(1, "reply")
+    bus.unsubscribe(1)
+    engine.run_until(1.0)  # redelivery hits an unsubscribed app: no crash
+    assert received == []

@@ -1,0 +1,259 @@
+"""Abort/rollback: watchdogs, clean source recovery, report bookkeeping.
+
+A migration that cannot finish must die *cleanly*: the source domain
+resumes undamaged, the guest assist state machine returns to
+INITIALIZED, and the report records what happened.  These tests drive
+the abort path directly and through the fault injector.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import MigrationAbortedError, MigrationError
+from repro.faults import FaultInjector, FaultPlan
+from repro.guest.lkm import LkmState
+from repro.migration.javmm import JavmmMigrator
+from repro.migration.postcopy import PostCopyMigrator
+from repro.migration.precopy import MigrationPhase, PrecopyMigrator
+from repro.migration.verify import verify_source_after_abort
+from repro.net.link import Link
+from repro.sim.engine import Engine
+from repro.units import MiB
+
+from tests.conftest import build_tiny_vm
+
+
+def build(link=None, lkm_kwargs=None, **migrator_kwargs):
+    domain, kernel, lkm, process, heap, jvm, agent = build_tiny_vm(
+        lkm_kwargs=lkm_kwargs
+    )
+    engine = Engine(0.005)
+    for actor in (jvm, kernel, lkm):
+        engine.add(actor)
+    migrator = JavmmMigrator(domain, link or Link(), lkm, jvms=[jvm], **migrator_kwargs)
+    engine.add(migrator)
+    return engine, domain, kernel, lkm, heap, jvm, agent, migrator
+
+
+# -- watchdogs ---------------------------------------------------------------------
+
+
+def test_stall_watchdog_aborts_on_severed_link():
+    link = Link()
+    engine, domain, kernel, lkm, heap, jvm, agent, migrator = build(
+        link=link, stall_timeout_s=1.0
+    )
+    engine.run_until(0.5)
+    migrator.start(engine.now)
+    engine.run_until(engine.now + 0.1)
+    link.sever()
+    with pytest.raises(MigrationAbortedError) as excinfo:
+        engine.run_while(lambda: not migrator.finished, timeout=60)
+    assert "no transfer progress" in str(excinfo.value)
+    assert excinfo.value.report is migrator.report
+    assert migrator.phase is MigrationPhase.ABORTED
+    assert migrator.report.aborted
+    assert migrator.report.source_intact is True
+
+
+def test_phase_deadline_catches_a_hung_agent():
+    """Waiting iterations keep sending dirty pages, so only the
+    per-phase deadline can catch a guest that never answers."""
+    engine, domain, kernel, lkm, heap, jvm, agent, migrator = build(
+        phase_timeouts={"waiting-for-apps": 1.0}
+    )
+    engine.run_until(0.5)
+    agent.hang()
+    migrator.start(engine.now)
+    with pytest.raises(MigrationAbortedError):
+        engine.run_while(lambda: not migrator.finished, timeout=240)
+    assert migrator.report.abort_phase == "waiting-for-apps"
+    assert migrator.report.source_intact is True
+
+
+def test_watchdogs_default_off():
+    """Without opt-in timeouts a stuck migration waits forever — the
+    seed behaviour (and the Section 6 unbounded-delay warning) holds."""
+    engine, domain, kernel, lkm, heap, jvm, agent, migrator = build()
+    engine.run_until(0.5)
+    agent.hang()
+    migrator.start(engine.now)
+    engine.run_until(engine.now + 20.0)
+    assert not migrator.finished
+
+
+# -- rollback ----------------------------------------------------------------------
+
+
+def test_abort_rolls_source_back_clean():
+    engine, domain, kernel, lkm, heap, jvm, agent, migrator = build()
+    engine.run_until(0.5)
+    migrator.start(engine.now)
+    engine.run_until(engine.now + 0.2)  # mid-iteration
+    assert domain.dirty_log.enabled
+    migrator.abort(engine.now, "operator request")
+    assert migrator.phase is MigrationPhase.ABORTED
+    assert migrator.aborted and migrator.finished and not migrator.done
+    assert not domain.dirty_log.enabled
+    assert not domain.paused
+    assert migrator.dest_domain is None
+    assert migrator.link.active_consumers == 0
+    assert lkm.state is LkmState.INITIALIZED
+    assert migrator.report.abort_reason == "operator request"
+    # The guest must keep running normally afterwards.
+    ops_before = jvm.ops_completed
+    engine.run_until(engine.now + 1.0)
+    assert jvm.ops_completed > ops_before
+    assert verify_source_after_abort(domain, migrator.source_versions_at_start).ok
+
+
+def test_abort_during_stop_and_copy_unpauses_the_domain():
+    link = Link()
+    engine, domain, kernel, lkm, heap, jvm, agent, migrator = build(link=link)
+    engine.run_until(0.5)
+    migrator.start(engine.now)
+    engine.run_while(
+        lambda: migrator.phase is not MigrationPhase.WAITING_APPS, timeout=240
+    )
+    # Slow the link so the stop-and-copy spans many steps and the test
+    # can land an abort inside it.
+    link.set_bandwidth(MiB(2))
+    engine.run_while(
+        lambda: migrator.phase is not MigrationPhase.LAST_COPY, timeout=240
+    )
+    assert domain.paused
+    migrator.abort(engine.now, "late failure")
+    assert not domain.paused
+    assert migrator.report.abort_phase == "stop-and-copy"
+    assert migrator.report.source_intact is True
+
+
+def test_abort_restores_transfer_bits_and_marks_them_dirty():
+    """Rollback must undo the skip-over promises: restored pages are
+    re-marked dirty so a *retry* resends them (the LKM safety rule)."""
+    engine, domain, kernel, lkm, heap, jvm, agent, migrator = build()
+    engine.run_until(0.5)
+    migrator.start(engine.now)
+    # Run until the first bitmap update cleared some bits.
+    engine.run_while(
+        lambda: lkm.transfer_bitmap.count() == domain.n_pages, timeout=60
+    )
+    cleared = domain.n_pages - lkm.transfer_bitmap.count()
+    assert cleared > 0
+    migrator.abort(engine.now, "test rollback")
+    assert lkm.transfer_bitmap.count() == domain.n_pages  # all bits back
+    assert lkm.state is LkmState.INITIALIZED
+
+
+def test_abort_is_rejected_when_not_in_flight():
+    engine, domain, kernel, lkm, heap, jvm, agent, migrator = build()
+    with pytest.raises(MigrationError):
+        migrator.abort(0.0, "nothing to abort")
+    engine.run_until(0.5)
+    migrator.start(engine.now)
+    migrator.abort(engine.now, "first")
+    with pytest.raises(MigrationError):
+        migrator.abort(engine.now, "second")
+
+
+def test_destination_failure_aborts_via_injector():
+    link = Link()
+    engine, domain, kernel, lkm, heap, jvm, agent, migrator = build(link=link)
+    plan = FaultPlan().kill_destination(at_iteration=2)
+    injector = FaultInjector(plan, link=link, migrator=migrator)
+    engine.add(injector)
+    engine.run_until(0.5)
+    injector.arm(engine.now)
+    migrator.start(engine.now)
+    with pytest.raises(MigrationAbortedError) as excinfo:
+        engine.run_while(lambda: not migrator.finished, timeout=240)
+    assert "destination host died" in str(excinfo.value)
+    assert migrator.report.source_intact is True
+
+
+def test_vanilla_precopy_abort_path(tiny_vm):
+    domain, kernel, lkm, process, heap, jvm, agent = tiny_vm
+    engine = Engine(0.005)
+    for actor in (jvm, kernel, lkm):
+        engine.add(actor)
+    link = Link()
+    migrator = PrecopyMigrator(domain, link, stall_timeout_s=0.5)
+    engine.add(migrator)
+    engine.run_until(0.3)
+    migrator.start(engine.now)
+    engine.run_until(engine.now + 0.05)
+    link.sever()
+    with pytest.raises(MigrationAbortedError):
+        engine.run_while(lambda: not migrator.finished, timeout=60)
+    assert migrator.report.source_intact is True
+    assert not domain.paused
+
+
+# -- report ------------------------------------------------------------------------
+
+
+def test_abort_report_serializes_and_summarizes():
+    engine, domain, kernel, lkm, heap, jvm, agent, migrator = build()
+    engine.run_until(0.5)
+    migrator.start(engine.now)
+    engine.run_until(engine.now + 0.2)
+    migrator.abort(engine.now, "drill")
+    payload = migrator.report.to_dict()
+    assert payload["aborted"] is True
+    assert payload["abort_reason"] == "drill"
+    assert payload["abort_phase"] == migrator.report.abort_phase
+    assert payload["source_intact"] is True
+    assert payload["attempt"] == 1
+    text = migrator.report.summary()
+    assert "ABORTED" in text and "drill" in text
+
+
+def test_source_integrity_check_flags_regression():
+    engine, domain, kernel, lkm, heap, jvm, agent, migrator = build()
+    engine.run_until(0.5)
+    migrator.start(engine.now)
+    engine.run_until(engine.now + 0.2)
+    # Simulate a buggy rollback that clobbers live source memory.
+    snapshot = migrator.source_versions_at_start
+    domain.pages.write(np.array([0, 1, 2]), np.array([0, 0, 0]) - 1)
+    result = verify_source_after_abort(domain, snapshot)
+    assert not result.ok
+    assert result.violating_pages >= 1
+
+
+# -- post-copy ---------------------------------------------------------------------
+
+
+def test_postcopy_aborts_cleanly_before_resume(tiny_vm):
+    domain, kernel, lkm, process, heap, jvm, agent = tiny_vm
+    engine = Engine(0.005)
+    for actor in (jvm, kernel, lkm):
+        engine.add(actor)
+    migrator = PostCopyMigrator(domain, Link())
+    engine.add(migrator)
+    engine.run_until(0.3)
+    migrator.start(engine.now)
+    migrator.notify_destination_failed("destination died in handshake")
+    with pytest.raises(MigrationAbortedError):
+        engine.run_until(engine.now + 0.05)
+    assert migrator.phase is MigrationPhase.ABORTED
+    assert not domain.paused
+
+
+def test_postcopy_cannot_roll_back_after_resume(tiny_vm):
+    """Once the VM runs at the destination the source image is stale:
+    destination death is fatal — the recovery argument for pre-copy."""
+    domain, kernel, lkm, process, heap, jvm, agent = tiny_vm
+    engine = Engine(0.005)
+    for actor in (jvm, kernel, lkm):
+        engine.add(actor)
+    migrator = PostCopyMigrator(domain, Link())
+    engine.add(migrator)
+    engine.run_until(0.3)
+    migrator.start(engine.now)
+    engine.run_while(
+        lambda: migrator.phase is MigrationPhase.RESUMING, timeout=60
+    )
+    migrator.notify_destination_failed("destination died mid-fetch")
+    with pytest.raises(MigrationError, match="cannot roll back"):
+        engine.run_until(engine.now + 0.05)

@@ -1,0 +1,134 @@
+"""Property-based fault-recovery correctness.
+
+Two invariants the fault subsystem must never break:
+
+1. **Abort equivalence** — a migration that aborts on a transient fault
+   and is retried by the supervisor must end exactly as correct as an
+   uninterrupted run: destination verified, zero violating pages.  The
+   LKM rollback (restore transfer bits, re-mark dirty) is what makes
+   this hold; a buggy rollback would leak skip-over promises into the
+   retry and lose pages.
+2. **Stop-and-copy resilience** — a link flap during the final copy
+   must only *delay* the migration, never corrupt it: every occupied
+   From-space page (the part of From that survived the enforced GC and
+   is *not* in a skip area) must arrive at the destination with the
+   version it had when the domain paused.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.builders import JavaVM
+from repro.core.supervisor import MigrationSupervisor
+from repro.faults import FaultInjector, FaultPlan
+from repro.migration.javmm import JavmmMigrator
+from repro.migration.precopy import MigrationPhase
+from repro.net.link import Link
+from repro.sim.engine import Engine
+from repro.units import MiB
+from repro.workloads.analyzer import Analyzer
+
+from tests.conftest import TINY, build_tiny_vm
+
+
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    at_s=st.floats(0.02, 0.4),
+    duration_s=st.floats(0.4, 1.0),
+    seed=st.integers(0, 1000),
+)
+def test_aborted_then_retried_run_verifies_like_an_uninterrupted_one(
+    at_s, duration_s, seed
+):
+    # Baseline: the same guest, same seed, no faults.
+    domain, kernel, lkm, process, heap, jvm, agent = build_tiny_vm(seed=seed)
+    engine = Engine(0.005)
+    for actor in (jvm, kernel, lkm):
+        engine.add(actor)
+    migrator = JavmmMigrator(domain, Link(), lkm, jvms=[jvm])
+    engine.add(migrator)
+    engine.run_until(0.5)
+    migrator.start(engine.now)
+    engine.run_while(lambda: not migrator.done, timeout=240)
+    assert migrator.report.verified is True
+    assert migrator.report.violating_pages == 0
+
+    # Faulted: a link outage forces a stall abort; the supervisor backs
+    # off past the outage and retries on the rolled-back guest.
+    domain, kernel, lkm, process, heap, jvm, agent = build_tiny_vm(seed=seed)
+    vm = JavaVM(domain, kernel, lkm, process, jvm, agent, Analyzer(jvm), TINY)
+    engine = Engine(0.005)
+    for actor in vm.actors():
+        engine.add(actor)
+    link = Link()
+    engine.run_until(0.5)
+    plan = FaultPlan().link_outage(at_s=at_s, duration_s=duration_s)
+    injector = FaultInjector(
+        plan, link=link, lkm=lkm, agent=agent, netlink=kernel.netlink
+    )
+    injector.arm(engine.now)
+    engine.add(injector)
+    sup = MigrationSupervisor(
+        engine,
+        vm,
+        link,
+        engine_name="javmm",
+        injector=injector,
+        stall_timeout_s=0.2,
+        backoff_s=1.2,  # always outlasts the outage remainder
+        degrade_after=10,  # stay on javmm: equivalence, not degradation
+        max_attempts=5,
+    )
+    result = sup.run()
+    assert result.ok
+    assert result.engine == "javmm"
+    assert result.report.verified is True
+    assert result.report.violating_pages == 0
+    # Every aborted attempt left the source intact for the next one.
+    assert all(
+        rec.report.source_intact is True
+        for rec in result.attempts
+        if rec.aborted
+    )
+
+
+@settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(0, 1000),
+    down_steps=st.integers(1, 40),
+    warmup=st.floats(0.3, 1.5),
+)
+def test_link_flap_during_stop_and_copy_keeps_occupied_from_pages(
+    seed, down_steps, warmup
+):
+    domain, kernel, lkm, process, heap, jvm, agent = build_tiny_vm(seed=seed)
+    engine = Engine(0.005)
+    for actor in (jvm, kernel, lkm):
+        engine.add(actor)
+    link = Link()
+    migrator = JavmmMigrator(domain, link, lkm, jvms=[jvm])
+    engine.add(migrator)
+    engine.run_until(warmup)
+    migrator.start(engine.now)
+    engine.run_while(
+        lambda: migrator.phase is not MigrationPhase.WAITING_APPS, timeout=240
+    )
+    # Stretch the stop-and-copy over many steps so the flap lands inside it.
+    link.set_bandwidth(MiB(2))
+    engine.run_while(
+        lambda: migrator.phase is not MigrationPhase.LAST_COPY, timeout=240
+    )
+    assert domain.paused
+    # The domain is paused: occupied From-space is frozen until resume.
+    pfns = process.page_table.walk(heap.occupied_from_range())
+    frozen = domain.pages.snapshot()[pfns]
+    link.sever()
+    engine.run_until(engine.now + down_steps * 0.005)
+    assert not migrator.done  # zero goodput: the copy stalls, nothing fake-sent
+    link.restore()
+    engine.run_while(lambda: not migrator.done, timeout=240)
+    assert migrator.report.verified is True
+    assert migrator.report.violating_pages == 0
+    got = migrator.dest_domain.pages.snapshot()[pfns]
+    assert np.array_equal(got, frozen)

@@ -1,0 +1,194 @@
+"""The MigrationSupervisor: retry with backoff, degrade assistance."""
+
+import pytest
+
+from repro.core.builders import JavaVM
+from repro.core.supervisor import (
+    DEGRADATION_CHAIN,
+    MigrationSupervisor,
+    supervised_migrate,
+)
+from repro.errors import ConfigurationError
+from repro.faults import FaultInjector, FaultPlan
+from repro.net.link import Link
+from repro.sim.engine import Engine
+from repro.units import MiB
+from repro.workloads.analyzer import Analyzer
+from repro.workloads.spec import WorkloadSpec
+
+from tests.conftest import TINY, build_tiny_vm
+
+
+def make_vm(spec: WorkloadSpec = TINY) -> JavaVM:
+    domain, kernel, lkm, process, heap, jvm, agent = build_tiny_vm(spec=spec)
+    return JavaVM(domain, kernel, lkm, process, jvm, agent, Analyzer(jvm), spec)
+
+
+def setup(spec: WorkloadSpec = TINY, plan: FaultPlan | None = None, warmup_s=0.5):
+    engine = Engine(0.005)
+    vm = make_vm(spec)
+    for actor in vm.actors():
+        engine.add(actor)
+    link = Link()
+    engine.run_until(warmup_s)
+    injector = None
+    if plan is not None:
+        injector = FaultInjector(
+            plan, link=link, lkm=vm.lkm, agent=vm.agent, netlink=vm.kernel.netlink
+        )
+        injector.arm(engine.now)
+        engine.add(injector)
+    return engine, vm, link, injector
+
+
+def test_clean_run_succeeds_on_first_attempt():
+    engine, vm, link, _ = setup()
+    sup = MigrationSupervisor(engine, vm, link, engine_name="javmm")
+    result = sup.run()
+    assert result.ok
+    assert result.n_attempts == 1
+    assert result.engine == "javmm"
+    assert result.degradations == ["javmm"]
+    assert result.report.verified is True
+    assert result.report.attempt == 1
+    assert not result.attempts[0].aborted
+
+
+def test_transient_outage_is_retried_with_backoff():
+    plan = FaultPlan().link_outage(at_s=0.05, duration_s=1.0)
+    engine, vm, link, injector = setup(plan=plan)
+    sup = MigrationSupervisor(
+        engine, vm, link, engine_name="javmm", injector=injector,
+        stall_timeout_s=0.5, backoff_s=1.0, backoff_factor=2.0,
+    )
+    result = sup.run()
+    assert result.ok
+    assert result.n_attempts >= 2
+    assert result.attempts[0].aborted
+    assert "no transfer progress" in result.attempts[0].reason
+    # Still javmm: an infrastructure outage does not implicate the
+    # guest assist path.
+    assert result.engine == "javmm"
+    # Backoff is exponential in the attempt ordinal.
+    waits = [rec.waited_before_s for rec in result.attempts[1:]]
+    assert waits[0] == pytest.approx(1.0)
+    for earlier, later in zip(waits, waits[1:]):
+        assert later == pytest.approx(2.0 * earlier)
+    # Reports carry their attempt ordinal.
+    assert [rec.report.attempt for rec in result.attempts] == list(
+        range(1, result.n_attempts + 1)
+    )
+
+
+def test_hung_agent_degrades_down_the_chain():
+    """An agent that never answers forces javmm -> assisted -> xen; the
+    assist-free engine completes and verifies.  (A *crashed* agent is
+    reaped: its netlink socket closes and the LKM deregisters it, so
+    migration proceeds without it — only a wedged-but-alive agent stalls
+    the protocol.)"""
+    plan = FaultPlan().agent_hang(at_s=0.01)  # no duration: wedged forever
+    engine, vm, link, injector = setup(plan=plan)
+    sup = MigrationSupervisor(
+        engine, vm, link, engine_name="javmm", injector=injector,
+        phase_timeouts={"waiting-for-apps": 0.5}, backoff_s=0.1,
+        consult_policy=False, max_attempts=4,
+    )
+    result = sup.run()
+    assert result.ok
+    assert result.engine == "xen"
+    assert result.degradations == ["javmm", "assisted", "xen"]
+    assert result.report.verified is True
+    aborted = [rec for rec in result.attempts if rec.aborted]
+    assert all(rec.report.abort_phase == "waiting-for-apps" for rec in aborted)
+    assert all(rec.report.source_intact is True for rec in aborted)
+
+
+def test_policy_veto_skips_straight_to_xen():
+    """A read-intensive workload is one the Section-6 policy vetoes for
+    JAVMM anyway, so degradation skips the intermediate engine."""
+    read_intensive = WorkloadSpec(
+        name="readmost",
+        description="read-mostly test workload",
+        category=1,
+        alloc_mb_s=2.0,
+        survival_frac=0.05,
+        tenure_frac=0.10,
+        young_target_mb=32,
+        observed_old_mb=8,
+        old_write_mb_s=0.5,
+        old_ws_mb=4,
+        misc_mb_s=0.5,
+        ops_per_s=100.0,
+        gc_scale=1.0,
+        tts_enforced_s=0.05,
+    )
+    plan = FaultPlan().agent_hang(at_s=0.01)
+    engine, vm, link, injector = setup(spec=read_intensive, plan=plan)
+    sup = MigrationSupervisor(
+        engine, vm, link, engine_name="javmm", injector=injector,
+        phase_timeouts={"waiting-for-apps": 0.5}, backoff_s=0.1,
+        consult_policy=True, max_attempts=3,
+    )
+    result = sup.run()
+    assert result.ok
+    assert result.engine == "xen"
+    assert result.degradations == ["javmm", "xen"]  # assisted skipped
+
+
+def test_attempt_budget_exhaustion_reports_failure():
+    plan = FaultPlan().link_outage(at_s=0.05)  # permanent outage
+    engine, vm, link, injector = setup(plan=plan)
+    sup = MigrationSupervisor(
+        engine, vm, link, engine_name="javmm", injector=injector,
+        stall_timeout_s=0.3, backoff_s=0.1, max_attempts=3,
+    )
+    result = sup.run()
+    assert not result.ok
+    assert result.n_attempts == 3
+    assert all(rec.aborted for rec in result.attempts)
+    # Even the failed supervision leaves the guest healthy.
+    assert not vm.domain.paused
+    assert not vm.domain.dirty_log.enabled
+    ops = vm.jvm.ops_completed
+    engine.run_until(engine.now + 1.0)
+    assert vm.jvm.ops_completed > ops
+
+
+def test_supervisor_validates_configuration():
+    engine, vm, link, _ = setup(warmup_s=0.0)
+    with pytest.raises(ConfigurationError):
+        MigrationSupervisor(engine, vm, link, max_attempts=0)
+    with pytest.raises(ConfigurationError):
+        MigrationSupervisor(engine, vm, link, degrade_after=0)
+
+
+def test_degradation_chain_is_ordered_most_to_least_assisted():
+    assert DEGRADATION_CHAIN == ("javmm", "assisted", "xen")
+
+
+def test_supervised_migrate_acceptance_scenario():
+    """The headline drill: link outage at iteration 3 plus a durable
+    agent hang.  The supervisor aborts cleanly, retries with backoff,
+    degrades to an engine that needs no guest cooperation, and the
+    destination verifies."""
+    plan = FaultPlan().link_outage(at_iteration=3, duration_s=1.0).agent_hang(at_s=0.0)
+    result, vm = supervised_migrate(
+        workload="derby",
+        engine_name="javmm",
+        plan=plan,
+        warmup_s=2.0,
+        phase_timeouts={"waiting-for-apps": 1.0},
+        stall_timeout_s=1.5,
+        backoff_s=0.25,
+        consult_policy=False,
+    )
+    assert result.ok
+    assert result.n_attempts >= 2
+    assert result.attempts[0].aborted
+    assert result.attempts[0].report.source_intact is True
+    assert result.engine == "xen"  # degraded off the hung assist path
+    assert result.report.verified is True
+    assert result.report.violating_pages == 0
+    assert result.migrator.dest_domain is not None
+    # Backoff actually waited between attempts.
+    assert any(rec.waited_before_s > 0 for rec in result.attempts[1:])
