@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures all-experiments clean
+.PHONY: install test lint bench figures all-experiments clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,7 +12,12 @@ install:
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
+# Mirrors the CI lint job; requires ruff (pip install ruff).
+lint:
+	ruff check src tests benchmarks examples
+
 bench:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr3_telemetry.py
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 figures:

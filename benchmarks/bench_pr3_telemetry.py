@@ -1,0 +1,103 @@
+"""Telemetry overhead benchmark (PR 3 acceptance gate).
+
+Runs a Figure-10-style sweep — each workload category migrated with the
+vanilla ``xen`` engine and with ``javmm`` — twice: once with telemetry
+disabled (every probe call hits :data:`~repro.telemetry.NULL_PROBE`)
+and once with a live probe recording spans and metrics.  Wall-clock
+times go to ``BENCH_PR3.json`` along with the relative overhead; the
+disabled-path overhead must stay under 5 %.
+
+Plain script on purpose (no pytest-benchmark dependency)::
+
+    PYTHONPATH=src python benchmarks/bench_pr3_telemetry.py
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.core import MigrationExperiment
+from repro.units import MiB
+
+WORKLOADS = ("derby", "crypto", "scimark")
+ENGINES = ("xen", "javmm")
+#: sweep repetitions; the median wall time absorbs scheduler noise
+ROUNDS = 3
+
+
+def _sweep(telemetry: bool) -> tuple[float, list[dict]]:
+    """One full sweep; returns (total wall seconds, per-run details)."""
+    details = []
+    total = 0.0
+    for workload in WORKLOADS:
+        for engine in ENGINES:
+            t0 = time.perf_counter()
+            result = MigrationExperiment(
+                workload=workload,
+                engine=engine,
+                mem_bytes=MiB(512),
+                max_young_bytes=MiB(128),
+                warmup_s=5.0,
+                cooldown_s=2.0,
+                telemetry=telemetry,
+            ).run()
+            elapsed = time.perf_counter() - t0
+            total += elapsed
+            assert result.report.verified, (workload, engine)
+            details.append(
+                {
+                    "workload": workload,
+                    "engine": engine,
+                    "telemetry": telemetry,
+                    "wall_s": round(elapsed, 4),
+                    "migration_total_s": round(result.report.completion_time_s, 4),
+                    "n_spans": (
+                        len(result.probe.tracer.spans)
+                        if result.probe is not None and result.probe.enabled
+                        else 0
+                    ),
+                }
+            )
+    return total, details
+
+
+def main() -> int:
+    baselines: list[float] = []
+    enabled: list[float] = []
+    details: list[dict] = []
+    for _ in range(ROUNDS):
+        base_s, base_rows = _sweep(telemetry=False)
+        tele_s, tele_rows = _sweep(telemetry=True)
+        baselines.append(base_s)
+        enabled.append(tele_s)
+        details.extend(base_rows + tele_rows)
+
+    baseline_s = statistics.median(baselines)
+    telemetry_s = statistics.median(enabled)
+    overhead_pct = 100.0 * (telemetry_s - baseline_s) / baseline_s
+    payload = {
+        "benchmark": "pr3-telemetry-overhead",
+        "sweep": {"workloads": WORKLOADS, "engines": ENGINES, "rounds": ROUNDS},
+        "baseline_s": round(baseline_s, 4),
+        "telemetry_s": round(telemetry_s, 4),
+        "overhead_pct": round(overhead_pct, 2),
+        "baseline_rounds_s": [round(x, 4) for x in baselines],
+        "telemetry_rounds_s": [round(x, 4) for x in enabled],
+        "runs": details,
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_PR3.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"baseline {baseline_s:.2f}s, telemetry {telemetry_s:.2f}s "
+        f"-> overhead {overhead_pct:+.1f}% (wrote {out})"
+    )
+    # The *enabled* path is allowed to cost something; the acceptance
+    # budget is on the sweep with telemetry on staying within 5 %.
+    return 0 if overhead_pct < 5.0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,11 @@ Two modes:
 
       javmm-repro migrate --workload derby --engine javmm
       javmm-repro migrate --workload scimark --engine auto --json
+
+- trace a migration with full telemetry and print the per-phase
+  latency table (``--trace-out`` writes Perfetto-loadable JSON)::
+
+      javmm-repro trace --workload derby --engine javmm --trace-out t.json
 """
 
 from __future__ import annotations
@@ -33,10 +38,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(ALL_EXPERIMENTS) + ["all", "migrate"],
+        choices=sorted(ALL_EXPERIMENTS) + ["all", "migrate", "trace"],
         help=(
             "which figure/table to regenerate ('all' runs everything; "
-            "'migrate' runs one ad-hoc migration)"
+            "'migrate' runs one ad-hoc migration; 'trace' runs one with "
+            "telemetry on and prints the per-phase latency table)"
         ),
     )
     parser.add_argument(
@@ -72,7 +78,45 @@ def build_parser() -> argparse.ArgumentParser:
         default=4,
         help="attempt budget for --supervise (default: %(default)s)",
     )
+    telemetry = parser.add_argument_group(
+        "telemetry options (any of these turns telemetry on)"
+    )
+    telemetry.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write spans as Chrome trace_event JSON (load in Perfetto)",
+    )
+    telemetry.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write the metrics registry snapshot as JSON",
+    )
+    telemetry.add_argument(
+        "--telemetry-out",
+        metavar="FILE",
+        help="write the unified JSONL export (spans + metrics + events)",
+    )
     return parser
+
+
+def _telemetry_requested(args: argparse.Namespace) -> bool:
+    return bool(args.trace_out or args.metrics_out or args.telemetry_out)
+
+
+def _write_telemetry_outputs(args: argparse.Namespace, probe: object) -> None:
+    from repro.telemetry import write_chrome_trace, write_jsonl, write_metrics_json
+
+    if probe is None or not probe.enabled:
+        return
+    if args.trace_out:
+        write_chrome_trace(args.trace_out, probe.tracer)
+        print(f"wrote Chrome trace: {args.trace_out}", file=sys.stderr)
+    if args.metrics_out:
+        write_metrics_json(args.metrics_out, probe.metrics)
+        print(f"wrote metrics: {args.metrics_out}", file=sys.stderr)
+    if args.telemetry_out:
+        n = write_jsonl(args.telemetry_out, probe=probe)
+        print(f"wrote {n} telemetry records: {args.telemetry_out}", file=sys.stderr)
 
 
 def _run_supervised(args: argparse.Namespace) -> int:
@@ -80,7 +124,8 @@ def _run_supervised(args: argparse.Namespace) -> int:
     from repro.units import MiB
 
     engine = "javmm" if args.engine == "auto" else args.engine
-    result, _vm = supervised_migrate(
+    telemetry = _telemetry_requested(args) or args.experiment == "trace"
+    result, vm = supervised_migrate(
         workload=args.workload,
         engine_name=engine,
         seed=args.seed,
@@ -89,7 +134,11 @@ def _run_supervised(args: argparse.Namespace) -> int:
             "max_young_bytes": MiB(args.young_mb),
         },
         max_attempts=args.max_attempts,
+        telemetry=telemetry,
     )
+    _write_telemetry_outputs(args, vm.probe)
+    if args.experiment == "trace" and vm.probe.enabled:
+        print(vm.probe.tracer.phase_table())
     if args.json:
         payload = {
             "ok": result.ok,
@@ -122,13 +171,18 @@ def _run_migrate(args: argparse.Namespace) -> int:
 
     if args.supervise:
         return _run_supervised(args)
+    telemetry = _telemetry_requested(args) or args.experiment == "trace"
     result = MigrationExperiment(
         workload=args.workload,
         engine=args.engine,
         mem_bytes=MiB(args.mem_mb),
         max_young_bytes=MiB(args.young_mb),
         seed=args.seed,
+        telemetry=telemetry,
     ).run()
+    _write_telemetry_outputs(args, result.probe)
+    if args.experiment == "trace" and result.probe is not None and result.probe.enabled:
+        print(result.probe.tracer.phase_table())
     if args.json:
         payload = result.report.to_dict()
         payload["workload"] = result.workload
@@ -144,7 +198,7 @@ def _run_migrate(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.experiment == "migrate":
+    if args.experiment in ("migrate", "trace"):
         return _run_migrate(args)
     names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -33,6 +33,7 @@ from repro.migration.precopy import PrecopyMigrator
 from repro.net.link import Link
 from repro.sim.actor import Actor
 from repro.sim.eventlog import EventLog
+from repro.telemetry.probe import NULL_PROBE, Probe
 from repro.units import GiB, MiB
 from repro.workloads.analyzer import Analyzer
 from repro.workloads.spec import WorkloadSpec, get_workload
@@ -70,6 +71,8 @@ class JavaVM:
     analyzer: Analyzer
     workload: WorkloadSpec
     event_log: EventLog = field(default_factory=EventLog)
+    #: shared telemetry handle; NULL_PROBE unless built with telemetry
+    probe: Probe = NULL_PROBE
 
     @property
     def heap(self) -> GenerationalHeap:
@@ -92,6 +95,8 @@ def build_java_vm(
     lkm_reply_timeout_s: float | None = None,
     lkm_full_rewalk: bool = False,
     seed: int = 20150421,
+    telemetry: bool = False,
+    probe: Probe | None = None,
 ) -> JavaVM:
     """Build the paper's guest: a 2 GB, 4-vCPU Java VM by default."""
     spec = get_workload(workload) if isinstance(workload, str) else workload
@@ -131,6 +136,15 @@ def build_java_vm(
     vm = JavaVM(domain, kernel, lkm, process, jvm, agent, analyzer, spec)
     lkm.event_log = vm.event_log
     jvm.event_log = vm.event_log
+    if probe is not None or telemetry:
+        vm.probe = probe if probe is not None else Probe(event_log=vm.event_log)
+        if vm.probe.enabled:
+            if vm.probe.event_log is None:
+                vm.probe.event_log = vm.event_log
+            lkm.probe = vm.probe
+            jvm.probe = vm.probe
+            agent.probe = vm.probe
+            domain.dirty_log.probe = vm.probe
     return vm
 
 
@@ -152,6 +166,9 @@ def make_migrator(
     migrator = _make_migrator(engine, vm, link, **kwargs)
     if hasattr(migrator, "event_log"):
         migrator.event_log = vm.event_log
+    if vm.probe.enabled:
+        migrator.probe = vm.probe
+        link.probe = vm.probe
     return migrator
 
 

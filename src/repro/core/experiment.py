@@ -40,6 +40,8 @@ class ExperimentResult:
     policy_decision: object | None = None
     #: the guest's shared event log (daemon + LKM + JVM narratives)
     event_log: object | None = None
+    #: the guest's telemetry probe (NULL_PROBE unless telemetry=True)
+    probe: object | None = None
 
     @property
     def throughput_drop_fraction(self) -> float:
@@ -65,6 +67,8 @@ class MigrationExperiment:
     migration_timeout_s: float = 600.0
     vm_kwargs: dict = field(default_factory=dict)
     migrator_kwargs: dict = field(default_factory=dict)
+    #: build the guest with a live telemetry probe (spans + metrics)
+    telemetry: bool = False
 
     def build(self) -> tuple[Engine, JavaVM, PrecopyMigrator | None]:
         """Assemble the simulation without running it (for tests).
@@ -78,6 +82,7 @@ class MigrationExperiment:
             mem_bytes=self.mem_bytes,
             max_young_bytes=self.max_young_bytes,
             seed=self.seed,
+            telemetry=self.telemetry,
             **self.vm_kwargs,
         )
         for actor in vm.actors():
@@ -123,6 +128,8 @@ class MigrationExperiment:
         workload_name = (
             self.workload if isinstance(self.workload, str) else self.workload.name
         )
+        if vm.probe.enabled:
+            vm.probe.finish(engine.now)
         return ExperimentResult(
             workload=workload_name,
             engine=decision.engine if decision is not None else self.engine,
@@ -136,4 +143,5 @@ class MigrationExperiment:
             mean_throughput_after=after,
             policy_decision=decision,
             event_log=vm.event_log,
+            probe=vm.probe,
         )

@@ -158,6 +158,7 @@ class MigrationSupervisor:
     # -- the loop ----------------------------------------------------------------------
 
     def run(self) -> SupervisionResult:
+        probe = self.vm.probe
         result = SupervisionResult(ok=False, engine=self.engine_name, report=None)
         current = self.engine_name
         result.degradations.append(current)
@@ -167,7 +168,12 @@ class MigrationSupervisor:
             if wait > 0.0:
                 # Back off: the guest keeps running at the source while
                 # the (possibly transient) failure clears.
+                span_backoff = probe.begin(
+                    "backoff", self.engine.now, track="supervisor",
+                    cat="supervisor", attempt=attempt, wait_s=wait,
+                )
                 self.engine.run_until(self.engine.now + wait)
+                probe.end(span_backoff, self.engine.now)
             migrator = make_migrator(
                 current,
                 self.vm,
@@ -181,6 +187,10 @@ class MigrationSupervisor:
             self.vm.jvm.migration_load = migrator.load_fraction
             if self.injector is not None:
                 self.injector.bind_migrator(migrator)
+            span_attempt = probe.begin(
+                "attempt", self.engine.now, track="supervisor",
+                cat="supervisor", attempt=attempt, engine=current,
+            )
             migrator.start(self.engine.now)
             record = AttemptRecord(
                 attempt=attempt,
@@ -206,6 +216,8 @@ class MigrationSupervisor:
                 record.reason = "supervision timeout"
             finally:
                 self.engine.remove(migrator)
+            probe.end(span_attempt, self.engine.now,
+                      aborted=record.aborted, reason=record.reason)
             result.attempts.append(record)
 
             if not record.aborted:
@@ -216,12 +228,18 @@ class MigrationSupervisor:
                 return result
 
             consecutive += 1
+            probe.count("supervisor.retries", engine=current)
             result.report = migrator.report
             result.engine = current
             wait = self.backoff_s * (self.backoff_factor ** (attempt - 1))
             if self._should_degrade(record, consecutive, self.degrade_after):
                 degraded = self._next_engine(current)
                 if degraded != current:
+                    probe.count("supervisor.degradations")
+                    probe.instant(
+                        "degrade", self.engine.now, track="supervisor",
+                        from_engine=current, to_engine=degraded,
+                    )
                     current = degraded
                     consecutive = 0
                     result.degradations.append(current)
@@ -237,6 +255,7 @@ def supervised_migrate(
     dt: float = 0.005,
     seed: int = 20150421,
     vm_kwargs: dict | None = None,
+    telemetry: bool = False,
     **supervisor_kwargs,
 ) -> tuple[SupervisionResult, JavaVM]:
     """Build a guest, optionally arm a fault plan, and migrate supervised.
@@ -251,7 +270,9 @@ def supervised_migrate(
     from repro.faults import FaultInjector
 
     sim = Engine(dt)
-    vm = build_java_vm(workload=workload, seed=seed, **(vm_kwargs or {}))
+    vm = build_java_vm(
+        workload=workload, seed=seed, telemetry=telemetry, **(vm_kwargs or {})
+    )
     for actor in vm.actors():
         sim.add(actor)
     link = link or Link()
@@ -268,9 +289,14 @@ def supervised_migrate(
             agent=vm.agent,
             netlink=vm.kernel.netlink,
         )
+        if vm.probe.enabled:
+            injector.probe = vm.probe
         injector.arm(sim.now)
         sim.add(injector)
     supervisor = MigrationSupervisor(
         sim, vm, link, engine_name=engine_name, injector=injector, **supervisor_kwargs
     )
-    return supervisor.run(), vm
+    outcome = supervisor.run()
+    if vm.probe.enabled:
+        vm.probe.finish(sim.now)
+    return outcome, vm

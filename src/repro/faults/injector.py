@@ -20,6 +20,7 @@ from typing import Any, Callable
 from repro.errors import FaultInjectionError, ProtocolError
 from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
 from repro.sim.actor import Actor
+from repro.telemetry.probe import NULL_PROBE
 
 
 class FaultInjector(Actor):
@@ -45,6 +46,8 @@ class FaultInjector(Actor):
         self.migrator = migrator
         #: (time, event) log of everything injected, for tests/reports
         self.injected: list[tuple[float, FaultEvent]] = []
+        #: telemetry handle (see repro.telemetry); no-op unless enabled
+        self.probe = NULL_PROBE
         self._pending: list[FaultEvent] = list(plan)
         self._reversions: list[tuple[float, Callable[[], None]]] = []
         self._delayed: list[tuple[float, str, int | None, Any]] = []
@@ -104,6 +107,7 @@ class FaultInjector(Actor):
 
     def _apply(self, event: FaultEvent, now: float) -> None:
         self.injected.append((now, event))
+        self._record_fault(event, now)
         kind = event.kind
         if kind is FaultKind.LINK_DOWN:
             link = self._require(self.link, "link", event)
@@ -150,6 +154,19 @@ class FaultInjector(Actor):
             migrator.notify_destination_failed("destination host died")
         else:  # pragma: no cover - exhaustive dispatch
             raise FaultInjectionError(f"unhandled fault kind {kind!r}")
+
+    def _record_fault(self, event: FaultEvent, now: float) -> None:
+        self.probe.count("faults.injected", kind=event.kind.value)
+        if event.duration_s is not None:
+            # A windowed fault gets a span covering the whole window; the
+            # end time is known up front, so begin/end immediately.
+            span = self.probe.begin(
+                "fault-window", now, track="faults", cat="fault",
+                kind=event.kind.value, duration_s=event.duration_s,
+            )
+            self.probe.end(span, now + event.duration_s)
+        else:
+            self.probe.instant(f"fault:{event.kind.value}", now, track="faults")
 
     @staticmethod
     def _require(target: Any, name: str, event: FaultEvent) -> Any:

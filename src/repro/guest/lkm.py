@@ -39,6 +39,7 @@ from repro.mem.bitmap import PageBitmap
 from repro.mem.constants import PAGE_SIZE
 from repro.mem.pfn_cache import PfnCache
 from repro.sim.actor import Actor
+from repro.telemetry.probe import NULL_PROBE
 from repro.xen.event_channel import EventChannel
 
 
@@ -133,6 +134,9 @@ class AssistLKM(Actor):
         self._hang_queue: list[tuple[str, int | None, object]] = []
         #: optional shared timeline (see repro.sim.eventlog)
         self.event_log = None
+        #: telemetry handle (see repro.telemetry); no-op unless enabled
+        self.probe = NULL_PROBE
+        self._span_query = None
         kernel.netlink.bind_kernel(self._on_app_message)
 
     # -- wiring -------------------------------------------------------------------
@@ -215,10 +219,13 @@ class AssistLKM(Actor):
         # Straggler handling (Section 6): stop waiting at the deadline.
         if self.state is LkmState.MIGRATION_STARTED and self._awaiting:
             self.stats.timed_out_apps += len(self._awaiting)
+            self.probe.count("lkm.timed_out_apps", len(self._awaiting))
             self._awaiting.clear()
             self._deadline = None
+            self._end_query_span(timed_out=True)
         elif self.state is LkmState.ENTERING_LAST_ITER and self._awaiting:
             self.stats.timed_out_apps += len(self._awaiting)
+            self.probe.count("lkm.timed_out_apps", len(self._awaiting))
             self._finish_final_update()
 
     # -- daemon-side messages --------------------------------------------------------------
@@ -243,12 +250,15 @@ class AssistLKM(Actor):
             raise ProtocolError(f"MigrationBegin in state {self.state}")
         self.state = LkmState.MIGRATION_STARTED
         self._log("state -> MIGRATION_STARTED; querying skip-over areas")
+        self.probe.instant("state:MIGRATION_STARTED", self._now, track="lkm")
         self._query_id += 1
         self.stats.queries_sent += 1
+        self.probe.count("lkm.queries_sent", kind="skip-over")
         self._awaiting = set(self.kernel.netlink.subscriber_ids)
         self._deadline = (
             self._now + self.reply_timeout_s if self.reply_timeout_s else None
         )
+        self._begin_query_span("skip-over")
         self.kernel.netlink.multicast(msg.SkipOverQuery(self._query_id))
 
     def _enter_last_iter(self) -> None:
@@ -256,8 +266,10 @@ class AssistLKM(Actor):
             raise ProtocolError(f"EnterLastIter in state {self.state}")
         self.state = LkmState.ENTERING_LAST_ITER
         self._log("state -> ENTERING_LAST_ITER; asking apps to prepare")
+        self.probe.instant("state:ENTERING_LAST_ITER", self._now, track="lkm")
         self._query_id += 1
         self.stats.queries_sent += 1
+        self.probe.count("lkm.queries_sent", kind="prepare-suspension")
         self._awaiting = set(self.kernel.netlink.subscriber_ids)
         self._deadline = (
             self._now + self.reply_timeout_s if self.reply_timeout_s else None
@@ -266,6 +278,7 @@ class AssistLKM(Actor):
         if not self._awaiting:
             self._finish_final_update()
             return
+        self._begin_query_span("prepare-suspension")
         self.kernel.netlink.multicast(msg.PrepareSuspension(self._query_id))
 
     def _vm_resumed(self) -> None:
@@ -281,6 +294,7 @@ class AssistLKM(Actor):
         self._staged_areas.clear()
         self._deadline = None
         self.state = LkmState.INITIALIZED
+        self.probe.instant("state:INITIALIZED", self._now, track="lkm")
         self._log("VM resumed; state -> INITIALIZED")
 
     def _migration_aborted(self, reason: str = "") -> None:
@@ -308,6 +322,11 @@ class AssistLKM(Actor):
         self._suspension_replies.clear()
         self._deadline = None
         self.state = LkmState.INITIALIZED
+        self._end_query_span(aborted=True)
+        self.probe.count("lkm.rollbacks")
+        self.probe.instant(
+            "state:INITIALIZED", self._now, track="lkm", rollback=True
+        )
         self.kernel.netlink.multicast(msg.MigrationAbortedNotice(reason))
         self._log(f"migration aborted ({reason or 'no reason given'}); "
                   "state -> INITIALIZED")
@@ -361,6 +380,8 @@ class AssistLKM(Actor):
         if reply.query_id != self._query_id or app_id not in self._awaiting:
             return  # stale or duplicate reply; ignore (straggler rule)
         self._awaiting.discard(app_id)
+        if not self._awaiting:
+            self._end_query_span()
         record = self._apps.get(app_id)
         if record is None:
             return  # subscribed but never registered a process; nothing to do
@@ -386,10 +407,12 @@ class AssistLKM(Actor):
         if record is None:
             return
         self.stats.shrink_events += 1
+        self.probe.count("lkm.shrink_events")
         for left in note.ranges_left:
             pfns = record.cache.take_range(left)
             self.transfer_bitmap.set_pfns(pfns)
             self.stats.shrink_pages += len(pfns)
+            self.probe.count("lkm.shrink_pages", len(pfns))
             record.areas = self._subtract_from_areas(record.areas, left)
 
     def _on_suspension_ready(self, app_id: int, reply: msg.SuspensionReadyReply) -> None:
@@ -406,10 +429,25 @@ class AssistLKM(Actor):
         if self.event_log is not None:
             self.event_log.log(self._now, "lkm", message)
 
+    # -- telemetry helpers -------------------------------------------------------------
+
+    def _begin_query_span(self, kind: str) -> None:
+        """A netlink round-trip window: multicast out → last reply in."""
+        self.probe.end(self._span_query, self._now)
+        self._span_query = self.probe.begin(
+            "netlink-query", self._now, track="lkm", cat="netlink",
+            kind=kind, query_id=self._query_id, awaiting=len(self._awaiting),
+        )
+
+    def _end_query_span(self, **args) -> None:
+        self.probe.end(self._span_query, self._now, **args)
+        self._span_query = None
+
     # -- bitmap updates ---------------------------------------------------------------------
 
     def _first_update(self, record: _AppRecord, areas: list[VARange]) -> None:
         """Clear transfer bits for every page of the app's areas."""
+        cleared = 0
         for area in coalesce(areas):
             start_vpn, end_vpn = page_span_inner(area)
             if end_vpn == start_vpn:
@@ -418,7 +456,13 @@ class AssistLKM(Actor):
             pfns = record.process.page_table.walk(walk_range)
             self.transfer_bitmap.clear_pfns(pfns)
             self._cache_walked(record, walk_range)
-            self.stats.first_update_pages += len(pfns)
+            cleared += len(pfns)
+        self.stats.first_update_pages += cleared
+        self.probe.count("lkm.first_update_pages", cleared)
+        self.probe.instant(
+            "bitmap-update", self._now, track="lkm",
+            kind="first", app_id=record.app_id, pages=cleared,
+        )
         record.areas = coalesce(areas)
         self._log(
             f"first update for app {record.app_id}: "
@@ -476,8 +520,17 @@ class AssistLKM(Actor):
         duration = _FINAL_UPDATE_BASE_S + touched * _FINAL_UPDATE_PER_PAGE_S
         duration += walked * _REWALK_PER_PAGE_S / self.rewalk_threads
         self.stats.final_update_seconds = duration
+        self._end_query_span()
+        self.probe.count("lkm.final_update_pages", touched)
+        # The modelled cost gives this span a real width in the trace.
+        span = self.probe.begin(
+            "bitmap-update", self._now, track="lkm", cat="bitmap",
+            kind="final", pages=touched, walked=walked,
+        )
+        self.probe.end(span, self._now + duration)
         self._deadline = None
         self.state = LkmState.SUSPENSION_READY
+        self.probe.instant("state:SUSPENSION_READY", self._now, track="lkm")
         self._log(
             f"final update done in {duration * 1e6:.0f} us "
             f"(touched {touched} pages); state -> SUSPENSION_READY"

@@ -55,6 +55,15 @@ class MinorGcStats:
     def garbage_fraction(self) -> float:
         return self.garbage_bytes / self.scanned_bytes if self.scanned_bytes else 0.0
 
+    def record_in(self, probe) -> None:
+        """Feed this collection into a telemetry probe's metrics."""
+        kind = "enforced" if self.enforced else "minor"
+        probe.count("jvm.gc_count", kind=kind)
+        probe.observe("jvm.gc_pause_s", self.duration_s, kind=kind)
+        probe.count("jvm.gc_scanned_bytes", self.scanned_bytes)
+        probe.count("jvm.gc_live_bytes", self.live_bytes)
+        probe.count("jvm.gc_promoted_bytes", self.promoted_bytes)
+
 
 @dataclass
 class FullGcStats:
@@ -67,3 +76,9 @@ class FullGcStats:
     @property
     def reclaimed_bytes(self) -> int:
         return self.old_before_bytes - self.old_after_bytes
+
+    def record_in(self, probe) -> None:
+        """Feed this collection into a telemetry probe's metrics."""
+        probe.count("jvm.gc_count", kind="full")
+        probe.observe("jvm.gc_pause_s", self.duration_s, kind="full")
+        probe.count("jvm.gc_reclaimed_bytes", self.reclaimed_bytes)

@@ -22,6 +22,7 @@ from repro.jvm.gc_model import MinorGcStats
 from repro.jvm.heap import GenerationalHeap
 from repro.mem.address import VARange
 from repro.sim.actor import Actor
+from repro.telemetry.probe import NULL_PROBE
 from repro.units import MiB
 
 GcEndCallback = Callable[[MinorGcStats], None]
@@ -87,6 +88,10 @@ class HotSpotJVM(Actor):
         self.on_gc_end: GcEndCallback | None = None
         #: optional shared timeline (see repro.sim.eventlog)
         self.event_log = None
+        #: telemetry handle (see repro.telemetry); no-op unless enabled
+        self.probe = NULL_PROBE
+        self._span_safepoint = None
+        self._span_gc = None
         self._now = 0.0
         self.on_enforced_ready: ReadyCallback | None = None
         #: hook installed by migration daemons: fraction of link capacity
@@ -147,6 +152,9 @@ class HotSpotJVM(Actor):
         else:
             self._timer = self.tts_natural_s
         self._tts_enforced = enforced
+        self._span_safepoint = self.probe.begin(
+            "safepoint", self._now, track="jvm", cat="jvm", enforced=enforced
+        )
 
     def _begin_gc(self) -> None:
         enforced = self._tts_enforced or self._pending_enforced
@@ -167,11 +175,22 @@ class HotSpotJVM(Actor):
         self.gc_pause_seconds += stats.duration_s
         if enforced:
             self.enforced_gc_seconds += stats.duration_s
+        if self.probe.enabled:
+            self.probe.end(self._span_safepoint, self._now)
+            self._span_safepoint = None
+            self._span_gc = self.probe.begin(
+                "gc", self._now, track="jvm", cat="jvm",
+                enforced=enforced, scanned_bytes=stats.scanned_bytes,
+                live_bytes=stats.live_bytes,
+            )
+            stats.record_in(self.probe)
 
     def _end_gc(self) -> None:
         stats = self._gc_stats
         self._gc_stats = None
         assert stats is not None
+        self.probe.end(self._span_gc, self._now, pause_s=stats.duration_s)
+        self._span_gc = None
         if self.on_gc_end is not None:
             self.on_gc_end(stats)
         if stats.enforced:

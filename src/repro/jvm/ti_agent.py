@@ -23,6 +23,7 @@ from repro.guest.lkm import AssistLKM
 from repro.guest.procfs import format_area_line
 from repro.jvm.hotspot import HotSpotJVM
 from repro.mem.address import VARange
+from repro.telemetry.probe import NULL_PROBE
 
 
 class TIAgent:
@@ -31,6 +32,8 @@ class TIAgent:
     def __init__(self, jvm: HotSpotJVM, lkm: AssistLKM) -> None:
         self.jvm = jvm
         self.lkm = lkm
+        #: telemetry handle (see repro.telemetry); no-op unless enabled
+        self.probe = NULL_PROBE
         self.app_id = jvm.process.pid
         self._netlink = jvm.process.kernel.netlink
         self._pending_query_id: int | None = None
@@ -100,6 +103,7 @@ class TIAgent:
     def _reply_skip_areas(self, query_id: int) -> None:
         young = self.jvm.heap.young_committed_range()
         self.lkm.proc_entry.write(format_area_line(self.app_id, query_id, young))
+        self.probe.count("agent.replies", kind="skip-areas")
         self._netlink.send_to_kernel(
             self.app_id, msg.SkipAreasReply(self.app_id, query_id, n_areas=1)
         )
@@ -107,6 +111,7 @@ class TIAgent:
     def _prepare_suspension(self, query_id: int) -> None:
         self._pending_query_id = query_id
         self._enforced_in_flight = True
+        self.probe.count("agent.enforced_gc_requests")
         self.jvm.enforce_gc()
 
     def _on_vm_resumed(self) -> None:
@@ -123,6 +128,7 @@ class TIAgent:
     def _on_young_shrunk(self, freed: VARange) -> None:
         """Pages were freed from the Young generation at the end of a GC."""
         self.shrink_notices += 1
+        self.probe.count("agent.shrink_notices")
         self._netlink.send_to_kernel(
             self.app_id, msg.AreaShrunk(self.app_id, ranges_left=(freed,))
         )
@@ -138,6 +144,7 @@ class TIAgent:
         self._enforced_in_flight = False
         query_id, self._pending_query_id = self._pending_query_id, None
         heap = self.jvm.heap
+        self.probe.count("agent.replies", kind="suspension-ready")
         self._netlink.send_to_kernel(
             self.app_id,
             msg.SuspensionReadyReply(

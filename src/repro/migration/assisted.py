@@ -56,16 +56,24 @@ class AssistedMigrator(PrecopyMigrator):
 
     def _on_migration_started(self, now: float) -> None:
         self._suspension_ready = False
-        self.channel.send_to_guest(msg.MigrationBegin())
+        self._signal_guest(now, msg.MigrationBegin())
 
     def _request_stop(self, now: float) -> bool:
-        self.channel.send_to_guest(msg.EnterLastIter())
+        self._signal_guest(now, msg.EnterLastIter())
         return False  # keep iterating until the apps are ready
 
     def _apps_ready(self) -> bool:
         return self._suspension_ready
 
+    def _signal_guest(self, now: float, message: object) -> None:
+        self.probe.count("chan.signals", direction="to_guest")
+        self.probe.instant(
+            type(message).__name__, now, track=self._track
+        )
+        self.channel.send_to_guest(message)
+
     def _on_lkm_message(self, message: object) -> None:
+        self.probe.count("chan.signals", direction="to_daemon")
         if isinstance(message, msg.SuspensionReady):
             self._suspension_ready = True
             self.report.downtime.final_update_s = message.final_update_seconds
@@ -75,7 +83,7 @@ class AssistedMigrator(PrecopyMigrator):
     def _on_resumed(self, now: float) -> None:
         # Capture mechanism overhead before VMResumed resets the LKM.
         self.report.lkm_overhead_bytes = self.lkm.overhead_bytes
-        self.channel.send_to_guest(msg.VMResumed())
+        self._signal_guest(now, msg.VMResumed())
 
     def _on_aborted(self, now: float, reason: str) -> None:
         # Runs while log-dirty mode is still on: the LKM's rollback
@@ -84,7 +92,7 @@ class AssistedMigrator(PrecopyMigrator):
         # resend pages the aborted attempt skipped).
         self.report.lkm_overhead_bytes = self.lkm.overhead_bytes
         self._suspension_ready = False
-        self.channel.send_to_guest(msg.MigrationAborted(reason))
+        self._signal_guest(now, msg.MigrationAborted(reason))
 
     # -- bitmap consultation --------------------------------------------------------------
 

@@ -37,6 +37,7 @@ from repro.migration.precopy import (
 from repro.migration.report import IterationRecord, MigrationReport
 from repro.net.link import Link
 from repro.sim.actor import Actor
+from repro.telemetry.probe import NULL_PROBE
 from repro.xen.domain import Domain
 
 #: Seconds of guest stall per demand-faulted page (one network RTT plus
@@ -73,6 +74,10 @@ class PostCopyMigrator(Actor):
         self._step_capacity = 1.0
         self._recent_stall = 0.0
         self._dest_failed_reason: str | None = None
+        #: telemetry handle (see repro.telemetry); no-op unless enabled
+        self.probe = NULL_PROBE
+        self._span_migration = None
+        self._span_resume = None
 
     # -- control -----------------------------------------------------------------
 
@@ -81,6 +86,13 @@ class PostCopyMigrator(Actor):
             raise MigrationError("migration already started")
         self._started = now
         self.report.started_s = now
+        self._span_migration = self.probe.begin(
+            "migration", now, track=f"daemon:{self.name}", cat="migration",
+            engine=self.name, vm_bytes=self.domain.mem_bytes,
+        )
+        self._span_resume = self.probe.begin(
+            "resume", now, track=f"daemon:{self.name}", cat="migration"
+        )
         self.link.register_consumer(self)
         # Track destination writes so demand faults can be detected.
         self.domain.dirty_log.enable()
@@ -142,6 +154,9 @@ class PostCopyMigrator(Actor):
                 self.report.source_intact = True
                 self.report.finished_s = now
                 self.phase = MigrationPhase.ABORTED
+                self.probe.count("migration.aborts", engine=self.name)
+                self.probe.end(self._span_migration, now, aborted=True,
+                               abort_reason=reason)
                 raise MigrationAbortedError(reason, self.report)
             raise MigrationError(
                 f"post-copy cannot roll back after resume: {reason} "
@@ -154,6 +169,8 @@ class PostCopyMigrator(Actor):
                 self.report.downtime.last_iter_s = 0.0
                 self.report.downtime.resume_s = self.resume_delay_s
                 self.phase = MigrationPhase.ITERATING
+                self.probe.end(self._span_resume, now)
+                self._span_resume = None
             return
         # Refresh the link budget, then service demand faults first —
         # they preempt background pushes but still consume the wire.
@@ -180,8 +197,10 @@ class PostCopyMigrator(Actor):
         # stale snapshot must never be installed over it.
         self.fetched.set_pfns(faulted)
         self.demand_faults += int(faulted.size)
+        self.probe.count("postcopy.demand_faults", int(faulted.size))
         stall = float(faulted.size) * DEMAND_FAULT_STALL_S
         self.stall_seconds += stall
+        self.probe.count("postcopy.stall_s", stall)
         self._recent_stall = min(1.0, stall / dt)
         self.link.account_pages(int(faulted.size))
         # Faulted pages consume wire capacity ahead of background pushes.
@@ -228,3 +247,6 @@ class PostCopyMigrator(Actor):
         self.domain.dirty_log.disable()
         self.link.release_consumer(self)
         self.phase = MigrationPhase.DONE
+        self.probe.count("migration.completed", engine=self.name)
+        self.probe.end(self._span_migration, now, verified=True,
+                       demand_faults=self.demand_faults)

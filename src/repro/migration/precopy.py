@@ -31,6 +31,7 @@ from repro.migration.report import DowntimeBreakdown, IterationRecord, Migration
 from repro.migration.verify import verify_source_after_abort
 from repro.net.link import Link
 from repro.sim.actor import Actor
+from repro.telemetry.probe import NULL_PROBE
 from repro.units import GIB
 from repro.xen.domain import Domain
 from repro.xen.hypervisor import Hypervisor
@@ -124,6 +125,16 @@ class PrecopyMigrator(Actor):
         self.source_versions_at_start: np.ndarray | None = None
         #: optional shared timeline (see repro.sim.eventlog)
         self.event_log = None
+        #: telemetry handle (see repro.telemetry); no-op unless enabled
+        self.probe = NULL_PROBE
+        self._span_migration = None
+        self._span_iter = None
+        self._span_resume = None
+
+    @property
+    def _track(self) -> str:
+        """Tracer track for this daemon's spans."""
+        return f"daemon:{self.name}"
 
     # -- public control -----------------------------------------------------------------
 
@@ -139,6 +150,11 @@ class PrecopyMigrator(Actor):
         self._phase_entered_at = now
         self.report.started_s = now
         self._log(now, "migration started; log-dirty enabled")
+        self._span_migration = self.probe.begin(
+            "migration", now, track=self._track, cat="migration",
+            engine=self.name, vm_bytes=self.domain.mem_bytes,
+            attempt=self.report.attempt,
+        )
         self._on_migration_started(now)
         self.phase = MigrationPhase.ITERATING
         self._begin_iteration(now)
@@ -191,6 +207,15 @@ class PrecopyMigrator(Actor):
         self.report.abort_reason = reason
         self.report.abort_phase = self.phase.value
         self._log(now, f"migration aborted during {self.phase.value}: {reason}")
+        self.probe.count("migration.aborts", engine=self.name)
+        self.probe.instant(
+            "abort", now, track=self._track, reason=reason, phase=self.phase.value
+        )
+        # Closing the root also closes any open iteration/resume child.
+        self.probe.end(
+            self._span_migration, now, aborted=True, abort_reason=reason
+        )
+        self._span_iter = self._span_resume = None
         self._on_aborted(now, reason)
         self.domain.dirty_log.disable()
         if self.domain.paused:
@@ -328,6 +353,16 @@ class PrecopyMigrator(Actor):
             self._pending = np.arange(self.domain.n_pages, dtype=np.int64)
         else:
             self._pending = self.domain.dirty_log.peek_and_clear()
+        self.probe.end(self._span_iter, now)
+        if self.phase is MigrationPhase.LAST_COPY:
+            name = "stop-and-copy"
+        else:
+            name = "iteration"
+        self._span_iter = self.probe.begin(
+            name, now, track=self._track, cat="iteration",
+            index=self._iter_index, pending_pages=len(self._pending),
+            waiting=self.phase is MigrationPhase.WAITING_APPS,
+        )
         self._cursor = 0
         self._iter_start = now
         self._iter_sent = 0
@@ -397,6 +432,27 @@ class PrecopyMigrator(Actor):
         is_last = self.phase is MigrationPhase.LAST_COPY
         is_waiting = self.phase is MigrationPhase.WAITING_APPS
         dirt_events = self.domain.pages.total_dirty_events() - self._iter_dirty_events_base
+        if self.probe.enabled:
+            self.probe.count("migration.iterations", engine=self.name)
+            self.probe.count("migration.pages_sent", self._iter_sent, engine=self.name)
+            self.probe.count("migration.wire_bytes", self._iter_wire, engine=self.name)
+            self.probe.count(
+                "migration.pages_skipped_dirty", self._iter_skip_dirty, engine=self.name
+            )
+            self.probe.count(
+                "migration.pages_skipped_bitmap", self._iter_skip_bitmap, engine=self.name
+            )
+            self.probe.count(
+                "migration.pages_dirtied_during", dirt_events, engine=self.name
+            )
+            duration = max(now - self._iter_start, 0.0)
+            self.probe.observe("migration.iteration_s", duration, engine=self.name)
+            if duration > 0:
+                self.probe.gauge(
+                    "migration.dirtying_rate_bytes_s",
+                    dirt_events * PAGE_SIZE / duration,
+                    engine=self.name,
+                )
         prev = self.report.iterations[-1] if self.report.iterations else None
         if is_waiting and prev is not None and prev.is_waiting:
             prev.duration_s = max(now - prev.start_s, 0.0)
@@ -503,6 +559,11 @@ class PrecopyMigrator(Actor):
         self.report.downtime.resume_s = self.resume_delay_s
         self.phase = MigrationPhase.RESUMING
         self._resume_timer = self.resume_delay_s
+        self.probe.end(self._span_iter, now)
+        self._span_iter = None
+        self._span_resume = self.probe.begin(
+            "resume", now, track=self._track, cat="migration"
+        )
 
     def _log(self, now: float, message: str) -> None:
         if self.event_log is not None:
@@ -526,6 +587,13 @@ class PrecopyMigrator(Actor):
         self.report.finished_s = now
         self.phase = MigrationPhase.DONE
         self._log(now, f"VM activated at destination (verified={self.report.verified})")
+        self.probe.end(self._span_resume, now)
+        self._span_resume = None
+        self.probe.end(
+            self._span_migration, now,
+            verified=self.report.verified, stop_reason=self.report.stop_reason,
+        )
+        self.probe.count("migration.completed", engine=self.name)
         self._on_resumed(now)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

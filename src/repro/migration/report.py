@@ -28,6 +28,7 @@ class IterationRecord:
     pages_skipped_bitmap: int  # transfer bit cleared (skip-over areas)
     is_last: bool = False
     is_waiting: bool = False  # ran while waiting for apps to prepare
+    dirtied_during_bytes: int = 0  # filled post-hoc: dirtied while running
 
     @property
     def bytes_sent(self) -> int:
@@ -37,13 +38,8 @@ class IterationRecord:
     def transfer_rate_bytes_s(self) -> float:
         return self.wire_bytes / self.duration_s if self.duration_s > 0 else 0.0
 
-    @property
-    def dirtied_during_bytes(self) -> int:
-        """Filled in post-hoc: bytes dirtied while this iteration ran."""
-        return getattr(self, "_dirtied_during_bytes", 0)
-
     def set_dirtied_during(self, n_pages: int) -> None:
-        self._dirtied_during_bytes = n_pages * PAGE_SIZE
+        self.dirtied_during_bytes = n_pages * PAGE_SIZE
 
     @property
     def dirtying_rate_bytes_s(self) -> float:
@@ -174,6 +170,7 @@ class MigrationReport:
                     "pages_skipped_bitmap": rec.pages_skipped_bitmap,
                     "is_last": rec.is_last,
                     "is_waiting": rec.is_waiting,
+                    "dirtied_during_bytes": rec.dirtied_during_bytes,
                 }
                 for rec in self.iterations
             ],

@@ -33,6 +33,7 @@ from __future__ import annotations
 from repro.errors import ConfigurationError
 from repro.mem.constants import PAGE_SIZE
 from repro.net.meter import TrafficMeter
+from repro.telemetry.probe import NULL_PROBE
 from repro.units import gbit_per_s
 
 #: Rough per-page wire overhead: migration record header + its share of
@@ -62,6 +63,8 @@ class Link:
         self.loss_rate = 0.0
         #: wire bytes spent re-carrying lost data (goodput accounting)
         self.retransmit_wire_bytes = 0
+        #: telemetry handle (see repro.telemetry); no-op unless enabled
+        self.probe = NULL_PROBE
 
     def set_bandwidth(self, bandwidth_bytes_per_s: float) -> None:
         """Change the raw link speed mid-flight (congestion, failover).
@@ -158,6 +161,7 @@ class Link:
         """
         payload = n_pages * PAGE_SIZE if payload_bytes is None else int(payload_bytes)
         wire = payload + n_pages * self.page_overhead
+        retrans = 0
         if self.loss_rate > 0.0:
             # Lost frames are re-carried: the consumer's goodput budget
             # already shrank, so the extra bytes fill the physical pipe.
@@ -165,9 +169,18 @@ class Link:
             self.retransmit_wire_bytes += retrans
             wire += retrans
         self.meter.add(pages=n_pages, payload_bytes=payload, wire_bytes=wire)
+        if self.probe.enabled:
+            self.probe.count("net.pages", n_pages)
+            self.probe.count("net.payload_bytes", payload)
+            self.probe.count("net.wire_bytes", wire)
+            if retrans:
+                self.probe.count("net.retransmit_wire_bytes", retrans)
         return wire
 
     def account_control(self, n_bytes: int) -> int:
         """Record control-plane bytes (handshakes, dirty-bitmap syncs)."""
         self.meter.add(pages=0, payload_bytes=0, wire_bytes=int(n_bytes))
+        if self.probe.enabled:
+            self.probe.count("net.control_bytes", int(n_bytes))
+            self.probe.count("net.wire_bytes", int(n_bytes))
         return int(n_bytes)

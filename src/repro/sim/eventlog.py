@@ -10,6 +10,7 @@ experiment builders attach one log to every component so
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 
@@ -21,17 +22,24 @@ class Event:
 
 
 class EventLog:
-    """An append-only, time-ordered event collection."""
+    """A bounded, time-ordered event ring.
+
+    At capacity the *oldest* events are evicted — the newest part of
+    the timeline is what debugging needs, and a long warm-up must not
+    silence the migration itself.  ``dropped`` counts evictions, and
+    the unified JSONL export reports it so truncation is never silent.
+    """
 
     def __init__(self, capacity: int = 100_000) -> None:
+        if capacity < 1:
+            raise ValueError("event log capacity must be >= 1")
         self.capacity = capacity
-        self._events: list[Event] = []
+        self._events: deque[Event] = deque(maxlen=capacity)
         self.dropped = 0
 
     def log(self, time_s: float, source: str, message: str) -> None:
-        if len(self._events) >= self.capacity:
+        if len(self._events) == self.capacity:
             self.dropped += 1
-            return
         self._events.append(Event(time_s, source, message))
 
     def events(self, source: str | None = None) -> list[Event]:

@@ -1,0 +1,62 @@
+"""Unified telemetry: spans, metrics and exports for the whole stack.
+
+The paper's evaluation is an observability exercise — correlating
+daemon iterations, LKM bitmap updates and JVM GC/safepoint activity
+against one clock.  This package provides the instrumentation substrate
+every layer shares:
+
+- :class:`Tracer` — hierarchical spans (``migration → iteration →
+  stop-and-copy``, ``gc``, ``safepoint``, ``netlink-query``, fault
+  windows) on the simulated clock, exportable as Chrome ``trace_event``
+  JSON that Perfetto loads directly;
+- :class:`MetricsRegistry` — labeled counters / gauges / histograms
+  with a ``snapshot()/diff()`` API;
+- :class:`Probe` — the handle threaded through the builders into each
+  component.  The default :data:`NULL_PROBE` makes instrumentation a
+  no-op when telemetry is off;
+- :func:`write_jsonl` / :func:`read_jsonl` — the unified JSONL stream
+  carrying spans, metrics and :class:`~repro.sim.eventlog.EventLog`
+  records under one schema.
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy and metric names.
+"""
+
+from repro.telemetry.export import (
+    SCHEMA,
+    TelemetryDump,
+    read_jsonl,
+    telemetry_records,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics_json,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.telemetry.probe import NULL_PROBE, NullProbe, Probe
+from repro.telemetry.tracer import InstantEvent, Span, Tracer
+
+__all__ = [
+    "SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InstantEvent",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_PROBE",
+    "NullProbe",
+    "Probe",
+    "Span",
+    "TelemetryDump",
+    "Tracer",
+    "read_jsonl",
+    "telemetry_records",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_metrics_json",
+]

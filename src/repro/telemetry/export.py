@@ -1,0 +1,139 @@
+"""Unified telemetry export: spans, metrics and event-log records.
+
+One JSONL stream carries all three narratives under a single schema so
+downstream tools need exactly one parser:
+
+- line 1 is a ``{"type": "meta", "schema": "repro-telemetry/1"}`` header;
+- ``{"type": "span", ...}`` — one per (closed or open) tracer span;
+- ``{"type": "instant", ...}`` — tracer markers;
+- ``{"type": "event", ...}`` — the free-text EventLog records;
+- ``{"type": "metric", ...}`` — one per metrics series (final values).
+
+:func:`read_jsonl` round-trips the stream back into plain structures,
+and :func:`write_chrome_trace` / :func:`write_metrics_json` cover the
+two single-format outputs the CLI exposes (``--trace-out`` /
+``--metrics-out``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.probe import Probe
+from repro.telemetry.tracer import Tracer
+
+SCHEMA = "repro-telemetry/1"
+
+
+def telemetry_records(
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+    event_log: object | None = None,
+) -> list[dict]:
+    """Every telemetry record as one flat, typed list (the JSONL body)."""
+    records: list[dict] = [{"type": "meta", "schema": SCHEMA}]
+    if tracer is not None:
+        for span in tracer.spans:
+            records.append({"type": "span", **span.to_dict()})
+        for inst in tracer.instants:
+            records.append({"type": "instant", **inst.to_dict()})
+    if event_log is not None:
+        for ev in event_log.events():
+            records.append({
+                "type": "event",
+                "time_s": ev.time_s,
+                "source": ev.source,
+                "message": ev.message,
+            })
+        if getattr(event_log, "dropped", 0):
+            records.append({
+                "type": "event_log_dropped",
+                "dropped": event_log.dropped,
+            })
+    if metrics is not None:
+        for sv in metrics.snapshot().series.values():
+            records.append({"type": "metric", **sv.to_dict()})
+    return records
+
+
+def write_jsonl(
+    path: str | Path,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+    event_log: object | None = None,
+    probe: Probe | None = None,
+) -> int:
+    """Write the unified stream; returns the number of records written.
+
+    Pass either the three stores explicitly or a live *probe* (whose
+    tracer, metrics and event log are used for anything not given).
+    """
+    if probe is not None and probe.enabled:
+        tracer = tracer if tracer is not None else probe.tracer
+        metrics = metrics if metrics is not None else probe.metrics
+        event_log = event_log if event_log is not None else probe.event_log
+    records = telemetry_records(tracer, metrics, event_log)
+    with open(path, "w") as fh:
+        for record in records:
+            fh.write(json.dumps(record) + "\n")
+    return len(records)
+
+
+@dataclass
+class TelemetryDump:
+    """The parsed form of one unified JSONL stream."""
+
+    schema: str = SCHEMA
+    spans: list[dict] = field(default_factory=list)
+    instants: list[dict] = field(default_factory=list)
+    events: list[dict] = field(default_factory=list)
+    metrics: list[dict] = field(default_factory=list)
+    dropped_events: int = 0
+
+    def metric_value(self, name: str, default: float = 0.0) -> float:
+        for m in self.metrics:
+            if m["name"] == name:
+                return m["value"]
+        return default
+
+
+def read_jsonl(path: str | Path) -> TelemetryDump:
+    """Parse a unified stream back into structured lists (round-trip)."""
+    dump = TelemetryDump()
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.pop("type")
+            if kind == "meta":
+                dump.schema = record.get("schema", "")
+            elif kind == "span":
+                dump.spans.append(record)
+            elif kind == "instant":
+                dump.instants.append(record)
+            elif kind == "event":
+                dump.events.append(record)
+            elif kind == "metric":
+                dump.metrics.append(record)
+            elif kind == "event_log_dropped":
+                dump.dropped_events = record["dropped"]
+    return dump
+
+
+def write_chrome_trace(path: str | Path, tracer: Tracer) -> int:
+    """Write Chrome ``trace_event`` JSON; returns the event count."""
+    trace = tracer.to_chrome_trace()
+    Path(path).write_text(json.dumps(trace, indent=1))
+    return len(trace["traceEvents"])
+
+
+def write_metrics_json(path: str | Path, metrics: MetricsRegistry) -> int:
+    """Write the metrics registry as JSON; returns the series count."""
+    payload = metrics.to_dict()
+    Path(path).write_text(json.dumps(payload, indent=1))
+    return len(payload["series"])

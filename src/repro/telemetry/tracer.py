@@ -1,0 +1,229 @@
+"""Hierarchical spans over the simulated clock, Chrome-trace exportable.
+
+A span is a named interval on a *track* (daemon, lkm, jvm, net,
+supervisor, faults — one Perfetto "thread" each).  Spans on a track
+nest: a span begun while another is open becomes its child, which is
+how ``migration → iteration → …`` trees form without any explicit
+parent bookkeeping at the call sites.
+
+Everything is stamped with the simulated clock (callers pass ``now``),
+so exported traces line up with :class:`~repro.sim.eventlog.EventLog`
+timestamps and :class:`~repro.migration.report.MigrationReport` fields
+exactly.
+
+:meth:`Tracer.to_chrome_trace` emits the ``trace_event`` JSON object
+format (``{"traceEvents": [...]}``) that chrome://tracing and Perfetto
+load directly; simulated seconds are mapped to trace microseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Span:
+    """One named interval; ``end_s`` is ``None`` while still open."""
+
+    id: int
+    name: str
+    track: str
+    start_s: float
+    end_s: float | None = None
+    cat: str = ""
+    parent_id: int | None = None
+    args: dict = field(default_factory=dict)
+
+    @property
+    def open(self) -> bool:
+        return self.end_s is None
+
+    @property
+    def duration_s(self) -> float:
+        return (self.end_s - self.start_s) if self.end_s is not None else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "name": self.name,
+            "track": self.track,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "cat": self.cat,
+            "parent_id": self.parent_id,
+            "args": dict(self.args),
+        }
+
+
+@dataclass(frozen=True)
+class InstantEvent:
+    """A zero-duration marker (state change, fault fired, signal)."""
+
+    name: str
+    track: str
+    time_s: float
+    args: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "track": self.track,
+            "time_s": self.time_s,
+            "args": dict(self.args),
+        }
+
+
+class Tracer:
+    """Collects spans and instants; one open-span stack per track."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.instants: list[InstantEvent] = []
+        self._open: dict[str, list[Span]] = {}
+        self._next_id = 1
+        self._track_order: list[str] = []
+
+    # -- recording -----------------------------------------------------------------------
+
+    def begin(self, name: str, now: float, track: str = "main",
+              cat: str = "", **args) -> Span:
+        stack = self._open.setdefault(track, [])
+        if track not in self._track_order:
+            self._track_order.append(track)
+        span = Span(
+            id=self._next_id,
+            name=name,
+            track=track,
+            start_s=now,
+            cat=cat,
+            parent_id=stack[-1].id if stack else None,
+            args=dict(args),
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        stack.append(span)
+        return span
+
+    def end(self, span: Span, now: float, **args) -> None:
+        """Close *span*, and any still-open descendants, at *now*.
+
+        Aborts unwind from the outside in (the migration span closes
+        while an iteration span is still open); closing descendants
+        here keeps every exported tree well-formed without requiring
+        abort paths to know what was in flight.
+        """
+        if span.end_s is not None:
+            return
+        stack = self._open.get(span.track, [])
+        if span in stack:
+            while stack:
+                top = stack.pop()
+                if top.end_s is None:
+                    top.end_s = now
+                if top is span:
+                    break
+        else:
+            span.end_s = now
+        if args:
+            span.args.update(args)
+
+    def instant(self, name: str, now: float, track: str = "main", **args) -> None:
+        if track not in self._track_order:
+            self._track_order.append(track)
+        self.instants.append(InstantEvent(name, track, now, dict(args)))
+
+    def finish(self, now: float) -> None:
+        """Close every still-open span (end of simulation / hard abort)."""
+        for stack in self._open.values():
+            while stack:
+                top = stack.pop()
+                if top.end_s is None:
+                    top.end_s = now
+
+    # -- queries -------------------------------------------------------------------------
+
+    def find(self, name: str, track: str | None = None) -> list[Span]:
+        return [
+            s for s in self.spans
+            if s.name == name and (track is None or s.track == track)
+        ]
+
+    def children_of(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span.id]
+
+    def open_spans(self) -> list[Span]:
+        return [s for s in self.spans if s.open]
+
+    # -- export --------------------------------------------------------------------------
+
+    def to_chrome_trace(self, pid: int = 1) -> dict:
+        """The ``trace_event`` JSON object format for Perfetto.
+
+        Closed spans become complete (``"X"``) events; still-open spans
+        are clamped to the latest known timestamp so a crashed run still
+        loads.  Tracks map to tids in first-use order, with
+        ``thread_name`` metadata so Perfetto shows the track names.
+        """
+        tids = {track: i + 1 for i, track in enumerate(self._track_order)}
+        events: list[dict] = []
+        for track, tid in tids.items():
+            events.append({
+                "ph": "M", "pid": pid, "tid": tid,
+                "name": "thread_name", "args": {"name": track},
+            })
+        horizon = 0.0
+        for span in self.spans:
+            horizon = max(horizon, span.start_s, span.end_s or 0.0)
+        for inst in self.instants:
+            horizon = max(horizon, inst.time_s)
+        for span in self.spans:
+            end_s = span.end_s if span.end_s is not None else horizon
+            events.append({
+                "ph": "X",
+                "pid": pid,
+                "tid": tids[span.track],
+                "name": span.name,
+                "cat": span.cat or "span",
+                "ts": span.start_s * 1e6,
+                "dur": max(end_s - span.start_s, 0.0) * 1e6,
+                "args": dict(span.args),
+            })
+        for inst in self.instants:
+            events.append({
+                "ph": "i",
+                "pid": pid,
+                "tid": tids[inst.track],
+                "name": inst.name,
+                "cat": "instant",
+                "ts": inst.time_s * 1e6,
+                "s": "t",
+                "args": dict(inst.args),
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def phase_table(self) -> str:
+        """Per-phase latency summary: count, total, mean, min, max."""
+        agg: dict[tuple[str, str], list[float]] = {}
+        for span in self.spans:
+            if span.end_s is None:
+                continue
+            agg.setdefault((span.track, span.name), []).append(span.duration_s)
+        if not agg:
+            return "(no closed spans)"
+        rows = [("track", "span", "count", "total (s)", "mean (s)", "min (s)", "max (s)")]
+        for (track, name), durs in sorted(agg.items()):
+            rows.append((
+                track, name, str(len(durs)),
+                f"{sum(durs):.3f}",
+                f"{sum(durs) / len(durs):.4f}",
+                f"{min(durs):.4f}",
+                f"{max(durs):.4f}",
+            ))
+        widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]
+        lines = ["  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+                 for row in rows]
+        lines.insert(1, "  ".join("-" * w for w in widths))
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.spans)

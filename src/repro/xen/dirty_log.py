@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.mem.bitmap import PageBitmap
+from repro.telemetry.probe import NULL_PROBE
 
 
 class DirtyLog:
@@ -22,6 +23,8 @@ class DirtyLog:
         self.n_pages = n_pages
         self._bitmap = PageBitmap(n_pages)
         self._enabled = False
+        #: telemetry handle (see repro.telemetry); no-op unless enabled
+        self.probe = NULL_PROBE
 
     @property
     def enabled(self) -> bool:
@@ -40,14 +43,21 @@ class DirtyLog:
         """Record writes to the given pages (no-op when disabled)."""
         if self._enabled:
             self._bitmap.set_pfns(pfns)
+            if self.probe.enabled:
+                self.probe.count("dirty.pages_marked", int(pfns.size))
 
     def mark_range(self, start: int, end: int) -> None:
         if self._enabled:
             self._bitmap.set_range(start, end)
+            if self.probe.enabled:
+                self.probe.count("dirty.pages_marked", int(end - start))
 
     def peek_and_clear(self) -> np.ndarray:
         """Dirty PFNs since the last call; resets the log (CLEAN op)."""
-        return self._bitmap.snapshot_and_clear()
+        dirty = self._bitmap.snapshot_and_clear()
+        if self.probe.enabled:
+            self.probe.observe("dirty.scan_pages", float(dirty.size))
+        return dirty
 
     def peek(self) -> np.ndarray:
         """Dirty PFNs without clearing (PEEK op)."""
