@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench figures all-experiments clean
+.PHONY: install test lint bench check-bench figures all-experiments clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -18,7 +18,18 @@ lint:
 
 bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr3_telemetry.py
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr4_analysis.py
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Bench-regression gate (mirrors the CI bench-regression job):
+# regenerate the PR4 analysis bench (fails on >5% monitor overhead),
+# then diff its deterministic simulated measures (downtime, total time,
+# wire bytes) against the checked-in baselines with `repro compare` —
+# >5% growth on any gated measure fails.
+check-bench:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr4_analysis.py /tmp/BENCH_PR4_candidate.json
+	PYTHONPATH=src $(PYTHON) -m repro.cli compare BENCH_PR4.json /tmp/BENCH_PR4_candidate.json
+	PYTHONPATH=src $(PYTHON) -m repro.cli compare BENCH_PR3.json /tmp/BENCH_PR4_candidate.json
 
 figures:
 	$(PYTHON) -m repro.cli all

@@ -1,0 +1,164 @@
+"""Analysis-pipeline overhead benchmark (PR 4 acceptance gate).
+
+Runs the Figure-10-style sweep — each workload category migrated with
+``xen`` and with ``javmm`` under the :class:`MigrationSupervisor` —
+three times:
+
+- **plain** — telemetry off, no monitor (the PR 3 baseline sweep; its
+  simulated measures also key-match ``BENCH_PR3.json`` for the
+  cross-baseline ``make check-bench`` diff);
+- **telemetry** — the probe live (spans, metrics, per-iteration series
+  samples) but no :class:`ConvergenceMonitor` attached;
+- **analysis** — telemetry plus the online monitor classifying every
+  iteration, exactly what ``repro migrate --supervise`` runs.
+
+The gated number is **analysis vs telemetry**: attaching the monitor
+to an already-instrumented migration must cost < 5 % wall time.  The
+telemetry-vs-plain overhead is reported alongside (it is PR 3's gate,
+re-measured here on the supervised path).
+
+The *offline* half of the pipeline (writing the unified JSONL export
+and running the :class:`Doctor` rule catalogue over it) happens after
+the migration has landed, so it is measured separately (``export_s`` /
+``doctor_s`` per analysis run) and reported, not gated.
+
+Every run records its *simulated* measures (``downtime_s``,
+``migration_total_s``, ``wire_bytes``), deterministic for the fixed
+seed — ``make check-bench`` diffs them against the checked-in baseline
+with ``repro compare``, so any drift is a code change, not machine
+noise.
+
+Plain script on purpose (no pytest-benchmark dependency)::
+
+    PYTHONPATH=src python benchmarks/bench_pr4_analysis.py [OUT.json]
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.supervisor import supervised_migrate
+from repro.telemetry.analysis import Doctor
+from repro.telemetry.export import write_jsonl
+from repro.units import MiB
+
+WORKLOADS = ("derby", "crypto", "scimark")
+ENGINES = ("xen", "javmm")
+#: sweep repetitions; the median wall time absorbs scheduler noise
+ROUNDS = 5
+
+
+def _sweep(
+    telemetry: bool, analysis: bool, export_dir: Path
+) -> tuple[float, list[dict]]:
+    """One full sweep; returns (total wall seconds, per-run details)."""
+    details = []
+    total = 0.0
+    for workload in WORKLOADS:
+        for engine in ENGINES:
+            t0 = time.perf_counter()
+            result, vm = supervised_migrate(
+                workload=workload,
+                engine_name=engine,
+                vm_kwargs={
+                    "mem_bytes": MiB(512),
+                    "max_young_bytes": MiB(128),
+                },
+                telemetry=telemetry,
+                analysis=analysis,
+            )
+            elapsed = time.perf_counter() - t0
+            total += elapsed
+            assert result.ok, (workload, engine)
+            report = result.report
+            row = {
+                "workload": workload,
+                "engine": engine,
+                "analysis": analysis,
+                "wall_s": round(elapsed, 4),
+                "migration_total_s": round(report.completion_time_s, 4),
+                "downtime_s": round(report.downtime.vm_downtime_s, 5),
+                "wire_bytes": report.total_wire_bytes,
+            }
+            if telemetry and not analysis:
+                # Distinguishes this row's comparator key from the
+                # plain sweep ("w/e/telemetry/plain" vs "w/e/plain").
+                row["telemetry"] = True
+            if analysis:
+                # The offline half, timed but deliberately outside the
+                # gated wall time: it runs after the migration landed.
+                export = export_dir / f"{workload}-{engine}.jsonl"
+                t1 = time.perf_counter()
+                write_jsonl(export, probe=vm.probe)
+                t2 = time.perf_counter()
+                report_doc = Doctor().diagnose_file(export)
+                t3 = time.perf_counter()
+                row["export_s"] = round(t2 - t1, 4)
+                row["doctor_s"] = round(t3 - t2, 4)
+                row["n_findings"] = len(report_doc.findings)
+            details.append(row)
+    return total, details
+
+
+def main(out_path: "str | None" = None) -> int:
+    plain: list[float] = []
+    telemetry: list[float] = []
+    analysis: list[float] = []
+    details: list[dict] = []
+    with tempfile.TemporaryDirectory(prefix="bench-pr4-") as tmp:
+        # One discarded warm-up sweep: the first round otherwise pays
+        # interpreter/caching costs that read as (fake) overhead.
+        _sweep(telemetry=False, analysis=False, export_dir=Path(tmp))
+        for _ in range(ROUNDS):
+            for rounds, tel, ana in (
+                (plain, False, False),
+                (telemetry, True, False),
+                (analysis, True, True),
+            ):
+                total, rows = _sweep(
+                    telemetry=tel, analysis=ana, export_dir=Path(tmp)
+                )
+                rounds.append(total)
+                details.extend(rows)
+
+    plain_s = statistics.median(plain)
+    telemetry_s = statistics.median(telemetry)
+    analysis_s = statistics.median(analysis)
+    telemetry_overhead_pct = 100.0 * (telemetry_s - plain_s) / plain_s
+    analysis_overhead_pct = 100.0 * (analysis_s - telemetry_s) / telemetry_s
+    payload = {
+        "benchmark": "pr4-analysis-overhead",
+        "sweep": {"workloads": WORKLOADS, "engines": ENGINES, "rounds": ROUNDS},
+        "plain_s": round(plain_s, 4),
+        "telemetry_s": round(telemetry_s, 4),
+        "analysis_s": round(analysis_s, 4),
+        "telemetry_overhead_pct": round(telemetry_overhead_pct, 2),
+        "analysis_overhead_pct": round(analysis_overhead_pct, 2),
+        "plain_rounds_s": [round(x, 4) for x in plain],
+        "telemetry_rounds_s": [round(x, 4) for x in telemetry],
+        "analysis_rounds_s": [round(x, 4) for x in analysis],
+        "runs": details,
+    }
+    out = (
+        Path(out_path)
+        if out_path
+        else Path(__file__).resolve().parent.parent / "BENCH_PR4.json"
+    )
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"plain {plain_s:.2f}s, telemetry {telemetry_s:.2f}s "
+        f"(+{telemetry_overhead_pct:.1f}%), analysis {analysis_s:.2f}s "
+        f"-> monitor overhead {analysis_overhead_pct:+.1f}% (wrote {out})"
+    )
+    # Monitoring an instrumented migration must not meaningfully slow it
+    # down: the online ConvergenceMonitor stays within 5 %.
+    return 0 if analysis_overhead_pct < 5.0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1] if len(sys.argv) > 1 else None))

@@ -17,6 +17,12 @@ Two modes:
   latency table (``--trace-out`` writes Perfetto-loadable JSON)::
 
       javmm-repro trace --workload derby --engine javmm --trace-out t.json
+
+- diagnose a finished run from its unified JSONL export, or diff two
+  runs against regression thresholds (nonzero exit on regression)::
+
+      javmm-repro doctor run.jsonl
+      javmm-repro compare baseline.jsonl candidate.jsonl --threshold-pct 5
 """
 
 from __future__ import annotations
@@ -38,11 +44,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(ALL_EXPERIMENTS) + ["all", "migrate", "trace"],
+        choices=sorted(ALL_EXPERIMENTS) + ["all", "migrate", "trace", "doctor", "compare"],
         help=(
             "which figure/table to regenerate ('all' runs everything; "
             "'migrate' runs one ad-hoc migration; 'trace' runs one with "
-            "telemetry on and prints the per-phase latency table)"
+            "telemetry on and prints the per-phase latency table; "
+            "'doctor' diagnoses a telemetry export; 'compare' diffs two "
+            "runs for regressions)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="FILE",
+        help=(
+            "inputs for 'doctor' (one telemetry JSONL export) and "
+            "'compare' (baseline then candidate: telemetry JSONL or "
+            "BENCH_*.json)"
         ),
     )
     parser.add_argument(
@@ -95,6 +113,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry-out",
         metavar="FILE",
         help="write the unified JSONL export (spans + metrics + events)",
+    )
+    analysis = parser.add_argument_group("doctor / compare options")
+    analysis.add_argument(
+        "--threshold-pct",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help=(
+            "compare: override every regression gate percentage "
+            "(default: per-measure, 5%% for simulated measures)"
+        ),
+    )
+    analysis.add_argument(
+        "--no-sparklines",
+        action="store_true",
+        help="doctor: omit the key-series sparkline charts",
     )
     return parser
 
@@ -196,8 +230,40 @@ def _run_migrate(args: argparse.Namespace) -> int:
     return 0 if result.report.verified else 1
 
 
+def _run_doctor(args: argparse.Namespace) -> int:
+    from repro.telemetry.analysis import Doctor
+
+    if len(args.paths) != 1:
+        print("doctor needs exactly one telemetry JSONL export", file=sys.stderr)
+        return 2
+    report = Doctor().diagnose_file(args.paths[0])
+    print(report.render(sparklines=not args.no_sparklines))
+    return 0
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    from repro.telemetry.analysis import compare_runs
+
+    if len(args.paths) != 2:
+        print(
+            "compare needs a baseline and a candidate "
+            "(telemetry JSONL or BENCH_*.json)",
+            file=sys.stderr,
+        )
+        return 2
+    result = compare_runs(
+        args.paths[0], args.paths[1], threshold_pct=args.threshold_pct
+    )
+    print(result.render())
+    return result.exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.experiment == "doctor":
+        return _run_doctor(args)
+    if args.experiment == "compare":
+        return _run_compare(args)
     if args.experiment in ("migrate", "trace"):
         return _run_migrate(args)
     names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]

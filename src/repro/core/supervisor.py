@@ -34,6 +34,7 @@ from repro.errors import ConfigurationError, MigrationAbortedError, SimulationEr
 from repro.migration.report import MigrationReport
 from repro.net.link import Link
 from repro.sim.engine import Engine
+from repro.telemetry.analysis.convergence import ConvergenceMonitor, ConvergenceState
 
 #: Assistance levels, most to least assisted.  Degradation walks right.
 DEGRADATION_CHAIN = ("javmm", "assisted", "xen")
@@ -49,6 +50,8 @@ class AttemptRecord:
     aborted: bool
     reason: str = ""
     waited_before_s: float = 0.0  # backoff slept before this attempt
+    #: the ConvergenceMonitor's final verdict for this attempt
+    diagnosis: str = ""
 
 
 @dataclass
@@ -79,6 +82,8 @@ class SupervisionResult:
                 f"{f' after {rec.waited_before_s:.2f}s backoff' if rec.waited_before_s else ''}: "
                 f"{verdict}"
             )
+            if rec.diagnosis:
+                lines.append(f"    convergence: {rec.diagnosis}")
         return "\n".join(lines)
 
 
@@ -100,6 +105,7 @@ class MigrationSupervisor:
         attempt_timeout_s: float = 600.0,
         injector: object | None = None,
         consult_policy: bool = True,
+        analysis: bool = True,
         migrator_kwargs: dict | None = None,
     ) -> None:
         if max_attempts < 1:
@@ -125,6 +131,9 @@ class MigrationSupervisor:
         #: optional FaultInjector to re-bind to each attempt's daemon
         self.injector = injector
         self.consult_policy = consult_policy
+        #: attach a ConvergenceMonitor to every attempt (the online half
+        #: of the analysis pipeline); off only for overhead measurement
+        self.analysis = analysis
         self.migrator_kwargs = dict(migrator_kwargs or {})
 
     # -- engine degradation ------------------------------------------------------------
@@ -183,6 +192,8 @@ class MigrationSupervisor:
                 **self.migrator_kwargs,
             )
             migrator.report.attempt = attempt
+            monitor = ConvergenceMonitor() if self.analysis else None
+            migrator.monitor = monitor
             self.engine.add(migrator)
             self.vm.jvm.migration_load = migrator.load_fraction
             if self.injector is not None:
@@ -216,8 +227,16 @@ class MigrationSupervisor:
                 record.reason = "supervision timeout"
             finally:
                 self.engine.remove(migrator)
+            diagnosis = (
+                monitor.diagnosis
+                if monitor is not None
+                else ConvergenceMonitor().diagnosis  # UNKNOWN placeholder
+            )
+            if diagnosis.state is not ConvergenceState.UNKNOWN:
+                record.diagnosis = diagnosis.summary()
             probe.end(span_attempt, self.engine.now,
-                      aborted=record.aborted, reason=record.reason)
+                      aborted=record.aborted, reason=record.reason,
+                      convergence=diagnosis.state.value)
             result.attempts.append(record)
 
             if not record.aborted:
@@ -235,10 +254,18 @@ class MigrationSupervisor:
             if self._should_degrade(record, consecutive, self.degrade_after):
                 degraded = self._next_engine(current)
                 if degraded != current:
+                    # The degrade decision cites the convergence verdict,
+                    # not just the exhausted retry budget.
+                    if record.diagnosis and self.vm.event_log is not None:
+                        self.vm.event_log.log(
+                            self.engine.now, "supervisor",
+                            f"diagnosis before degrade: {record.diagnosis}",
+                        )
                     probe.count("supervisor.degradations")
                     probe.instant(
                         "degrade", self.engine.now, track="supervisor",
                         from_engine=current, to_engine=degraded,
+                        diagnosis=diagnosis.state.value,
                     )
                     current = degraded
                     consecutive = 0

@@ -408,6 +408,7 @@ class AssistLKM(Actor):
             return
         self.stats.shrink_events += 1
         self.probe.count("lkm.shrink_events")
+        self.probe.instant("shrink", self._now, track="lkm", app_id=app_id)
         for left in note.ranges_left:
             pfns = record.cache.take_range(left)
             self.transfer_bitmap.set_pfns(pfns)

@@ -184,6 +184,7 @@ class HotSpotJVM(Actor):
                 live_bytes=stats.live_bytes,
             )
             stats.record_in(self.probe)
+            self.probe.sample("jvm.gc_pause_s", self._now, stats.duration_s)
 
     def _end_gc(self) -> None:
         stats = self._gc_stats

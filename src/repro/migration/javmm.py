@@ -43,6 +43,13 @@ class JavmmMigrator(AssistedMigrator):
         self._gc_base = sum(j.enforced_gc_seconds for j in self.jvms)
         return super()._request_stop(now)
 
+    def _gc_pause_seconds(self) -> float | None:
+        """Total guest GC pause time, feeding the per-iteration
+        ``jvm.gc_pause_budget`` telemetry series."""
+        if not self.jvms:
+            return None
+        return sum(j.gc_pause_seconds for j in self.jvms)
+
     def _on_lkm_message(self, message: object) -> None:
         if isinstance(message, msg.SuspensionReady) and self.jvms:
             self.report.downtime.safepoint_s = (

@@ -22,6 +22,7 @@ rather than post-computed.
 from __future__ import annotations
 
 import enum
+import math
 
 import numpy as np
 
@@ -127,9 +128,15 @@ class PrecopyMigrator(Actor):
         self.event_log = None
         #: telemetry handle (see repro.telemetry); no-op unless enabled
         self.probe = NULL_PROBE
+        #: optional online ConvergenceMonitor (see repro.telemetry.analysis)
+        #: fed one observation per finished live iteration
+        self.monitor = None
         self._span_migration = None
         self._span_iter = None
         self._span_resume = None
+        self._iter_retrans_base = 0
+        self._iter_gc_base: float | None = None
+        self._conv_state = None
 
     @property
     def _track(self) -> str:
@@ -207,6 +214,19 @@ class PrecopyMigrator(Actor):
         self.report.abort_reason = reason
         self.report.abort_phase = self.phase.value
         self._log(now, f"migration aborted during {self.phase.value}: {reason}")
+        # Feed the analysis pipeline the partial in-flight iteration: a
+        # stall (e.g. a severed link) never *completes* an iteration, so
+        # without this the monitor would starve and diagnose nothing.
+        iterating = self.phase in (
+            MigrationPhase.ITERATING,
+            MigrationPhase.WAITING_APPS,
+            MigrationPhase.LAST_COPY,
+        )
+        if iterating and now > self._iter_start:
+            dirt_events = (
+                self.domain.pages.total_dirty_events() - self._iter_dirty_events_base
+            )
+            self._observe_iteration(now, dirt_events, is_last=False)
         self.probe.count("migration.aborts", engine=self.name)
         self.probe.instant(
             "abort", now, track=self._track, reason=reason, phase=self.phase.value
@@ -333,6 +353,12 @@ class PrecopyMigrator(Actor):
     def _on_resumed(self, now: float) -> None:
         """Subclass hook: the VM has been activated at the destination."""
 
+    def _gc_pause_seconds(self) -> float | None:
+        """Cumulative guest GC pause seconds, for the per-iteration GC
+        pause-budget series.  ``None`` when no JVM is visible (vanilla
+        Xen knows nothing about the guest)."""
+        return None
+
     def _on_aborted(self, now: float, reason: str) -> None:
         """Subclass hook: runs at the start of abort(), while log-dirty
         mode is still on and the guest protocol endpoints are live."""
@@ -370,6 +396,8 @@ class PrecopyMigrator(Actor):
         self._iter_skip_dirty = 0
         self._iter_skip_bitmap = 0
         self._iter_dirty_events_base = self.domain.pages.total_dirty_events()
+        self._iter_retrans_base = self.link.retransmit_wire_bytes
+        self._iter_gc_base = self._gc_pause_seconds()
 
     def _page_payload_bytes(self) -> int:
         """Payload bytes one page costs (compression baselines override)."""
@@ -432,6 +460,8 @@ class PrecopyMigrator(Actor):
         is_last = self.phase is MigrationPhase.LAST_COPY
         is_waiting = self.phase is MigrationPhase.WAITING_APPS
         dirt_events = self.domain.pages.total_dirty_events() - self._iter_dirty_events_base
+        if self.probe.enabled or (self.monitor is not None and not is_last):
+            self._observe_iteration(now, dirt_events, is_last)
         if self.probe.enabled:
             self.probe.count("migration.iterations", engine=self.name)
             self.probe.count("migration.pages_sent", self._iter_sent, engine=self.name)
@@ -490,6 +520,62 @@ class PrecopyMigrator(Actor):
             f"{record.pages_sent} pages sent, "
             f"{record.pages_skipped_bitmap} skipped by bitmap",
         )
+
+    def _observe_iteration(self, now: float, dirt_events: int, is_last: bool) -> None:
+        """Per-iteration analysis feed: time-series samples + the online
+        convergence monitor (see repro.telemetry.analysis)."""
+        duration = max(now - self._iter_start, 0.0)
+        if duration <= 0:
+            return
+        examined = self._iter_sent + self._iter_skip_dirty + self._iter_skip_bitmap
+        skip_ratio = self._iter_skip_bitmap / examined if examined > 0 else 0.0
+        # Raw dirtying overstates re-send pressure when a skip bitmap is
+        # in play (Section 4: Young-gen churn never hits the wire), so
+        # the convergence feed discounts it to the transfer set.
+        dirty_rate = dirt_events * PAGE_SIZE * (1.0 - skip_ratio) / duration
+        eff_bw = self._iter_wire / duration
+        remaining = self._remaining_dirty_count()
+        if self.probe.enabled:
+            if not is_last:
+                # The stop-and-copy row is not part of the convergence
+                # loop; keeping it out means an offline replay of these
+                # series sees exactly what the online monitor saw.
+                self.probe.sample("migration.dirty_rate_bytes_s", now, dirty_rate)
+                self.probe.sample("migration.eff_bandwidth_bytes_s", now, eff_bw)
+                self.probe.sample("migration.pages_remaining", now, remaining)
+            capacity = self.link.goodput * duration
+            if capacity > 0:
+                self.probe.sample(
+                    "migration.link_utilization", now,
+                    min(1.0, self._iter_wire / capacity),
+                )
+            retrans = self.link.retransmit_wire_bytes - self._iter_retrans_base
+            if self._iter_wire > 0:
+                self.probe.sample(
+                    "migration.retransmit_fraction", now,
+                    retrans / self._iter_wire,
+                )
+            if examined > 0:
+                self.probe.sample("migration.skip_ratio", now, skip_ratio)
+            gc_now = self._gc_pause_seconds()
+            if gc_now is not None and self._iter_gc_base is not None:
+                # Pauses accrue at GC start, so a long collection can
+                # exceed a short iteration; a budget is at most 100 %.
+                self.probe.sample(
+                    "jvm.gc_pause_budget", now,
+                    min(1.0, max(0.0, gc_now - self._iter_gc_base) / duration),
+                )
+        if self.monitor is not None and not is_last:
+            diagnosis = self.monitor.observe(now, dirty_rate, eff_bw, remaining)
+            if diagnosis.state is not self._conv_state:
+                self._conv_state = diagnosis.state
+                self._log(now, f"convergence: {diagnosis.summary()}")
+                ratio = diagnosis.ratio if math.isfinite(diagnosis.ratio) else None
+                self.probe.instant(
+                    "convergence", now, track=self._track,
+                    state=diagnosis.state.value, ratio=ratio,
+                    eta_s=diagnosis.eta_s,
+                )
 
     def _end_iteration(self, now: float) -> bool:
         """Close the current iteration; True if a new one was begun."""

@@ -24,8 +24,17 @@ class TrafficMeter:
         self._marks[name] = (self.pages_sent, self.payload_bytes, self.wire_bytes)
 
     def since(self, name: str) -> tuple[int, int, int]:
-        """(pages, payload, wire) accumulated since :meth:`mark` *name*."""
-        base = self._marks.get(name, (0, 0, 0))
+        """(pages, payload, wire) accumulated since :meth:`mark` *name*.
+
+        Raises :class:`KeyError` for a mark that was never set or did
+        not survive :meth:`reset` — silently returning the absolute
+        counters here once masked stale-mark bugs as plausible deltas.
+        """
+        if name not in self._marks:
+            raise KeyError(
+                f"traffic mark {name!r} was never set (or was cleared by reset())"
+            )
+        base = self._marks[name]
         return (
             self.pages_sent - base[0],
             self.payload_bytes - base[1],

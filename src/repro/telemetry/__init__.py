@@ -14,9 +14,16 @@ every layer shares:
 - :class:`Probe` — the handle threaded through the builders into each
   component.  The default :data:`NULL_PROBE` makes instrumentation a
   no-op when telemetry is off;
+- :class:`TimeseriesStore` — bounded per-iteration sample series
+  (dirty rate, skip ratio, link utilization, …) fed via
+  :meth:`Probe.sample`;
 - :func:`write_jsonl` / :func:`read_jsonl` — the unified JSONL stream
-  carrying spans, metrics and :class:`~repro.sim.eventlog.EventLog`
-  records under one schema.
+  carrying spans, metrics, samples and
+  :class:`~repro.sim.eventlog.EventLog` records under one schema;
+- :mod:`repro.telemetry.analysis` — the interpretation layer: the
+  online :class:`~repro.telemetry.analysis.ConvergenceMonitor`, the
+  rule-based :class:`~repro.telemetry.analysis.Doctor` and the
+  run-to-run :func:`~repro.telemetry.analysis.compare_runs` comparator.
 
 See ``docs/OBSERVABILITY.md`` for the span taxonomy and metric names.
 """
@@ -38,6 +45,7 @@ from repro.telemetry.metrics import (
     MetricsSnapshot,
 )
 from repro.telemetry.probe import NULL_PROBE, NullProbe, Probe
+from repro.telemetry.timeseries import Series, TimeseriesStore
 from repro.telemetry.tracer import InstantEvent, Span, Tracer
 
 __all__ = [
@@ -51,8 +59,10 @@ __all__ = [
     "NULL_PROBE",
     "NullProbe",
     "Probe",
+    "Series",
     "Span",
     "TelemetryDump",
+    "TimeseriesStore",
     "Tracer",
     "read_jsonl",
     "telemetry_records",

@@ -1,0 +1,248 @@
+"""Run-to-run regression diffing of telemetry / bench exports.
+
+``repro compare A B`` answers "did this change regress migration?"
+by summarizing two runs into comparable measures and diffing them
+against per-measure thresholds.  Two input shapes are understood,
+sniffed from the file contents:
+
+- a **unified telemetry JSONL export** (``repro-telemetry/1`` or
+  ``/2``): downtime (stop-and-copy + resume spans), total migration
+  time (completed ``migration`` spans), wire bytes (``net.wire_bytes``)
+  and abort count are extracted per run;
+- a **bench JSON** (``BENCH_*.json``): every ``runs[]`` entry
+  contributes its numeric fields, keyed by workload/engine (medians
+  across repeated rounds).
+
+Only *simulated* measures gate by default (downtime, total time, wire
+bytes): they are deterministic for a given seed, so any drift is a
+code change, not machine noise.  Wall-clock fields (``wall_s``,
+``baseline_s``, …) are reported but never fail the comparison unless
+an explicit threshold is supplied.
+
+A measure regresses when it grows beyond its threshold percentage
+*and* beyond a small absolute floor (so a 0.1 ms downtime cannot
+"regress by 200 %").  Improvements never fail.  The CI gate
+(``make check-bench``) runs this comparator against the checked-in
+``BENCH_*.json`` baselines.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.telemetry.export import TelemetryDump, read_jsonl
+
+#: gated measures -> (threshold %, absolute floor below which deltas
+#: are noise).  Wall-clock fields are deliberately absent.
+DEFAULT_THRESHOLDS: dict[str, float] = {
+    "downtime_s": 5.0,
+    "total_time_s": 5.0,
+    "migration_total_s": 5.0,
+    "wire_bytes": 5.0,
+    "aborts": 0.0,
+}
+ABS_FLOORS: dict[str, float] = {
+    "downtime_s": 1e-3,
+    "total_time_s": 1e-3,
+    "migration_total_s": 1e-3,
+    "wire_bytes": 4096.0,
+    "aborts": 0.0,
+}
+
+
+@dataclass(frozen=True)
+class MeasureDelta:
+    """One measure of one run key, before vs after."""
+
+    key: str  # run identity ("migration", "derby/javmm", ...)
+    measure: str
+    before: float
+    after: float
+    threshold_pct: float | None  # None: informational, never gates
+
+    @property
+    def delta(self) -> float:
+        return self.after - self.before
+
+    @property
+    def delta_pct(self) -> float:
+        if self.before == 0:
+            return 0.0 if self.after == 0 else float("inf")
+        return 100.0 * self.delta / abs(self.before)
+
+    @property
+    def regressed(self) -> bool:
+        if self.threshold_pct is None:
+            return False
+        floor = ABS_FLOORS.get(self.measure, 0.0)
+        if self.delta <= floor:
+            return False
+        if self.before == 0:
+            return True  # grew from nothing past the floor
+        return self.delta_pct > self.threshold_pct
+
+    def render(self) -> str:
+        pct = (
+            f"{self.delta_pct:+.1f}%" if self.before != 0
+            else ("n/a" if self.after == 0 else "new")
+        )
+        gate = (
+            "REGRESSION" if self.regressed
+            else ("ok" if self.threshold_pct is not None else "info")
+        )
+        return (
+            f"{self.key:>24s}  {self.measure:<18s} "
+            f"{self.before:>14.6g} -> {self.after:>14.6g}  {pct:>8s}  {gate}"
+        )
+
+
+@dataclass
+class ComparisonResult:
+    """The full diff of two runs."""
+
+    path_a: str
+    path_b: str
+    deltas: list[MeasureDelta] = field(default_factory=list)
+    only_in_a: list[str] = field(default_factory=list)
+    only_in_b: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MeasureDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def regressed(self) -> bool:
+        return bool(self.regressions)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.regressed else 0
+
+    def render(self) -> str:
+        lines = [f"compare {self.path_a} -> {self.path_b}"]
+        gated = [d for d in self.deltas if d.threshold_pct is not None]
+        info = [d for d in self.deltas if d.threshold_pct is None]
+        lines.extend(d.render() for d in gated)
+        if info:
+            lines.append("  (informational, never gated:)")
+            lines.extend(d.render() for d in info)
+        for key in self.only_in_a:
+            lines.append(f"{key:>24s}  only in {self.path_a}")
+        for key in self.only_in_b:
+            lines.append(f"{key:>24s}  only in {self.path_b}")
+        verdict = (
+            f"VERDICT: {len(self.regressions)} regression(s)"
+            if self.regressed
+            else "VERDICT: no regression"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+# -- summarising one run ------------------------------------------------------------------
+
+
+def summarize_dump(dump: TelemetryDump) -> dict[str, dict[str, float]]:
+    """Key measures of one unified telemetry export."""
+    downtime = sum(
+        s["end_s"] - s["start_s"]
+        for s in dump.spans
+        if s["name"] in ("stop-and-copy", "resume") and s["end_s"] is not None
+    )
+    completed = [
+        s for s in dump.spans
+        if s["name"] == "migration"
+        and s["end_s"] is not None
+        and not s["args"].get("aborted")
+    ]
+    total = sum(s["end_s"] - s["start_s"] for s in completed)
+    aborted = [
+        s for s in dump.spans
+        if s["name"] == "migration" and s["args"].get("aborted")
+    ]
+    measures = {
+        "downtime_s": downtime,
+        "total_time_s": total,
+        "wire_bytes": dump.metric_total("net.wire_bytes"),
+        "aborts": float(len(aborted)),
+    }
+    return {"migration": measures}
+
+
+def summarize_bench(payload: dict) -> dict[str, dict[str, float]]:
+    """Per-run medians of every numeric field in a BENCH_*.json."""
+    grouped: dict[str, dict[str, list[float]]] = {}
+    for run in payload.get("runs", []):
+        key_parts = [
+            str(run[k]) for k in ("workload", "engine") if k in run
+        ]
+        if "telemetry" in run:
+            key_parts.append("telemetry" if run["telemetry"] else "plain")
+        if "analysis" in run:
+            key_parts.append("analysis" if run["analysis"] else "plain")
+        key = "/".join(key_parts) or "run"
+        bucket = grouped.setdefault(key, {})
+        for name, value in run.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                bucket.setdefault(name, []).append(float(value))
+    return {
+        key: {name: statistics.median(vals) for name, vals in fields.items()}
+        for key, fields in grouped.items()
+    }
+
+
+def load_run(path: "str | Path") -> dict[str, dict[str, float]]:
+    """Sniff *path* (telemetry JSONL vs bench JSON) and summarize it."""
+    text = Path(path).read_text()
+    stripped = text.lstrip()
+    if stripped.startswith("{") and '"runs"' in text:
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            payload = None
+        if isinstance(payload, dict):
+            return summarize_bench(payload)
+    return summarize_dump(read_jsonl(path))
+
+
+# -- the diff -----------------------------------------------------------------------------
+
+
+def compare_runs(
+    path_a: "str | Path",
+    path_b: "str | Path",
+    threshold_pct: float | None = None,
+    thresholds: dict[str, float] | None = None,
+) -> ComparisonResult:
+    """Diff run *B* (candidate) against run *A* (baseline).
+
+    *threshold_pct* overrides every default gate percentage at once;
+    *thresholds* overrides per measure (and may add gates for measures
+    that default to informational, e.g. ``wall_s``).
+    """
+    gates = dict(DEFAULT_THRESHOLDS)
+    if threshold_pct is not None:
+        gates = {name: threshold_pct for name in gates}
+    if thresholds:
+        gates.update(thresholds)
+    a = load_run(path_a)
+    b = load_run(path_b)
+    result = ComparisonResult(path_a=str(path_a), path_b=str(path_b))
+    result.only_in_a = sorted(set(a) - set(b))
+    result.only_in_b = sorted(set(b) - set(a))
+    for key in sorted(set(a) & set(b)):
+        before, after = a[key], b[key]
+        for measure in sorted(set(before) & set(after)):
+            result.deltas.append(
+                MeasureDelta(
+                    key=key,
+                    measure=measure,
+                    before=before[measure],
+                    after=after[measure],
+                    threshold_pct=gates.get(measure),
+                )
+            )
+    return result

@@ -1,0 +1,463 @@
+"""The migration doctor: rule-based post-mortem of a telemetry export.
+
+``repro doctor run.jsonl`` answers "what went wrong (or right)?" from
+the unified export alone — no live simulation required.  Each rule
+inspects the parsed :class:`~repro.telemetry.export.TelemetryDump`
+and emits :class:`Finding`\\ s with severity, a human sentence, and
+*evidence pointers*: span ids, instant names, series names and metric
+names a reader can chase back into the export or a Perfetto view.
+
+Rule catalogue (see ``docs/OBSERVABILITY.md`` for the full table):
+
+- ``convergence`` — replays the same
+  :class:`~repro.telemetry.analysis.convergence.ConvergenceMonitor`
+  the supervisor runs online over the exported per-iteration series,
+  so the offline verdict provably matches the in-flight one;
+- ``dirty-vs-bandwidth`` — counts iterations whose dirty rate met or
+  exceeded the effective bandwidth;
+- ``skip-collapse`` — a Young-gen skip-ratio that collapses after the
+  last observed heap-shrink event;
+- ``retransmit`` — retransmitted wire share above threshold, with any
+  overlapping fault windows cited;
+- ``gc-interference`` — GC pause budget above threshold during the
+  migration window;
+- ``aborts`` — aborted migration spans, with reasons;
+- ``slow-downtime`` — stop-and-copy + resume spans above the downtime
+  budget;
+- ``event-loss`` — ring-buffer drops in the event log or sample series
+  (the export itself is lossy: treat absence of evidence carefully).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.telemetry.analysis.convergence import (
+    ConvergenceMonitor,
+    ConvergenceState,
+)
+from repro.telemetry.export import TelemetryDump, read_jsonl
+
+#: Severity ranks findings; ties keep rule-catalogue order.
+SEVERITIES = ("critical", "warning", "info")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One ranked diagnosis with evidence pointers into the export."""
+
+    rule: str
+    severity: str  # "critical" | "warning" | "info"
+    title: str
+    detail: str = ""
+    #: pointers a reader can follow: ``span:<id>``, ``series:<name>``,
+    #: ``metric:<name>``, ``instant:<name>@<t>``
+    evidence: tuple[str, ...] = ()
+
+    @property
+    def rank(self) -> int:
+        return SEVERITIES.index(self.severity)
+
+    def render(self) -> str:
+        lines = [f"[{self.severity.upper():8s}] {self.rule}: {self.title}"]
+        if self.detail:
+            lines.append(f"           {self.detail}")
+        if self.evidence:
+            lines.append(f"           evidence: {', '.join(self.evidence)}")
+        return "\n".join(lines)
+
+
+@dataclass
+class DoctorReport:
+    """Every finding for one export, ranked most-severe first."""
+
+    findings: list[Finding] = field(default_factory=list)
+    dump: TelemetryDump | None = None
+
+    @property
+    def worst(self) -> str | None:
+        return self.findings[0].severity if self.findings else None
+
+    def by_rule(self, rule: str) -> list[Finding]:
+        return [f for f in self.findings if f.rule == rule]
+
+    def render(self, sparklines: bool = True) -> str:
+        if not self.findings:
+            body = ["no findings: the migration looks healthy"]
+        else:
+            body = [f.render() for f in self.findings]
+        out = [f"migration doctor — {len(self.findings)} finding(s)"]
+        out.extend(body)
+        if sparklines and self.dump is not None:
+            charts = self._sparklines()
+            if charts:
+                out.append("")
+                out.append("key series:")
+                out.extend(f"  {line}" for line in charts)
+        return "\n".join(out)
+
+    def _sparklines(self) -> list[str]:
+        from repro.viz import timeseries_sparkline
+
+        assert self.dump is not None
+        store = self.dump.timeseries()
+        picked = (
+            "migration.dirty_rate_bytes_s",
+            "migration.eff_bandwidth_bytes_s",
+            "migration.pages_remaining",
+            "migration.skip_ratio",
+            "migration.retransmit_fraction",
+            "jvm.gc_pause_budget",
+        )
+        return [
+            timeseries_sparkline(store.series(name), label=name)
+            for name in picked
+            if name in store
+        ]
+
+
+class Doctor:
+    """Runs the rule catalogue over a telemetry dump."""
+
+    def __init__(self, rules: "list | None" = None, **thresholds) -> None:
+        self.rules = list(rules) if rules is not None else list(DEFAULT_RULES)
+        #: tunables shared by the default rules
+        self.thresholds = {
+            "retransmit_fraction": 0.10,
+            "gc_pause_budget": 0.25,
+            "downtime_budget_s": 1.0,
+            "skip_collapse_factor": 0.5,
+            "stop_pages": 50,
+            **thresholds,
+        }
+
+    def diagnose(self, dump: TelemetryDump) -> DoctorReport:
+        findings: list[Finding] = []
+        for rule in self.rules:
+            findings.extend(rule(dump, self.thresholds))
+        findings.sort(key=lambda f: f.rank)
+        return DoctorReport(findings=findings, dump=dump)
+
+    def diagnose_file(self, path: "str | Path") -> DoctorReport:
+        return self.diagnose(read_jsonl(path))
+
+
+# -- helpers -----------------------------------------------------------------------------
+
+
+def _series(dump: TelemetryDump, name: str) -> tuple[list[float], list[float]]:
+    times: list[float] = []
+    values: list[float] = []
+    for rec in dump.samples:
+        if rec.get("type", "sample") == "sample" and rec["series"] == name:
+            times.append(rec["time_s"])
+            values.append(rec["value"])
+    return times, values
+
+
+def replay_convergence_segments(
+    dump: TelemetryDump, **kwargs
+) -> list[ConvergenceMonitor]:
+    """Rebuild the online monitor(s) from the exported series.
+
+    The supervisor gives every attempt a *fresh* monitor, so a
+    supervised export holds one observation sequence per attempt,
+    concatenated.  Abort instants mark the attempt boundaries; one
+    replayed monitor per segment reproduces each attempt's online
+    verdict exactly.
+    """
+    t, rates = _series(dump, "migration.dirty_rate_bytes_s")
+    _, bws = _series(dump, "migration.eff_bandwidth_bytes_s")
+    _, remaining = _series(dump, "migration.pages_remaining")
+    cuts = sorted(
+        i["time_s"] for i in dump.instants if i["name"] == "abort"
+    )
+    segments: list[list[tuple[float, float, float, float]]] = [[]]
+    cut_idx = 0
+    for row in zip(t, rates, bws, remaining):
+        while cut_idx < len(cuts) and row[0] > cuts[cut_idx]:
+            cut_idx += 1
+            segments.append([])
+        segments[-1].append(row)
+    monitors = []
+    for seg in segments:
+        if not seg:
+            continue
+        ts, rs, bs, rems = (list(col) for col in zip(*seg))
+        monitors.append(ConvergenceMonitor.replay(ts, rs, bs, rems, **kwargs))
+    return monitors or [ConvergenceMonitor(**kwargs)]
+
+
+def replay_convergence(dump: TelemetryDump, **kwargs) -> ConvergenceMonitor:
+    """The offline half of the convergence pipeline: the replayed
+    monitor of the *final* attempt (the whole run when nothing
+    aborted)."""
+    return replay_convergence_segments(dump, **kwargs)[-1]
+
+
+def _iteration_span_ids(dump: TelemetryDump, limit: int = 6) -> tuple[str, ...]:
+    ids = [
+        f"span:{s['id']}" for s in dump.spans
+        if s["name"] in ("iteration", "stop-and-copy")
+    ]
+    return tuple(ids[:limit])
+
+
+# -- rules -------------------------------------------------------------------------------
+
+
+#: worse states sort first; CONVERGING/UNKNOWN never produce a finding
+_STATE_RANK = {
+    ConvergenceState.DIVERGING: 0,
+    ConvergenceState.STALLED: 1,
+    ConvergenceState.CONVERGING: 2,
+    ConvergenceState.UNKNOWN: 3,
+}
+
+
+def rule_convergence(dump: TelemetryDump, thresholds: dict) -> list[Finding]:
+    # One replayed monitor per attempt; report the worst diagnosis
+    # reached anywhere — that is the verdict the supervisor acted on
+    # before degrading, even when a later attempt recovered.
+    segments = replay_convergence_segments(dump)
+    history = [d for mon in segments for d in mon.history]
+    if not history:
+        return []
+    diag = min(history, key=lambda d: _STATE_RANK[d.state])
+    if diag.state in (ConvergenceState.UNKNOWN, ConvergenceState.CONVERGING):
+        return []
+    final = segments[-1].diagnosis
+    detail = diag.summary()
+    if final.state is not diag.state:
+        detail += f"; later observations recovered to {final.state.value}"
+    severity = "critical" if diag.state is ConvergenceState.DIVERGING else "warning"
+    return [
+        Finding(
+            rule="convergence",
+            severity=severity,
+            title=f"pre-copy classified {diag.state.value}",
+            detail=detail,
+            evidence=(
+                "series:migration.dirty_rate_bytes_s",
+                "series:migration.eff_bandwidth_bytes_s",
+                "series:migration.pages_remaining",
+            ) + _iteration_span_ids(dump),
+        )
+    ]
+
+
+def rule_dirty_vs_bandwidth(dump: TelemetryDump, thresholds: dict) -> list[Finding]:
+    t, rates = _series(dump, "migration.dirty_rate_bytes_s")
+    _, bws = _series(dump, "migration.eff_bandwidth_bytes_s")
+    _, remaining = _series(dump, "migration.pages_remaining")
+    if remaining and remaining[-1] <= thresholds.get("stop_pages", 50):
+        # The dirty set drained regardless (e.g. skip-over areas absorb
+        # the dirtying, as in javmm): an adverse raw ratio is not a
+        # problem by itself.
+        return []
+    pairs = [(r, b) for r, b in zip(rates, bws) if b > 0]
+    if not pairs:
+        return []
+    exceeded = sum(1 for r, b in pairs if r >= b)
+    if exceeded == 0 or exceeded * 2 < len(pairs):
+        return []
+    return [
+        Finding(
+            rule="dirty-vs-bandwidth",
+            severity="warning",
+            title=(
+                f"dirty rate met or exceeded effective link bandwidth in "
+                f"{exceeded}/{len(pairs)} iterations"
+            ),
+            detail=(
+                "iterating cannot shrink the dirty set while the guest "
+                "writes faster than the link carries"
+            ),
+            evidence=(
+                "series:migration.dirty_rate_bytes_s",
+                "series:migration.eff_bandwidth_bytes_s",
+            ) + _iteration_span_ids(dump),
+        )
+    ]
+
+
+def rule_skip_collapse(dump: TelemetryDump, thresholds: dict) -> list[Finding]:
+    times, ratios = _series(dump, "migration.skip_ratio")
+    shrinks = [i for i in dump.instants if i["name"] == "shrink"]
+    if len(ratios) < 2 or not shrinks:
+        return []
+    last_shrink_t = max(i["time_s"] for i in shrinks)
+    before = [r for t, r in zip(times, ratios) if t <= last_shrink_t]
+    after = [r for t, r in zip(times, ratios) if t > last_shrink_t]
+    if not before or not after:
+        return []
+    peak = max(before)
+    floor = min(after)
+    if peak <= 0 or floor > peak * thresholds["skip_collapse_factor"]:
+        return []
+    return [
+        Finding(
+            rule="skip-collapse",
+            severity="warning",
+            title=(
+                f"skip ratio collapsed from {peak:.2f} to {floor:.2f} "
+                f"after the last heap-shrink event"
+            ),
+            detail=(
+                "shrunk areas return frames to the transfer set, so the "
+                "bitmap skips fewer pages from then on"
+            ),
+            evidence=(
+                "series:migration.skip_ratio",
+                f"instant:shrink@{last_shrink_t:.3f}",
+                "metric:lkm.shrink_events",
+            ),
+        )
+    ]
+
+
+def rule_retransmit(dump: TelemetryDump, thresholds: dict) -> list[Finding]:
+    retrans = dump.metric_total("net.retransmit_wire_bytes")
+    wire = dump.metric_total("net.wire_bytes")
+    _, fractions = _series(dump, "migration.retransmit_fraction")
+    peak_fraction = max(fractions, default=0.0)
+    overall = retrans / wire if wire > 0 else 0.0
+    limit = thresholds["retransmit_fraction"]
+    if overall < limit and peak_fraction < limit:
+        return []
+    faults = [
+        f"span:{s['id']}" for s in dump.spans if s["name"] == "fault-window"
+    ]
+    where = "during fault window(s)" if faults else "with no fault window recorded"
+    return [
+        Finding(
+            rule="retransmit",
+            severity="warning",
+            title=(
+                f"retransmissions reached {max(overall, peak_fraction):.0%} "
+                f"of wire bytes {where}"
+            ),
+            detail=(
+                f"{retrans:.0f} of {wire:.0f} wire bytes were re-carried; "
+                f"goodput shrank accordingly"
+            ),
+            evidence=(
+                "metric:net.retransmit_wire_bytes",
+                "series:migration.retransmit_fraction",
+                *faults,
+            ),
+        )
+    ]
+
+
+def rule_gc_interference(dump: TelemetryDump, thresholds: dict) -> list[Finding]:
+    _, budgets = _series(dump, "jvm.gc_pause_budget")
+    if not budgets:
+        return []
+    # Gate on the mean: a single short iteration swallowed by one pause
+    # is normal; sustained pressure across the migration is not.
+    mean = sum(budgets) / len(budgets)
+    if mean < thresholds["gc_pause_budget"]:
+        return []
+    return [
+        Finding(
+            rule="gc-interference",
+            severity="warning",
+            title=(
+                f"GC pauses consumed {mean:.0%} of pre-copy wall time "
+                f"(peak {max(budgets):.0%} in one iteration)"
+            ),
+            detail=(
+                "collections both stall the workload and re-dirty survivor "
+                "pages mid-iteration"
+            ),
+            evidence=("series:jvm.gc_pause_budget", "metric:jvm.gc_count"),
+        )
+    ]
+
+
+def rule_aborts(dump: TelemetryDump, thresholds: dict) -> list[Finding]:
+    aborted = [
+        s for s in dump.spans
+        if s["name"] == "migration" and s["args"].get("aborted")
+    ]
+    if not aborted:
+        return []
+    reasons = {s["args"].get("abort_reason", "?") for s in aborted}
+    return [
+        Finding(
+            rule="aborts",
+            severity="critical",
+            title=f"{len(aborted)} migration attempt(s) aborted and rolled back",
+            detail="; ".join(sorted(reasons)),
+            evidence=tuple(f"span:{s['id']}" for s in aborted)
+            + ("metric:migration.aborts",),
+        )
+    ]
+
+
+def rule_slow_downtime(dump: TelemetryDump, thresholds: dict) -> list[Finding]:
+    downtime = 0.0
+    spans = []
+    for s in dump.spans:
+        if s["name"] in ("stop-and-copy", "resume") and s["end_s"] is not None:
+            downtime += s["end_s"] - s["start_s"]
+            spans.append(f"span:{s['id']}")
+    budget = thresholds["downtime_budget_s"]
+    if not spans or downtime <= budget:
+        return []
+    return [
+        Finding(
+            rule="slow-downtime",
+            severity="warning",
+            title=(
+                f"downtime {downtime:.2f}s exceeded the {budget:.2f}s budget"
+            ),
+            detail="stop-and-copy plus destination resume",
+            evidence=tuple(spans),
+        )
+    ]
+
+
+def rule_event_loss(dump: TelemetryDump, thresholds: dict) -> list[Finding]:
+    findings = []
+    if dump.dropped_events:
+        findings.append(
+            Finding(
+                rule="event-loss",
+                severity="info",
+                title=(
+                    f"event log dropped {dump.dropped_events} oldest records "
+                    f"(ring buffer)"
+                ),
+                detail="early-run narrative may be missing from the export",
+                evidence=("metric:event_log_dropped",),
+            )
+        )
+    for rec in dump.samples:
+        if rec.get("type") == "series_dropped":
+            findings.append(
+                Finding(
+                    rule="event-loss",
+                    severity="info",
+                    title=(
+                        f"series {rec['series']} dropped {rec['dropped']} "
+                        f"oldest samples"
+                    ),
+                    evidence=(f"series:{rec['series']}",),
+                )
+            )
+    return findings
+
+
+DEFAULT_RULES = (
+    rule_convergence,
+    rule_dirty_vs_bandwidth,
+    rule_skip_collapse,
+    rule_retransmit,
+    rule_gc_interference,
+    rule_aborts,
+    rule_slow_downtime,
+    rule_event_loss,
+)

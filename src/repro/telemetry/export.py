@@ -3,11 +3,16 @@
 One JSONL stream carries all three narratives under a single schema so
 downstream tools need exactly one parser:
 
-- line 1 is a ``{"type": "meta", "schema": "repro-telemetry/1"}`` header;
+- line 1 is a ``{"type": "meta", "schema": "repro-telemetry/2"}`` header;
 - ``{"type": "span", ...}`` — one per (closed or open) tracer span;
 - ``{"type": "instant", ...}`` — tracer markers;
 - ``{"type": "event", ...}`` — the free-text EventLog records;
-- ``{"type": "metric", ...}`` — one per metrics series (final values).
+- ``{"type": "metric", ...}`` — one per metrics series (final values);
+- ``{"type": "sample", ...}`` — one time-series point (schema 2), with
+  ``{"type": "series_dropped", ...}`` recording per-series ring-buffer
+  eviction counts.
+
+Schema 1 streams (no samples) still read back fine.
 
 :func:`read_jsonl` round-trips the stream back into plain structures,
 and :func:`write_chrome_trace` / :func:`write_metrics_json` cover the
@@ -23,15 +28,17 @@ from pathlib import Path
 
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.probe import Probe
+from repro.telemetry.timeseries import TimeseriesStore
 from repro.telemetry.tracer import Tracer
 
-SCHEMA = "repro-telemetry/1"
+SCHEMA = "repro-telemetry/2"
 
 
 def telemetry_records(
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
     event_log: object | None = None,
+    timeseries: TimeseriesStore | None = None,
 ) -> list[dict]:
     """Every telemetry record as one flat, typed list (the JSONL body)."""
     records: list[dict] = [{"type": "meta", "schema": SCHEMA}]
@@ -56,6 +63,8 @@ def telemetry_records(
     if metrics is not None:
         for sv in metrics.snapshot().series.values():
             records.append({"type": "metric", **sv.to_dict()})
+    if timeseries is not None:
+        records.extend(timeseries.to_records())
     return records
 
 
@@ -65,17 +74,20 @@ def write_jsonl(
     metrics: MetricsRegistry | None = None,
     event_log: object | None = None,
     probe: Probe | None = None,
+    timeseries: TimeseriesStore | None = None,
 ) -> int:
     """Write the unified stream; returns the number of records written.
 
-    Pass either the three stores explicitly or a live *probe* (whose
-    tracer, metrics and event log are used for anything not given).
+    Pass either the stores explicitly or a live *probe* (whose tracer,
+    metrics, event log and time-series store are used for anything not
+    given).
     """
     if probe is not None and probe.enabled:
         tracer = tracer if tracer is not None else probe.tracer
         metrics = metrics if metrics is not None else probe.metrics
         event_log = event_log if event_log is not None else probe.event_log
-    records = telemetry_records(tracer, metrics, event_log)
+        timeseries = timeseries if timeseries is not None else probe.timeseries
+    records = telemetry_records(tracer, metrics, event_log, timeseries)
     with open(path, "w") as fh:
         for record in records:
             fh.write(json.dumps(record) + "\n")
@@ -91,6 +103,7 @@ class TelemetryDump:
     instants: list[dict] = field(default_factory=list)
     events: list[dict] = field(default_factory=list)
     metrics: list[dict] = field(default_factory=list)
+    samples: list[dict] = field(default_factory=list)
     dropped_events: int = 0
 
     def metric_value(self, name: str, default: float = 0.0) -> float:
@@ -98,6 +111,15 @@ class TelemetryDump:
             if m["name"] == name:
                 return m["value"]
         return default
+
+    def metric_total(self, name: str, default: float = 0.0) -> float:
+        """Sum of *name* across all label sets (e.g. every engine)."""
+        found = [m["value"] for m in self.metrics if m["name"] == name]
+        return sum(found) if found else default
+
+    def timeseries(self) -> TimeseriesStore:
+        """The exported samples rebuilt as a queryable store."""
+        return TimeseriesStore.from_records(self.samples)
 
 
 def read_jsonl(path: str | Path) -> TelemetryDump:
@@ -120,6 +142,8 @@ def read_jsonl(path: str | Path) -> TelemetryDump:
                 dump.events.append(record)
             elif kind == "metric":
                 dump.metrics.append(record)
+            elif kind in ("sample", "series_dropped"):
+                dump.samples.append({"type": kind, **record})
             elif kind == "event_log_dropped":
                 dump.dropped_events = record["dropped"]
     return dump

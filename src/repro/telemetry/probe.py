@@ -17,11 +17,12 @@ the unified JSONL export.
 from __future__ import annotations
 
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.timeseries import TimeseriesStore
 from repro.telemetry.tracer import Span, Tracer
 
 
 class Probe:
-    """A live telemetry handle: spans + metrics + shared event log."""
+    """A live telemetry handle: spans + metrics + series + event log."""
 
     enabled = True
 
@@ -30,10 +31,12 @@ class Probe:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         event_log: object | None = None,
+        timeseries: TimeseriesStore | None = None,
     ) -> None:
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.event_log = event_log
+        self.timeseries = timeseries if timeseries is not None else TimeseriesStore()
 
     # -- metrics -------------------------------------------------------------------------
 
@@ -45,6 +48,12 @@ class Probe:
 
     def observe(self, name: str, value: float, **labels) -> None:
         self.metrics.histogram(name, **labels).observe(value)
+
+    # -- time series ---------------------------------------------------------------------
+
+    def sample(self, name: str, now: float, value: float) -> None:
+        """Append one ``(now, value)`` point to the named series."""
+        self.timeseries.add(name, now, value)
 
     # -- spans ---------------------------------------------------------------------------
 
@@ -68,10 +77,11 @@ class NullProbe(Probe):
 
     enabled = False
 
-    def __init__(self) -> None:  # no tracer/registry allocated
+    def __init__(self) -> None:  # no tracer/registry/store allocated
         self.tracer = None  # type: ignore[assignment]
         self.metrics = None  # type: ignore[assignment]
         self.event_log = None
+        self.timeseries = None  # type: ignore[assignment]
 
     def count(self, name: str, amount: float = 1.0, **labels) -> None:
         pass
@@ -80,6 +90,9 @@ class NullProbe(Probe):
         pass
 
     def observe(self, name: str, value: float, **labels) -> None:
+        pass
+
+    def sample(self, name: str, now: float, value: float) -> None:
         pass
 
     def begin(self, name: str, now: float, track: str = "main",

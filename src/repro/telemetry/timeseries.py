@@ -1,0 +1,152 @@
+"""Bounded time-series storage for per-iteration telemetry samples.
+
+Spans answer *when did phases happen*; metrics answer *how much in
+total*.  Neither answers *how did the migration evolve* — did the
+dirty rate chase the link bandwidth, did the skip ratio collapse
+halfway through?  The :class:`TimeseriesStore` holds that third
+narrative: named series of ``(time, value)`` samples, fed once per
+pre-copy iteration through :meth:`~repro.telemetry.probe.Probe.sample`.
+
+Memory is bounded per series: when a series exceeds its cap the oldest
+samples are evicted and counted in ``dropped`` (same keep-newest
+discipline as the :class:`~repro.sim.eventlog.EventLog` ring buffer),
+so a runaway 30-iteration-cap-disabled run cannot grow without bound.
+
+Series produced by the stack (all sampled at iteration end, on the
+simulated clock):
+
+- ``migration.dirty_rate_bytes_s`` — skip-adjusted dirtying rate over
+  the iteration: raw dirty events discounted by the skip ratio, i.e.
+  the rate at which the *transfer set* re-dirties (Young-gen churn a
+  skip bitmap absorbs never hits the wire, so it is excluded);
+- ``migration.eff_bandwidth_bytes_s`` — wire bytes actually moved / duration;
+- ``migration.link_utilization`` — fraction of the link's goodput used;
+- ``migration.retransmit_fraction`` — retransmitted share of wire bytes;
+- ``migration.skip_ratio`` — bitmap-skipped share of examined pages;
+- ``migration.pages_remaining`` — dirty pages left after the iteration;
+- ``jvm.gc_pause_budget`` — GC pause seconds per wall second (JVM-aware
+  engines only);
+- ``jvm.gc_pause_s`` — individual collection pauses (sampled per GC).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+#: Default per-series sample cap.  A migration samples once per
+#: iteration (cap 30) per attempt, so 4096 leaves generous headroom for
+#: long supervised runs while bounding worst-case memory.
+DEFAULT_MAX_SAMPLES = 4096
+
+
+@dataclass
+class Series:
+    """One named series: parallel times/values deques, newest kept."""
+
+    name: str
+    times: deque = field(default_factory=deque)
+    values: deque = field(default_factory=deque)
+    dropped: int = 0
+    max_samples: int = DEFAULT_MAX_SAMPLES
+
+    def add(self, time_s: float, value: float) -> None:
+        self.times.append(float(time_s))
+        self.values.append(float(value))
+        while len(self.times) > self.max_samples:
+            self.times.popleft()
+            self.values.popleft()
+            self.dropped += 1
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def last(self) -> float | None:
+        return self.values[-1] if self.values else None
+
+    def window(self, n: int) -> tuple[list[float], list[float]]:
+        """The newest *n* samples as ``(times, values)`` lists."""
+        if n <= 0:
+            return [], []
+        return list(self.times)[-n:], list(self.values)[-n:]
+
+
+class TimeseriesStore:
+    """All series of one simulation, keyed by name."""
+
+    def __init__(self, max_samples_per_series: int = DEFAULT_MAX_SAMPLES) -> None:
+        if max_samples_per_series < 1:
+            raise ValueError("a series must hold at least one sample")
+        self.max_samples_per_series = max_samples_per_series
+        self._series: dict[str, Series] = {}
+
+    def add(self, name: str, time_s: float, value: float) -> None:
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = Series(
+                name, max_samples=self.max_samples_per_series
+            )
+        series.add(time_s, value)
+
+    def series(self, name: str) -> Series | None:
+        return self._series.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._series)
+
+    def get(self, name: str) -> tuple[list[float], list[float]]:
+        """``(times, values)`` for *name*; empty lists if absent."""
+        series = self._series.get(name)
+        if series is None:
+            return [], []
+        return list(series.times), list(series.values)
+
+    @property
+    def total_samples(self) -> int:
+        return sum(len(s) for s in self._series.values())
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    # -- (de)serialisation ---------------------------------------------------------------
+
+    def to_records(self) -> list[dict]:
+        """Flat typed records for the unified JSONL export."""
+        records: list[dict] = []
+        for name in self.names():
+            series = self._series[name]
+            for t, v in zip(series.times, series.values):
+                records.append(
+                    {"type": "sample", "series": name, "time_s": t, "value": v}
+                )
+            if series.dropped:
+                records.append(
+                    {
+                        "type": "series_dropped",
+                        "series": name,
+                        "dropped": series.dropped,
+                    }
+                )
+        return records
+
+    @classmethod
+    def from_records(cls, records: list[dict]) -> "TimeseriesStore":
+        """Rebuild a store from exported ``sample``/``series_dropped``
+        records (the offline half of the doctor pipeline)."""
+        store = cls()
+        for record in records:
+            kind = record.get("type", "sample")
+            if kind == "sample":
+                store.add(record["series"], record["time_s"], record["value"])
+            elif kind == "series_dropped":
+                series = store._series.get(record["series"])
+                if series is None:
+                    series = store._series[record["series"]] = Series(
+                        record["series"], max_samples=store.max_samples_per_series
+                    )
+                series.dropped += int(record["dropped"])
+        return store

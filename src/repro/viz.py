@@ -7,7 +7,10 @@ and the CLI:
   width ∝ duration, label = traffic sent;
 - :func:`throughput_sparkline` — Figure 11: ops/s over time with the
   migration window marked;
-- :func:`stacked_bars` — Figures 9/10/12: labelled horizontal bars.
+- :func:`stacked_bars` — Figures 9/10/12: labelled horizontal bars;
+- :func:`timeseries_sparkline` — one telemetry time-series (or any
+  ``(times, values)`` pair) as a labelled sparkline, used by the
+  ``doctor`` output.
 
 No plotting dependencies: everything renders to strings.
 """
@@ -76,6 +79,52 @@ def throughput_sparkline(
     if migration_window is not None:
         out.append("".join(marks) + "  (^ = migrating)")
     return "\n".join(out)
+
+
+def timeseries_sparkline(
+    times: "list[float] | object",
+    values: list[float] | None = None,
+    label: str = "",
+    width: int = 60,
+) -> str:
+    """Render a time-series as a one-line sparkline with a range label.
+
+    Accepts either explicit ``(times, values)`` lists or a single
+    :class:`~repro.telemetry.timeseries.Series`-like object (anything
+    with ``times``/``values``/``name``).  Degrades gracefully: an empty
+    or missing series renders as ``(no samples)`` instead of raising.
+    """
+    if values is None:
+        series = times
+        if series is None:
+            return f"{label or '(series)'}: (no samples)"
+        times = list(getattr(series, "times", []))
+        values = list(getattr(series, "values", []))
+        label = label or getattr(series, "name", "")
+    else:
+        times = list(times)
+        values = list(values)
+    if not values or len(times) != len(values):
+        return f"{label or '(series)'}: (no samples)"
+    if len(values) > width:
+        stride = len(values) / width
+        idx = [int(i * stride) for i in range(width)]
+        times = [times[i] for i in idx]
+        values = [values[i] for i in idx]
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    chars = []
+    for v in values:
+        level = (
+            len(_SPARK_LEVELS) // 2 if span <= 0 else
+            int(round((len(_SPARK_LEVELS) - 1) * (v - lo) / span))
+        )
+        chars.append(_SPARK_LEVELS[level])
+    return (
+        f"{label}: [{''.join(chars)}] "
+        f"min {lo:.3g} max {hi:.3g} last {values[-1]:.3g} "
+        f"(t {times[0]:.1f}..{times[-1]:.1f}s, n={len(values)})"
+    )
 
 
 def stacked_bars(

@@ -73,7 +73,13 @@ def test_meter_marks_and_deltas():
     meter.mark("iter1")
     meter.add(pages=3, payload_bytes=200, wire_bytes=230)
     assert meter.since("iter1") == (3, 200, 230)
-    assert meter.since("never-marked") == (5, 300, 350)
+
+
+def test_meter_unknown_mark_raises():
+    meter = TrafficMeter()
+    meter.add(pages=2, payload_bytes=100, wire_bytes=120)
+    with pytest.raises(KeyError):
+        meter.since("never-marked")
 
 
 def test_meter_reset():
@@ -82,4 +88,17 @@ def test_meter_reset():
     meter.mark("m")
     meter.reset()
     assert meter.pages_sent == 0
-    assert meter.since("m") == (0, 0, 0)
+
+
+def test_meter_stale_mark_after_reset_raises():
+    """reset() clears the marks: a delta against a pre-reset mark would
+    mix two accounting epochs, so it must raise, not return zeros."""
+    meter = TrafficMeter()
+    meter.add(1, 10, 12)
+    meter.mark("m")
+    meter.reset()
+    with pytest.raises(KeyError):
+        meter.since("m")
+    meter.mark("m")  # re-marking after reset is fine
+    meter.add(2, 20, 24)
+    assert meter.since("m") == (2, 20, 24)
