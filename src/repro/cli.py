@@ -29,9 +29,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.experiments import ALL_EXPERIMENTS
+from repro.sim.engine import KERNEL_ENV_VAR, KERNELS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -65,6 +67,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--seed", type=int, default=20150421, help="root random seed (default: %(default)s)"
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=KERNELS,
+        default=None,
+        help=(
+            "simulation kernel: 'fixed' steps every tick, 'event' leaps "
+            "quiet stretches (default: $REPRO_SIM_KERNEL, else fixed)"
+        ),
     )
     migrate = parser.add_argument_group("migrate options")
     migrate.add_argument("--workload", default="derby", help="workload name")
@@ -260,6 +271,9 @@ def _run_compare(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.kernel:
+        # Every engine is built through make_engine(), which reads this.
+        os.environ[KERNEL_ENV_VAR] = args.kernel
     if args.experiment == "doctor":
         return _run_doctor(args)
     if args.experiment == "compare":

@@ -32,6 +32,7 @@ from repro.migration.postcopy import PostCopyMigrator
 from repro.migration.precopy import PrecopyMigrator
 from repro.net.link import Link
 from repro.sim.actor import Actor
+from repro.sim.engine import Engine
 from repro.sim.eventlog import EventLog
 from repro.telemetry.probe import NULL_PROBE, Probe
 from repro.units import GiB, MiB
@@ -81,6 +82,12 @@ class JavaVM:
     def actors(self) -> list[Actor]:
         """Actors to register with the engine, in priority order."""
         return [self.jvm, self.kernel, self.lkm, self.analyzer]
+
+    def register(self, engine: "Engine") -> "Engine":
+        """Add every guest actor to *engine*; returns it for chaining."""
+        for actor in self.actors():
+            engine.add(actor)
+        return engine
 
 
 def build_java_vm(

@@ -17,7 +17,7 @@ from repro.core.builders import JavaVM, build_java_vm, make_migrator
 from repro.errors import ConfigurationError
 from repro.migration.precopy import PrecopyMigrator
 from repro.net.link import Link
-from repro.sim.engine import Engine
+from repro.sim.engine import make_engine
 from repro.units import MiB
 
 
@@ -71,7 +71,7 @@ class HostEvacuation:
         self.seed = seed
 
     def run(self) -> EvacuationReport:
-        engine = Engine(self.dt)
+        engine = make_engine(self.dt)
         guests: list[JavaVM] = []
         for i, plan in enumerate(self.plans):
             vm = build_java_vm(
@@ -81,8 +81,7 @@ class HostEvacuation:
                 max_young_bytes=MiB(plan.max_young_mb),
                 seed=self.seed + 31 * i,
             )
-            for actor in vm.actors():
-                engine.add(actor)
+            vm.register(engine)
             guests.append(vm)
 
         engine.run_until(self.warmup_s)

@@ -17,7 +17,7 @@ from repro.jvm.gc_model import MinorGcStats
 from repro.migration.precopy import PrecopyMigrator
 from repro.migration.report import MigrationReport
 from repro.net.link import Link
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, make_engine
 from repro.units import GiB
 from repro.workloads.analyzer import ThroughputSample
 
@@ -63,6 +63,8 @@ class MigrationExperiment:
     warmup_s: float = 20.0
     cooldown_s: float = 10.0
     dt: float = 0.005
+    #: simulation kernel ("fixed"/"event"); None defers to REPRO_SIM_KERNEL
+    kernel: str | None = None
     seed: int = 20150421
     migration_timeout_s: float = 600.0
     vm_kwargs: dict = field(default_factory=dict)
@@ -76,7 +78,7 @@ class MigrationExperiment:
         With ``engine="auto"`` the migrator is deferred: the Section-6
         policy picks it from the live heap profile after warm-up.
         """
-        engine = Engine(self.dt)
+        engine = make_engine(self.dt, kernel=self.kernel)
         vm = build_java_vm(
             workload=self.workload,
             mem_bytes=self.mem_bytes,
@@ -85,8 +87,7 @@ class MigrationExperiment:
             telemetry=self.telemetry,
             **self.vm_kwargs,
         )
-        for actor in vm.actors():
-            engine.add(actor)
+        vm.register(engine)
         self._link = self.link if self.link is not None else Link()
         if self.engine == "auto":
             return engine, vm, None

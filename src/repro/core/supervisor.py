@@ -33,7 +33,7 @@ from repro.core.policy import choose_engine
 from repro.errors import ConfigurationError, MigrationAbortedError, SimulationError
 from repro.migration.report import MigrationReport
 from repro.net.link import Link
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, make_engine
 from repro.telemetry.analysis.convergence import ConvergenceMonitor, ConvergenceState
 
 #: Assistance levels, most to least assisted.  Degradation walks right.
@@ -296,12 +296,11 @@ def supervised_migrate(
     from repro.core.builders import build_java_vm
     from repro.faults import FaultInjector
 
-    sim = Engine(dt)
+    sim = make_engine(dt)
     vm = build_java_vm(
         workload=workload, seed=seed, telemetry=telemetry, **(vm_kwargs or {})
     )
-    for actor in vm.actors():
-        sim.add(actor)
+    vm.register(sim)
     link = link or Link()
     if warmup_s > 0:
         sim.run_until(warmup_s)

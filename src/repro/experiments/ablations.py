@@ -31,7 +31,7 @@ from repro.guest import messages as msg
 from repro.guest.procfs import format_area_line
 from repro.mem.address import VARange
 from repro.net.link import Link
-from repro.sim.engine import Engine
+from repro.sim.engine import make_engine
 from repro.units import GIB, MiB
 from repro.workloads.spec import REGISTRY
 
@@ -115,12 +115,11 @@ class NoGcResult:
 
 def no_enforced_gc(seed: int = 20150421) -> NoGcResult:
     """Show that skipping the enforced GC silently loses live data."""
-    engine = Engine(0.005)
+    engine = make_engine()
     vm = build_java_vm(workload="derby", seed=seed, with_agent=False)
     vm.agent.detach()  # replace the real TI agent with the unsafe one
     UnsafeNoGcAgent(vm.jvm, vm.lkm)
-    for actor in vm.actors():
-        engine.add(actor)
+    vm.register(engine)
     migrator = make_migrator("javmm", vm, Link())
     engine.add(migrator)
     vm.jvm.migration_load = migrator.load_fraction
@@ -239,7 +238,7 @@ class StragglerResult:
 
 def straggler_timeout(timeout_s: float = 0.5, seed: int = 20150421) -> StragglerResult:
     """A subscribed app that never replies must not stall migration."""
-    engine = Engine(0.005)
+    engine = make_engine()
     vm = build_java_vm(
         workload="derby", seed=seed, lkm_reply_timeout_s=timeout_s
     )
@@ -249,8 +248,7 @@ def straggler_timeout(timeout_s: float = 0.5, seed: int = 20150421) -> Straggler
     mute.write_range(mute_area)
     vm.kernel.netlink.subscribe(mute.pid, lambda message: None)
     vm.lkm.register_app(mute.pid, mute)
-    for actor in vm.actors():
-        engine.add(actor)
+    vm.register(engine)
     migrator = make_migrator("javmm", vm, Link())
     engine.add(migrator)
     vm.jvm.migration_load = migrator.load_fraction

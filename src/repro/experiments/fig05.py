@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from repro.core.builders import build_java_vm
 from repro.experiments.common import PaperVsMeasured, ascii_table, comparison_table
 from repro.net.link import Link
-from repro.sim.engine import Engine
+from repro.sim.engine import make_engine
 from repro.units import MIB, MiB
 
 #: Paper order for the bar charts.
@@ -58,7 +58,7 @@ def profile_workload(
     seed: int = 20150421,
 ) -> HeapProfile:
     """Run one workload (no migration) and profile its heap behaviour."""
-    engine = Engine(dt)
+    engine = make_engine(dt)
     vm = build_java_vm(
         workload=workload,
         mem_bytes=MiB(mem_mb),
@@ -66,8 +66,7 @@ def profile_workload(
         seed_old=False,  # Figure 5 starts from a fresh heap
         seed=seed,
     )
-    for actor in vm.actors():
-        engine.add(actor)
+    vm.register(engine)
     young_samples: list[int] = []
     old_samples: list[int] = []
     t = 0.0

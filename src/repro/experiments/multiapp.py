@@ -29,7 +29,7 @@ from repro.guest.lkm import AssistLKM
 from repro.jvm.ti_agent import TIAgent
 from repro.migration.assisted import AssistedMigrator
 from repro.net.link import Link
-from repro.sim.engine import Engine
+from repro.sim.engine import make_engine
 from repro.units import GIB, GiB, MIB, MiB
 from repro.workloads.cache_app import CacheApp
 from repro.workloads.spec import get_workload
@@ -50,7 +50,7 @@ class MultiAppResult:
 
 
 def run(seed: int = 20150421) -> MultiAppResult:
-    engine = Engine(0.005)
+    engine = make_engine()
     domain = Domain("multi-app-vm", GiB(2))
     kernel = GuestKernel(domain)
     lkm = AssistLKM(kernel)

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from repro.core.builders import build_java_vm
 from repro.experiments.common import PaperVsMeasured, ascii_table, comparison_table
-from repro.sim.engine import Engine
+from repro.sim.engine import make_engine
 from repro.units import GiB, MIB, MiB
 
 PAPER = {
@@ -34,15 +34,14 @@ class SettingsRow:
 def observe(workload: str, max_young_mb: int = 1024, warmup_s: float = 15.0,
             seed: int = 20150421) -> SettingsRow:
     """Warm a VM up and read the heap state a migration would see."""
-    engine = Engine(0.005)
+    engine = make_engine()
     vm = build_java_vm(
         workload=workload,
         mem_bytes=GiB(2),
         max_young_bytes=MiB(max_young_mb),
         seed=seed,
     )
-    for actor in vm.actors():
-        engine.add(actor)
+    vm.register(engine)
     engine.run_until(warmup_s)
     return SettingsRow(
         workload=workload,

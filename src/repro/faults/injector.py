@@ -15,6 +15,7 @@ retry attempts.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Callable
 
 from repro.errors import FaultInjectionError, ProtocolError
@@ -80,6 +81,30 @@ class FaultInjector(Actor):
         return not self._pending and not self._reversions and not self._delayed
 
     # -- actor --------------------------------------------------------------------------
+
+    def next_event(self, now: float) -> float | None:
+        if self._pending and self._armed_at is None:
+            return None  # the self-arming instant depends on the tick grid
+        if any(e.at_s is None for e in self._pending):
+            return None  # iteration triggers read migrator state per tick
+        dt = self.sim_dt
+        if dt is None:
+            return None
+        cands = [r[0] for r in self._reversions]
+        cands += [d[0] for d in self._delayed]
+        # ``rel >= at_s`` recomputes ``now - armed_at`` each tick, which
+        # can round low enough to fire one grid tick before the nominal
+        # instant; pad the horizon a tick early so that tick still runs
+        # as an ordinary step.
+        cands += [self._armed_at + e.at_s - dt for e in self._pending]
+        return min(cands) if cands else math.inf
+
+    def step_many(self, start_tick: int, ticks: int, dt: float) -> None:
+        # Quiet ticks only refresh bookkeeping; replay the first tick's
+        # self-arming exactly as :meth:`step` would have computed it.
+        if self._armed_at is None:
+            self._armed_at = (start_tick + 1) * dt - dt
+        self._now = (start_tick + ticks) * dt
 
     def step(self, now: float, dt: float) -> None:
         self._now = now

@@ -8,6 +8,8 @@ keeps a "quiet" VM from migrating in a single iteration).
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.errors import ConfigurationError
@@ -82,6 +84,58 @@ class GuestKernel(Actor):
         return list(self._processes.values())
 
     # -- background activity -------------------------------------------------------------
+
+    def next_event(self, now: float) -> float:
+        # Housekeeping dirtying is self-contained: nothing else reads it
+        # between its own acting ticks, and the actors that do consume
+        # dirty state (migration daemons) force fixed stepping while
+        # active.  So the kernel never needs to bound a leap.
+        return math.inf
+
+    def step_many(self, start_tick: int, ticks: int, dt: float) -> None:
+        """Aggregate *ticks* housekeeping steps into one batched write.
+
+        The per-tick cursor walk is replayed with vectorized interval
+        arithmetic; page version counts and dirty-log marks are exactly
+        those of the per-tick :meth:`step` sequence.
+        """
+        if self.domain.paused:
+            return
+        reserved = self.reserved_pages
+        n_pages = int(self.os_dirty_bytes_per_s * dt / PAGE_SIZE)
+        if n_pages >= 1:
+            if 2 * n_pages >= reserved:
+                # The wrap-clamp path; rare enough to replay per tick.
+                for i in range(1, ticks + 1):
+                    self.step((start_tick + i) * dt, dt)
+                return
+            start = (
+                self._os_cursor + n_pages * np.arange(ticks, dtype=np.int64)
+            ) % reserved
+            end = start + n_pages
+            wrapped = end - reserved
+            has_wrap = wrapped > 0
+            starts = np.concatenate(
+                [start, np.zeros(int(has_wrap.sum()), dtype=np.int64)]
+            )
+            lens = np.concatenate(
+                [np.minimum(end, reserved) - start, wrapped[has_wrap]]
+            )
+            self.domain.touch_pfn_intervals(starts, lens)
+            self._os_cursor = int((self._os_cursor + n_pages * ticks) % reserved)
+            return
+        # Sub-page rate: find the cadence ticks, one page each.
+        period = PAGE_SIZE / max(self.os_dirty_bytes_per_s, 1e-9)
+        nows = (start_tick + 1 + np.arange(ticks, dtype=np.int64)) * dt
+        fires = (nows / period).astype(np.int64) != ((nows - dt) / period).astype(
+            np.int64
+        )
+        n_fired = int(fires.sum())
+        if n_fired == 0:
+            return
+        starts = (self._os_cursor + np.arange(n_fired, dtype=np.int64)) % reserved
+        self.domain.touch_pfn_intervals(starts, np.ones(n_fired, dtype=np.int64))
+        self._os_cursor = int((self._os_cursor + n_fired) % reserved)
 
     def step(self, now: float, dt: float) -> None:
         """Dirty a few kernel pages per step (housekeeping writes)."""

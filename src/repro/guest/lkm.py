@@ -25,6 +25,7 @@ but walks every area again, at a modelled time cost.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -209,6 +210,20 @@ class AssistLKM(Actor):
         return list(self._apps.values())
 
     # -- actor --------------------------------------------------------------------------
+
+    def next_event(self, now: float) -> float:
+        # The only self-initiated act is the straggler timeout; while no
+        # deadline is armed (or the module is wedged) the LKM is purely
+        # reactive, and reactions happen inside other actors' acting
+        # ticks, which the event kernel always runs as ordinary steps.
+        if self.hung or self._deadline is None:
+            return math.inf
+        return self._deadline
+
+    def step_many(self, start_tick: int, ticks: int, dt: float) -> None:
+        # Quiet ticks only refresh the module's notion of "now" (used to
+        # timestamp replies handled inside later actors' acting ticks).
+        self._now = (start_tick + ticks) * dt
 
     def step(self, now: float, dt: float) -> None:
         self._now = now

@@ -176,6 +176,25 @@ class GenerationalHeap:
         self.counters.allocated_bytes += take
         return take
 
+    def allocate_run(self, nbytes: int, ticks: int) -> None:
+        """Bump-allocate *nbytes* per tick for *ticks* ticks at once.
+
+        Exactly equivalent to ``ticks`` back-to-back full-size
+        :meth:`allocate` calls; the caller (the JVM's event-kernel fast
+        path) guarantees Eden has room for all of them, so no call would
+        have come up short.
+        """
+        total = nbytes * ticks
+        if total > self.eden_capacity - self.eden_used:
+            raise HeapError("allocate_run would overflow Eden")
+        eden = self.layout.eden
+        starts = self.eden_used + nbytes * np.arange(ticks, dtype=np.int64)
+        self.process.write_intervals(
+            eden.start, starts, np.full(ticks, nbytes, dtype=np.int64)
+        )
+        self.eden_used += total
+        self.counters.allocated_bytes += total
+
     # -- collection ---------------------------------------------------------------------
 
     def perform_minor_gc(self, enforced: bool = False) -> MinorGcStats:

@@ -12,6 +12,7 @@ application is ready for VM suspension").
 from __future__ import annotations
 
 import enum
+import math
 from typing import Callable
 
 import numpy as np
@@ -27,6 +28,26 @@ from repro.units import MiB
 
 GcEndCallback = Callable[[MinorGcStats], None]
 ReadyCallback = Callable[[], None]
+
+
+#: below this window size the vectorized mutator batch is not worth it
+_MIN_BATCH_TICKS = 4
+
+
+def _ticks_to_cross(timer: float, dt: float, cap: int = 1_000_000) -> int | None:
+    """Ticks until ``timer -= dt`` reaches <= 0, replayed sequentially.
+
+    The per-tick subtraction is replayed (not divided out) because float
+    subtraction is not associative; the returned count is exactly the
+    tick on which the fixed kernel's timer would cross.
+    """
+    ticks = 0
+    while timer > 0.0:
+        timer -= dt
+        ticks += 1
+        if ticks > cap:
+            return None
+    return ticks
 
 
 class JvmPhase(enum.Enum):
@@ -141,6 +162,129 @@ class HotSpotJVM(Actor):
         gc_needed = self._run_mutators(dt)
         if gc_needed:
             self._enter_tts(enforced=False)
+
+    # -- event-kernel support --------------------------------------------------------------
+
+    def next_event(self, now: float) -> float | None:
+        dt = self.sim_dt
+        if dt is None:
+            return None
+        if self._domain_paused() or self.phase is JvmPhase.HELD:
+            return math.inf
+        if self.phase is JvmPhase.GC or self.phase is JvmPhase.TTS:
+            k = _ticks_to_cross(self._timer, dt)
+            if k is None:
+                return None
+            return now + k * dt
+        # RUNNING: the next act is entering TTS — either for a pending
+        # enforced GC (next tick) or when Eden fills.
+        if self._pending_enforced:
+            return now + dt
+        if self.migration_load is not None and self.migration_load() != 0.0:
+            # Interference makes the slowdown migration-state-dependent;
+            # stay on the fixed grid while a daemon is moving bytes.
+            return None
+        if self.heap.needs_gc:
+            return now + dt
+        b = int(self.alloc_bytes_per_s * dt)
+        if b <= 0:
+            return math.inf
+        room = self.heap.eden_capacity - self.heap.eden_used
+        return now + -(-room // b) * dt
+
+    def step_many(self, start_tick: int, ticks: int, dt: float) -> None:
+        i = 0
+        while i < ticks:
+            if (
+                self.phase is JvmPhase.RUNNING
+                and not self._pending_enforced
+                and not self._domain_paused()
+            ):
+                j = self._quiet_running_ticks(dt, ticks - i)
+                if j >= _MIN_BATCH_TICKS:
+                    self._run_mutators_batch(start_tick + i, j, dt)
+                    i += j
+                    continue
+            self.step((start_tick + i + 1) * dt, dt)
+            i += 1
+
+    def _quiet_running_ticks(self, dt: float, remaining: int) -> int:
+        """How many consecutive RUNNING ticks are provably GC-free."""
+        if self.migration_load is not None and self.migration_load() != 0.0:
+            return 0
+        if self.heap.needs_gc:
+            return 0
+        b = int(self.alloc_bytes_per_s * dt)
+        if b <= 0:
+            return remaining
+        room = self.heap.eden_capacity - self.heap.eden_used
+        return min(remaining, -(-room // b) - 1)
+
+    def _run_mutators_batch(self, start_tick: int, ticks: int, dt: float) -> None:
+        """Replay *ticks* quiet RUNNING steps of :meth:`_run_mutators`.
+
+        Page writes are issued as aggregated interval batches (same
+        per-page version counts as the per-tick calls), while the
+        float accumulators — ops counter, misc-write carry — are
+        replayed sequentially so non-associative float addition gives
+        bit-identical values.
+        """
+        # slowdown is exactly 1.0 here (no load), and x * 1.0 * dt == x * dt.
+        b = int(self.alloc_bytes_per_s * dt)
+        if b > 0:
+            self.heap.allocate_run(b, ticks)
+        self._write_old_batch(self.old_write_bytes_per_s * dt, ticks)
+        self._write_misc_batch(self.misc_bytes_per_s * dt, ticks)
+        v = self.ops_per_s * dt
+        for _ in range(ticks):
+            self.ops_completed += v
+        self._now = (start_tick + ticks) * dt
+
+    def _write_old_batch(self, nbytes: float, ticks: int) -> None:
+        ws = min(self.old_ws_bytes, self.heap.old_used)
+        n = int(nbytes)
+        if ws <= 0 or n <= 0:
+            return
+        n = min(n, ws)
+        off = (self._old_cursor + n * np.arange(ticks, dtype=np.int64)) % ws
+        end = off + n
+        wrapped = end - ws
+        has_wrap = wrapped > 0
+        starts = np.concatenate([off, np.zeros(int(has_wrap.sum()), dtype=np.int64)])
+        lens = np.concatenate([np.minimum(end, ws) - off, wrapped[has_wrap]])
+        self.process.write_intervals(self.heap.layout.old_region.start, starts, lens)
+        self._old_cursor = int((self._old_cursor + n * ticks) % ws)
+
+    def _write_misc_batch(self, nbytes: float, ticks: int) -> None:
+        size = self.misc_region.length
+        starts: list[int] = []
+        lens: list[int] = []
+        carry = self._misc_carry
+        cursor = self._misc_cursor
+        for _ in range(ticks):
+            carry += nbytes
+            n = int(carry)
+            if n <= 0:
+                continue
+            carry -= n
+            n = min(n, size)
+            off = cursor % size
+            end = min(off + n, size)
+            starts.append(off)
+            lens.append(end - off)
+            wrapped = n - (end - off)
+            if wrapped > 0:
+                starts.append(0)
+                lens.append(wrapped)
+            cursor = (cursor + n) % size
+        self._misc_carry = carry
+        self._misc_cursor = cursor
+        if starts:
+            self.process.write_intervals(
+                self.misc_region.start,
+                np.asarray(starts, dtype=np.int64),
+                np.asarray(lens, dtype=np.int64),
+            )
 
     # -- phases ---------------------------------------------------------------------------
 

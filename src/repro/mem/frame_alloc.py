@@ -19,12 +19,16 @@ class FrameAllocator:
     """LIFO free-list allocator over a fixed set of page frames."""
 
     def __init__(self, pfns: np.ndarray | range) -> None:
-        free = np.asarray(list(pfns) if isinstance(pfns, range) else pfns, dtype=np.int64)
-        if free.size and len(np.unique(free)) != free.size:
-            raise ConfigurationError("frame pool contains duplicate PFNs")
+        if isinstance(pfns, range):
+            # A range cannot repeat; skip the duplicate scan.
+            free = np.arange(pfns.start, pfns.stop, pfns.step or 1, dtype=np.int64)
+        else:
+            free = np.asarray(pfns, dtype=np.int64)
+            if free.size and len(np.unique(free)) != free.size:
+                raise ConfigurationError("frame pool contains duplicate PFNs")
         # Stored as a stack; reverse so low PFNs are handed out first,
         # which makes tests and traces easier to read.
-        self._free = list(free[::-1])
+        self._free = free[::-1].tolist()
         self._allocated: set[int] = set()
         self.total_frames = free.size
 
@@ -44,17 +48,18 @@ class FrameAllocator:
             raise FrameExhausted(
                 f"requested {n} frames, only {len(self._free)} free"
             )
-        out = np.empty(n, dtype=np.int64)
-        for i in range(n):
-            pfn = self._free.pop()
-            self._allocated.add(int(pfn))
-            out[i] = pfn
-        return out
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        # Bulk-pop the stack top: identical PFNs, in identical order, as
+        # n successive pop() calls.
+        taken = self._free[-n:][::-1]
+        del self._free[-n:]
+        self._allocated.update(taken)
+        return np.asarray(taken, dtype=np.int64)
 
     def free(self, pfns: np.ndarray) -> None:
         """Return frames to the pool; double-free raises."""
-        for pfn in np.asarray(pfns, dtype=np.int64):
-            p = int(pfn)
+        for p in np.asarray(pfns, dtype=np.int64).tolist():
             if p not in self._allocated:
                 raise ConfigurationError(f"double free or foreign PFN {p}")
             self._allocated.remove(p)

@@ -34,6 +34,19 @@ class VersionedPages:
     def bump_range(self, start: int, end: int) -> None:
         self._versions[start:end] += 1
 
+    def bump_counts(self, pfns: np.ndarray, counts: np.ndarray) -> None:
+        """Dirty *pfns*, bumping each by its entry in *counts*.
+
+        Equivalent to a sequence of :meth:`bump` calls whose per-page
+        occurrence totals are *counts* — the aggregated form the event
+        kernel's batched writes use.
+        """
+        np.add.at(self._versions, pfns, counts)
+
+    def bump_slice_counts(self, start: int, counts: np.ndarray) -> None:
+        """Bump the contiguous PFN run from *start* by *counts* per page."""
+        self._versions[start : start + counts.size] += counts
+
     def version(self, pfn: int) -> int:
         return int(self._versions[pfn])
 

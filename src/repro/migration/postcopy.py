@@ -24,6 +24,8 @@ guarantees that, and the verifier checks it.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.errors import MigrationAbortedError, MigrationError
@@ -135,6 +137,16 @@ class PostCopyMigrator(Actor):
         return min(1.0, link_share + self._recent_stall)
 
     # -- actor -------------------------------------------------------------------
+
+    def next_event(self, now: float) -> float | None:
+        # Same contract as the pre-copy family: abstain while migrating.
+        if self.phase in (MigrationPhase.IDLE, MigrationPhase.DONE, MigrationPhase.ABORTED):
+            return math.inf
+        return None
+
+    def step_many(self, start_tick: int, ticks: int, dt: float) -> None:
+        self._recent_stall = 0.0
+        self._last_step_wire = 0.0
 
     def step(self, now: float, dt: float) -> None:
         self._recent_stall = 0.0

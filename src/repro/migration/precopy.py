@@ -261,6 +261,20 @@ class PrecopyMigrator(Actor):
 
     # -- actor -------------------------------------------------------------------------------
 
+    def next_event(self, now: float) -> float | None:
+        # Quiet only when no migration is in flight.  Active phases do
+        # real pump work every tick (link shares, watchdogs, budget
+        # banking) that cannot be aggregated, so abstain and force the
+        # whole engine down to per-tick stepping while migrating.
+        if self.phase in (MigrationPhase.IDLE, MigrationPhase.DONE, MigrationPhase.ABORTED):
+            return math.inf
+        return None
+
+    def step_many(self, start_tick: int, ticks: int, dt: float) -> None:
+        # Only reachable in a terminal phase (active phases abstain);
+        # the per-tick body would just clear the wire counter.
+        self._last_step_wire = 0.0
+
     def step(self, now: float, dt: float) -> None:
         if self.phase in (MigrationPhase.IDLE, MigrationPhase.DONE, MigrationPhase.ABORTED):
             self._last_step_wire = 0.0

@@ -15,6 +15,7 @@ shrinks both the pause and the replication traffic.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -105,6 +106,20 @@ class RemusReplicator(Actor):
         return self._running
 
     # -- actor ---------------------------------------------------------------------------
+
+    def next_event(self, now: float) -> float:
+        # Between checkpoints the replicator's steps are pure early
+        # returns; the dirty log accumulates on its own, so the next
+        # acting instant is exactly the pause deadline or the epoch edge.
+        if not self._running:
+            return math.inf
+        if self._paused_until is not None:
+            return self._paused_until
+        return self._next_checkpoint
+
+    def step_many(self, start_tick: int, ticks: int, dt: float) -> None:
+        # Quiet steps mutate nothing.
+        return
 
     def step(self, now: float, dt: float) -> None:
         if not self._running:

@@ -1,10 +1,13 @@
 """Discrete-time co-simulation engine.
 
-The JAVMM reproduction runs a *fixed-step* co-simulation: on every step
-the workload (JVM) dirties memory pages and the migration daemon moves
-bytes over the link, so iteration dynamics emerge from the same race
-between page dirtying and page transfer that the paper measures on real
-hardware.
+The JAVMM reproduction runs a co-simulation on a fixed ``dt`` tick
+grid: on every tick the workload (JVM) dirties memory pages and the
+migration daemon moves bytes over the link, so iteration dynamics
+emerge from the same race between page dirtying and page transfer that
+the paper measures on real hardware.  The engine has two kernels —
+``fixed`` polls every actor every tick; ``event`` leaps over ticks all
+actors declare quiet (see :func:`make_engine` and DESIGN.md §
+"Simulation kernel") while producing bit-identical simulated measures.
 
 Public surface:
 
@@ -16,8 +19,19 @@ Public surface:
 
 from repro.sim.actor import Actor
 from repro.sim.clock import SimClock
-from repro.sim.engine import Engine
+from repro.sim.engine import KERNEL_ENV_VAR, KERNELS, Engine, make_engine, resolve_kernel
 from repro.sim.eventlog import Event, EventLog
 from repro.sim.rng import SimRng
 
-__all__ = ["Actor", "Engine", "Event", "EventLog", "SimClock", "SimRng"]
+__all__ = [
+    "Actor",
+    "Engine",
+    "Event",
+    "EventLog",
+    "KERNELS",
+    "KERNEL_ENV_VAR",
+    "SimClock",
+    "SimRng",
+    "make_engine",
+    "resolve_kernel",
+]

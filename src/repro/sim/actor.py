@@ -1,4 +1,11 @@
-"""Actor protocol for the fixed-step engine."""
+"""Actor protocol for the co-simulation engine.
+
+Actors are stepped on a fixed grid of ``dt``-spaced ticks.  The hybrid
+event-driven kernel (see :mod:`repro.sim.engine`) additionally asks each
+actor for a *horizon* via :meth:`next_event`; when every actor declares
+one, the engine covers the quiet ticks in one :meth:`step_many` call per
+actor instead of interleaving per-tick :meth:`step` calls.
+"""
 
 from __future__ import annotations
 
@@ -17,9 +24,56 @@ class Actor:
 
     priority: int = 0
 
+    #: the engine's step size, filled in by :meth:`Engine.add` so that
+    #: :meth:`next_event` can reason about the tick grid
+    sim_dt: float | None = None
+
     def step(self, now: float, dt: float) -> None:
         """Advance the actor from ``now - dt`` to ``now``."""
         raise NotImplementedError
+
+    def next_event(self, now: float) -> float | None:
+        """Earliest future time this actor may *act*, or ``None``.
+
+        The contract with the event kernel:
+
+        - ``None`` — abstain.  The engine falls back to plain fixed-dt
+          stepping for everyone; behaviour is bit-identical to the
+          fixed kernel.  This is the default.
+        - a float ``h`` — a promise that every tick *strictly before*
+          the last grid tick ``<= h`` is *quiet*: stepping it changes no
+          state that any other actor reads, and triggers no callback,
+          phase change or message.  The engine will cover those quiet
+          ticks with :meth:`step_many` and execute the final tick as an
+          ordinary interleaved :meth:`step`, so anything that does
+          happen at ``h`` keeps exact fixed-kernel ordering.
+        - ``math.inf`` — quiet indefinitely (idle / terminal / paused);
+          the actor is woken early only by other actors' horizons or an
+          :meth:`Engine.wake` entry.
+
+        Horizons are re-queried before every engine advance, so any
+        state change at an acting tick re-horizons everything
+        immediately.
+        """
+        return None
+
+    def step_many(self, start_tick: int, ticks: int, dt: float) -> None:
+        """Advance through ``ticks`` quiet grid ticks in one call.
+
+        Tick ``i`` (1-based) of the window corresponds to the instant
+        ``(start_tick + i) * dt`` — computed by multiplication on the
+        tick grid, exactly as :class:`~repro.sim.clock.SimClock` does,
+        so replayed timestamps are bit-identical to fixed stepping.
+
+        The default implementation is a micro-loop over :meth:`step`
+        and therefore exact by construction; subclasses override it
+        only to aggregate provably-equivalent work (vectorized page
+        dirtying, timer runs).  The engine only ever calls this for
+        windows that end strictly before every registered actor's
+        declared horizon.
+        """
+        for i in range(1, ticks + 1):
+            self.step((start_tick + i) * dt, dt)
 
     @property
     def finished(self) -> bool:

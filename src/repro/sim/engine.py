@@ -1,29 +1,71 @@
-"""Fixed-step co-simulation engine.
+"""Hybrid fixed-step / event-driven co-simulation engine.
 
 The engine owns a :class:`~repro.sim.clock.SimClock` and a set of
 :class:`~repro.sim.actor.Actor` instances.  Each call to :meth:`step`
 advances the clock by one ``dt`` and steps every registered actor once,
 in ascending priority order.  ``run_until`` / ``run_while`` provide the
 loop forms the experiment drivers need.
+
+Two kernels share that interface:
+
+- ``fixed`` (the default) polls every actor every tick, exactly as the
+  original fixed-step engine did.
+- ``event`` asks each actor for a horizon (:meth:`Actor.next_event`)
+  before advancing.  When *every* actor declares one, the engine leaps:
+  the quiet ticks up to (but excluding) the earliest horizon are covered
+  by one :meth:`Actor.step_many` call per actor, and the final tick of
+  the leap is executed as an ordinary interleaved :meth:`step`.  All
+  acting — phase changes, callbacks, netlink messages, samples —
+  therefore happens inside ordinary priority-ordered steps, which is
+  what makes the event kernel's simulated measures bit-identical to the
+  fixed kernel's.  If any actor abstains (returns ``None``), the engine
+  falls back to plain per-tick stepping until horizons reappear.
+
+A wake-queue rides along: :meth:`wake` bounds the next leap so a step
+lands at a given instant, and :meth:`call_at` additionally runs a
+callback at the first tick at or after that instant (in both kernels).
 """
 
 from __future__ import annotations
 
+import heapq
+import os
 from typing import Callable, Iterable
 
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.sim.actor import Actor
 from repro.sim.clock import SimClock
+
+#: kernels :func:`make_engine` understands
+KERNELS = ("fixed", "event")
+
+#: environment variable consulted by :func:`make_engine`
+KERNEL_ENV_VAR = "REPRO_SIM_KERNEL"
 
 
 class Engine:
     """Steps a set of actors against a shared simulated clock."""
 
-    def __init__(self, dt: float = 0.005, max_steps: int = 50_000_000) -> None:
+    def __init__(
+        self,
+        dt: float = 0.005,
+        max_steps: int = 50_000_000,
+        kernel: str = "fixed",
+    ) -> None:
+        if kernel not in KERNELS:
+            raise ConfigurationError(
+                f"unknown simulation kernel {kernel!r}; pick one of {KERNELS}"
+            )
         self.clock = SimClock(dt)
+        self.kernel = kernel
         self._actors: list[tuple[int, int, Actor]] = []
         self._seq = 0
         self._max_steps = max_steps
+        #: heap of (time, seq, callback-or-None) wake entries
+        self._timers: list[tuple[float, int, Callable[[float], None] | None]] = []
+        self._timer_seq = 0
+        #: number of multi-tick leaps taken (observability / tests)
+        self.leaps = 0
 
     @property
     def now(self) -> float:
@@ -35,6 +77,7 @@ class Engine:
 
     def add(self, actor: Actor) -> Actor:
         """Register *actor*; returns it for chaining."""
+        actor.sim_dt = self.clock.dt
         self._actors.append((actor.priority, self._seq, actor))
         self._seq += 1
         self._actors.sort(key=lambda entry: (entry[0], entry[1]))
@@ -46,13 +89,92 @@ class Engine:
     def actors(self) -> Iterable[Actor]:
         return [entry[2] for entry in self._actors]
 
+    # -- wake-queue -----------------------------------------------------------------
+
+    def wake(self, actor: Actor, t: float) -> None:
+        """Guarantee an ordinary step lands at the first tick >= *t*.
+
+        Every registered actor (including *actor*) is stepped at that
+        tick, so a horizon-declaring actor can bound its own sleep
+        without abstaining.  In the fixed kernel this is a no-op bound
+        (every tick steps anyway).
+        """
+        self._push_timer(t, None)
+
+    def call_at(self, t: float, fn: Callable[[float], None]) -> None:
+        """Run ``fn(now)`` at the first tick with ``now >= t``.
+
+        The callback fires at the start of that tick, before any actor
+        steps — in both kernels.
+        """
+        self._push_timer(t, fn)
+
+    def _push_timer(self, t: float, fn: Callable[[float], None] | None) -> None:
+        if t < self.now:
+            raise SimulationError(
+                f"cannot schedule a wake at {t:.3f}: time is already {self.now:.3f}"
+            )
+        heapq.heappush(self._timers, (t, self._timer_seq, fn))
+        self._timer_seq += 1
+
+    def _fire_timers(self, now: float) -> None:
+        while self._timers and self._timers[0][0] <= now:
+            _, _, fn = heapq.heappop(self._timers)
+            if fn is not None:
+                fn(now)
+
+    # -- stepping --------------------------------------------------------------------
+
     def step(self) -> float:
         """Advance the clock one step and step every actor once."""
         now = self.clock.advance()
         dt = self.clock.dt
-        for _, _, actor in self._actors:
+        if self._timers:
+            self._fire_timers(now)
+        # Snapshot: an actor may add/remove actors mid-step (a
+        # supervisor respawning a migrator); iterate this step's roster.
+        for _, _, actor in list(self._actors):
             actor.step(now, dt)
         return now
+
+    def _leap_target(self, bound: float) -> float | None:
+        """Earliest horizon across actors and wakes, or None on abstain."""
+        now = self.now
+        target = bound
+        if self._timers and self._timers[0][0] < target:
+            target = self._timers[0][0]
+        for _, _, actor in self._actors:
+            h = actor.next_event(now)
+            if h is None:
+                return None
+            if h < target:
+                target = h
+        return target
+
+    def _advance(self, bound: float) -> int:
+        """One engine advance toward *bound* (a time); returns ticks taken.
+
+        In the event kernel, leaps never overshoot: the tick count to a
+        target is floor-truncated, so an off-grid or epsilon-padded
+        horizon costs at most one extra single-tick advance rather than
+        ever skipping an acting tick.
+        """
+        if self.kernel == "event":
+            target = self._leap_target(bound)
+            if target is not None:
+                k = int((target - self.now) / self.clock.dt)
+                if k > 1:
+                    quiet = k - 1
+                    start_tick = self.clock.ticks
+                    dt = self.clock.dt
+                    self.clock.advance_ticks(quiet)
+                    for _, _, actor in list(self._actors):
+                        actor.step_many(start_tick, quiet, dt)
+                    self.leaps += 1
+                    self.step()
+                    return k
+        self.step()
+        return 1
 
     def run_until(self, t: float) -> None:
         """Run steps until simulated time reaches at least *t*."""
@@ -62,8 +184,7 @@ class Engine:
             )
         steps = 0
         while self.now < t:
-            self.step()
-            steps += 1
+            steps += self._advance(t)
             if steps > self._max_steps:
                 raise SimulationError("run_until exceeded the step budget")
 
@@ -75,4 +196,31 @@ class Engine:
                 raise SimulationError(
                     f"run_while did not terminate within {timeout:.1f} sim-seconds"
                 )
-            self.step()
+            self._advance(deadline)
+
+
+def resolve_kernel(kernel: str | None = None) -> str:
+    """Pick the simulation kernel: explicit arg, else env, else fixed."""
+    if kernel is None:
+        kernel = os.environ.get(KERNEL_ENV_VAR, "") or "fixed"
+    kernel = kernel.lower()
+    if kernel not in KERNELS:
+        raise ConfigurationError(
+            f"unknown simulation kernel {kernel!r} "
+            f"(from {KERNEL_ENV_VAR}?); pick one of {KERNELS}"
+        )
+    return kernel
+
+
+def make_engine(
+    dt: float = 0.005,
+    kernel: str | None = None,
+    max_steps: int = 50_000_000,
+) -> Engine:
+    """The one place experiment drivers build their engine.
+
+    *kernel* may be ``"fixed"`` / ``"event"``; when omitted the
+    ``REPRO_SIM_KERNEL`` environment variable decides, defaulting to
+    the fixed kernel so existing runs stay bit-identical.
+    """
+    return Engine(dt, max_steps=max_steps, kernel=resolve_kernel(kernel))

@@ -39,6 +39,17 @@ class Analyzer(Actor):
         self._last_sample_time = 0.0
         self._last_ops = 0.0
 
+    def next_event(self, now: float) -> float:
+        # The sampling instant; the engine runs it as an ordinary step,
+        # after the JVM's, so the ops counter is read at exactly the
+        # same point in the tick as under the fixed kernel.
+        return self._last_sample_time + self.interval_s
+
+    def step_many(self, start_tick: int, ticks: int, dt: float) -> None:
+        # Leaps never cross the declared sampling instant, and between
+        # samples the analyzer is stateless — nothing to replay.
+        return
+
     def step(self, now: float, dt: float) -> None:
         if now - self._last_sample_time + 1e-9 < self.interval_s:
             return

@@ -90,6 +90,18 @@ class TraceDrivenJVM(HotSpotJVM):
         idx = bisect.bisect_right(self._times, now) - 1
         return self.trace[max(idx, 0)]
 
+    def next_event(self, now: float) -> float | None:
+        # Rates are constant between breakpoints, so the parent's horizon
+        # holds as long as the leap also stops at the next breakpoint
+        # (whose switch must run as an ordinary step).
+        base = super().next_event(now)
+        if base is None:
+            return None
+        idx = bisect.bisect_right(self._times, now) - 1
+        if idx + 1 < len(self._times):
+            return min(base, self._times[idx + 1])
+        return base
+
     def step(self, now: float, dt: float) -> None:
         idx = max(bisect.bisect_right(self._times, now) - 1, 0)
         if idx != self._active_index:

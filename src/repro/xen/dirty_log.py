@@ -52,6 +52,19 @@ class DirtyLog:
             if self.probe.enabled:
                 self.probe.count("dirty.pages_marked", int(end - start))
 
+    def mark_counted(self, pfns: np.ndarray, marked_events: int) -> None:
+        """Record a batch of writes covering *pfns*.
+
+        *marked_events* is the total page count the equivalent
+        per-write :meth:`mark` calls would have reported (duplicates
+        included), so the ``dirty.pages_marked`` counter stays exact
+        under the event kernel's aggregated writes.
+        """
+        if self._enabled:
+            self._bitmap.set_pfns(pfns)
+            if self.probe.enabled:
+                self.probe.count("dirty.pages_marked", int(marked_events))
+
     def peek_and_clear(self) -> np.ndarray:
         """Dirty PFNs since the last call; resets the log (CLEAN op)."""
         dirty = self._bitmap.snapshot_and_clear()

@@ -83,6 +83,43 @@ class Domain:
         self.pages.bump_range(start_pfn, end_pfn)
         self.dirty_log.mark_range(start_pfn, end_pfn)
 
+    def touch_pfns_counted(self, pfns: np.ndarray, counts: np.ndarray) -> None:
+        """Batched form of :meth:`touch_pfns` over a contiguous PFN walk.
+
+        ``counts[i]`` is how many times ``pfns[i]`` would have been
+        bumped by the equivalent per-write call sequence; zero-count
+        entries (gaps between write intervals) are neither bumped nor
+        marked dirty.
+        """
+        if self._paused:
+            raise MigrationError(f"paused domain {self.name} cannot write memory")
+        covered = counts > 0
+        self.pages.bump_counts(pfns[covered], counts[covered])
+        self.dirty_log.mark_counted(pfns[covered], int(counts.sum()))
+
+    def touch_pfn_intervals(self, starts: np.ndarray, lens: np.ndarray) -> None:
+        """Batched form of :meth:`touch_range` over many PFN intervals.
+
+        Exactly equivalent to one ``touch_range(s, s + n)`` call per
+        ``(s, n)`` pair: per-page version bumps count every covering
+        interval, and the dirty log sees the same page totals.
+        """
+        if self._paused:
+            raise MigrationError(f"paused domain {self.name} cannot write memory")
+        keep = lens > 0
+        if not keep.all():
+            starts, lens = starts[keep], lens[keep]
+        if starts.size == 0:
+            return
+        lo = int(starts.min())
+        hi = int((starts + lens).max())
+        diff = np.zeros(hi - lo + 1, dtype=np.int64)
+        np.add.at(diff, starts - lo, 1)
+        np.add.at(diff, starts + lens - lo, -1)
+        counts = np.cumsum(diff[:-1])
+        self.pages.bump_slice_counts(lo, counts)
+        self.dirty_log.mark_counted(lo + np.flatnonzero(counts), int(lens.sum()))
+
     # -- migration plumbing ---------------------------------------------------------
 
     def read_pages(self, pfns: np.ndarray) -> np.ndarray:

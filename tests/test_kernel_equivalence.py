@@ -1,0 +1,331 @@
+"""The event kernel: wake-queue semantics and fixed-vs-event equivalence.
+
+The event kernel's contract is *bit-identical simulated measures*: a
+leap covers only quiet ticks, and every acting tick runs as an ordinary
+priority-ordered step.  These tests drive the same scenarios under both
+kernels and require exact equality — no tolerances — across heap state,
+page versions, throughput samples, iteration records and final reports.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import MigrationExperiment
+from repro.core.builders import build_java_vm
+from repro.core.supervisor import supervised_migrate
+from repro.errors import ConfigurationError, SimulationError
+from repro.faults import FaultPlan
+from repro.sim import Actor, Engine, KERNEL_ENV_VAR, make_engine, resolve_kernel
+from repro.units import MiB
+
+
+class Recorder(Actor):
+    def __init__(self, priority: int = 0) -> None:
+        self.priority = priority
+        self.calls: list[float] = []
+
+    def step(self, now: float, dt: float) -> None:
+        self.calls.append(now)
+
+
+class Sleeper(Recorder):
+    """Declares an unbounded horizon; its default step_many replays steps."""
+
+    def next_event(self, now: float) -> float:
+        return math.inf
+
+
+class Metronome(Recorder):
+    """Acts every *period* seconds, quiet in between."""
+
+    def __init__(self, period: float) -> None:
+        super().__init__()
+        self.period = period
+        self._next = period
+
+    def next_event(self, now: float) -> float:
+        return self._next
+
+    def step_many(self, start_tick: int, ticks: int, dt: float) -> None:
+        return  # quiet ticks do nothing
+
+    def step(self, now: float, dt: float) -> None:
+        if now + 1e-9 >= self._next:
+            self.calls.append(now)
+            self._next += self.period
+
+
+# -- Engine.step roster snapshot (the live-mutation fix) ----------------------------------
+
+
+class SelfRemover(Actor):
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self.stepped = 0
+
+    def step(self, now: float, dt: float) -> None:
+        self.stepped += 1
+        self.engine.remove(self)
+
+
+class Spawner(Actor):
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self.child: Recorder | None = None
+
+    def step(self, now: float, dt: float) -> None:
+        if self.child is None:
+            self.child = Recorder()
+            self.engine.add(self.child)
+
+
+def test_step_uses_a_roster_snapshot_on_mid_step_removal():
+    """An actor removing itself must not make the engine skip the next
+    actor in the list (the live-iteration bug)."""
+    engine = Engine(dt=0.01)
+    remover = SelfRemover(engine)
+    after = Recorder()
+    engine.add(remover)
+    engine.add(after)
+    engine.step()
+    assert remover.stepped == 1
+    assert len(after.calls) == 1  # not skipped
+    engine.step()
+    assert remover.stepped == 1  # gone for good
+    assert len(after.calls) == 2
+
+
+def test_step_uses_a_roster_snapshot_on_mid_step_add():
+    """An actor added mid-step joins from the *next* step."""
+    engine = Engine(dt=0.01)
+    engine.add(Spawner(engine))
+    engine.step()
+    child = engine.actors()[-1]
+    assert isinstance(child, Recorder)
+    assert child.calls == []
+    engine.step()
+    assert len(child.calls) == 1
+
+
+# -- wake-queue ---------------------------------------------------------------------------
+
+
+def test_call_at_fires_once_at_first_tick_at_or_after_deadline():
+    engine = Engine(dt=0.01)
+    fired: list[float] = []
+    engine.call_at(0.055, fired.append)
+    engine.run_until(0.2)
+    assert fired == [pytest.approx(0.06)]
+
+
+def test_call_at_rejects_past_instants():
+    engine = Engine(dt=0.01)
+    engine.run_until(0.5)
+    with pytest.raises(SimulationError):
+        engine.call_at(0.1, lambda now: None)
+
+
+def test_call_at_fires_in_both_kernels_at_the_same_instant():
+    def run(kernel: str) -> list[float]:
+        engine = Engine(dt=0.01, kernel=kernel)
+        engine.add(Sleeper())
+        fired: list[float] = []
+        engine.call_at(0.25, fired.append)
+        engine.run_until(1.0)
+        return fired
+
+    assert run("fixed") == run("event")
+
+
+def test_wake_bounds_a_leap_to_the_requested_instant():
+    engine = Engine(dt=0.01, kernel="event")
+    sleeper = Metronome(period=100.0)  # quiet for the whole run
+    engine.add(sleeper)
+    engine.wake(sleeper, 0.5)
+    engine.run_until(0.5)
+    # The leap may not cross the wake: a step lands exactly there.
+    assert engine.now == pytest.approx(0.5)
+    assert engine.leaps >= 1
+
+
+# -- leaping ------------------------------------------------------------------------------
+
+
+def test_event_kernel_leaps_and_default_step_many_replays_exactly():
+    """A horizon-declaring actor with the default micro-loop gets the
+    exact same (now, dt) step calls as under the fixed kernel."""
+    fixed = Engine(dt=0.01, kernel="fixed")
+    event = Engine(dt=0.01, kernel="event")
+    a, b = Sleeper(), Sleeper()
+    fixed.add(a)
+    event.add(b)
+    fixed.run_until(2.0)
+    event.run_until(2.0)
+    assert event.leaps >= 1
+    assert a.calls == b.calls  # bit-identical instants
+
+
+def test_metronome_acts_at_identical_instants_under_both_kernels():
+    fixed = Engine(dt=0.01, kernel="fixed")
+    event = Engine(dt=0.01, kernel="event")
+    m1, m2 = Metronome(0.25), Metronome(0.25)
+    fixed.add(m1)
+    event.add(m2)
+    fixed.run_until(3.0)
+    event.run_until(3.0)
+    assert event.leaps >= 1
+    assert m1.calls == m2.calls
+
+
+def test_one_abstaining_actor_forces_per_tick_stepping():
+    engine = Engine(dt=0.01, kernel="event")
+    sleeper, poller = Sleeper(), Recorder()
+    engine.add(sleeper)
+    engine.add(poller)  # default next_event: None (abstain)
+    engine.run_until(1.0)
+    assert engine.leaps == 0
+    assert len(poller.calls) == 100
+
+
+def test_leaps_never_overshoot_run_until_target():
+    engine = Engine(dt=0.01, kernel="event")
+    engine.add(Sleeper())
+    engine.run_until(0.105)
+    assert engine.now == pytest.approx(0.11)
+    assert engine.now < 0.105 + 2 * engine.dt
+
+
+# -- make_engine / kernel resolution ------------------------------------------------------
+
+
+def test_resolve_kernel_arg_env_default(monkeypatch):
+    monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+    assert resolve_kernel() == "fixed"
+    monkeypatch.setenv(KERNEL_ENV_VAR, "event")
+    assert resolve_kernel() == "event"
+    assert resolve_kernel("fixed") == "fixed"  # explicit arg wins
+    monkeypatch.setenv(KERNEL_ENV_VAR, "warp")
+    with pytest.raises(ConfigurationError):
+        resolve_kernel()
+
+
+def test_make_engine_honours_env(monkeypatch):
+    monkeypatch.setenv(KERNEL_ENV_VAR, "event")
+    assert make_engine().kernel == "event"
+    assert make_engine(kernel="fixed").kernel == "fixed"
+    monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+    assert make_engine().kernel == "fixed"
+
+
+def test_engine_rejects_unknown_kernel():
+    with pytest.raises(ConfigurationError):
+        Engine(0.005, kernel="warp")
+
+
+# -- guest-stack equivalence --------------------------------------------------------------
+
+
+def _run_guest(kernel: str, workload: str, seed: int, until_s: float = 30.0):
+    engine = make_engine(0.005, kernel=kernel)
+    vm = build_java_vm(
+        workload=workload,
+        mem_bytes=MiB(512),
+        max_young_bytes=MiB(128),
+        seed=seed,
+        seed_old=False,
+    )
+    vm.register(engine)
+    engine.run_until(until_s)
+    return engine, vm
+
+
+@pytest.mark.parametrize("workload", ["derby", "scimark"])
+@pytest.mark.parametrize("seed", [1, 20150421])
+def test_pure_workload_state_is_bit_identical(workload, seed):
+    e_fixed, vm_fixed = _run_guest("fixed", workload, seed)
+    e_event, vm_event = _run_guest("event", workload, seed)
+    assert e_event.leaps > 0  # the event kernel actually leapt
+    assert vm_fixed.jvm.ops_completed == vm_event.jvm.ops_completed
+    assert vm_fixed.heap.eden_used == vm_event.heap.eden_used
+    assert vm_fixed.heap.old_used == vm_event.heap.old_used
+    assert vm_fixed.heap.young_committed == vm_event.heap.young_committed
+    assert (
+        vm_fixed.heap.counters.allocated_bytes
+        == vm_event.heap.counters.allocated_bytes
+    )
+    assert len(vm_fixed.heap.counters.minor_log) == len(
+        vm_event.heap.counters.minor_log
+    )
+    all_pfns = np.arange(vm_fixed.domain.n_pages, dtype=np.int64)
+    assert np.array_equal(
+        vm_fixed.domain.read_pages(all_pfns), vm_event.domain.read_pages(all_pfns)
+    )
+    assert vm_fixed.analyzer.samples == vm_event.analyzer.samples
+
+
+# -- migration equivalence (the satellite sweep) ------------------------------------------
+
+
+def _run_migration(kernel: str, engine_name: str, seed: int):
+    return MigrationExperiment(
+        workload="derby",
+        engine=engine_name,
+        mem_bytes=MiB(512),
+        max_young_bytes=MiB(128),
+        warmup_s=10.0,
+        cooldown_s=5.0,
+        kernel=kernel,
+        seed=seed,
+    ).run()
+
+
+@pytest.mark.parametrize("engine_name", ["xen", "assisted", "javmm"])
+@pytest.mark.parametrize("seed", [7, 20150421])
+def test_migration_measures_are_bit_identical(engine_name, seed):
+    fixed = _run_migration("fixed", engine_name, seed)
+    event = _run_migration("event", engine_name, seed)
+    # Per-iteration streams and the final report, field by field.
+    assert fixed.report.to_dict() == event.report.to_dict()
+    assert fixed.report.iterations == event.report.iterations
+    assert fixed.throughput == event.throughput
+    assert fixed.observed_app_downtime_s == event.observed_app_downtime_s
+    assert fixed.young_committed_at_migration == event.young_committed_at_migration
+    assert fixed.old_used_at_migration == event.old_used_at_migration
+
+
+def _run_supervised(kernel: str, engine_name: str, with_faults: bool, monkeypatch):
+    monkeypatch.setenv(KERNEL_ENV_VAR, kernel)
+    plan = None
+    if with_faults:
+        plan = FaultPlan().link_outage(at_s=1.0, duration_s=0.5)
+    result, vm = supervised_migrate(
+        workload="derby",
+        engine_name=engine_name,
+        plan=plan,
+        vm_kwargs={"mem_bytes": MiB(512), "max_young_bytes": MiB(128)},
+    )
+    return result
+
+
+@pytest.mark.parametrize("engine_name", ["xen", "javmm"])
+@pytest.mark.parametrize("with_faults", [False, True])
+def test_supervised_runs_are_bit_identical(engine_name, with_faults, monkeypatch):
+    fixed = _run_supervised("fixed", engine_name, with_faults, monkeypatch)
+    event = _run_supervised("event", engine_name, with_faults, monkeypatch)
+    assert fixed.ok == event.ok
+    assert fixed.n_attempts == event.n_attempts
+    assert fixed.degradations == event.degradations
+    assert [
+        (a.attempt, a.engine, a.aborted, a.reason, a.waited_before_s)
+        for a in fixed.attempts
+    ] == [
+        (a.attempt, a.engine, a.aborted, a.reason, a.waited_before_s)
+        for a in event.attempts
+    ]
+    assert (fixed.report is None) == (event.report is None)
+    if fixed.report is not None:
+        assert fixed.report.to_dict() == event.report.to_dict()
