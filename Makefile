@@ -20,12 +20,16 @@ bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr3_telemetry.py
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr4_analysis.py
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr5_kernel.py
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr6_checkpoint.py
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 # Bench-regression gate (mirrors the CI bench-regression job):
-# regenerate the PR4 analysis bench (fails on >5% monitor overhead)
-# and the PR5 kernel bench (fails below 3x event-kernel speedup or on
-# any fixed-vs-event measure mismatch), then diff their deterministic
+# regenerate the PR4 analysis bench (fails on >5% monitor overhead),
+# the PR5 kernel bench (fails below 3x event-kernel speedup or on any
+# fixed-vs-event measure mismatch), and the PR6 checkpoint bench
+# (fails when checkpoint writes cost >5% of wall time at the default
+# cadence, or when a checkpointed or crashed-and-resumed run is not
+# bit-identical to a plain one), then diff their deterministic
 # simulated measures (downtime, total time, wire bytes) against the
 # checked-in baselines with `repro compare` — >5% growth on any gated
 # measure fails.
@@ -35,6 +39,8 @@ check-bench:
 	PYTHONPATH=src $(PYTHON) -m repro.cli compare BENCH_PR3.json /tmp/BENCH_PR4_candidate.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr5_kernel.py /tmp/BENCH_PR5_candidate.json
 	PYTHONPATH=src $(PYTHON) -m repro.cli compare BENCH_PR5.json /tmp/BENCH_PR5_candidate.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr6_checkpoint.py /tmp/BENCH_PR6_candidate.json
+	PYTHONPATH=src $(PYTHON) -m repro.cli compare BENCH_PR6.json /tmp/BENCH_PR6_candidate.json
 
 figures:
 	$(PYTHON) -m repro.cli all

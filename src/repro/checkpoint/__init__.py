@@ -1,0 +1,61 @@
+"""Crash-safe control plane: durable checkpoints and deterministic resume.
+
+A running experiment is a pure function of its seed and config, so a
+crash-restart only has to reproduce *state*, not history.  This package
+provides the three pieces:
+
+- :mod:`~repro.checkpoint.journal` — a write-ahead journal of
+  control-plane decisions (supervisor attempts, backoff, degrade,
+  fault-plan offsets) appended before the action they describe, so a
+  resumed run knows what the crashed run had already decided.
+- :mod:`~repro.checkpoint.archive` — atomic on-disk checkpoint
+  archives: a manifest (schema version, config hash, tick, actor
+  inventory, digests), the pickled engine graph, and an inspectable
+  numpy mirror of the page-version arrays.  Written to a temp dir and
+  renamed into place, so a crash mid-write never corrupts the latest
+  complete checkpoint.
+- :mod:`~repro.checkpoint.runner` — the cadence/crash policy
+  (:class:`CheckpointConfig`), the :class:`Checkpointer` that drivers
+  interleave with chunked :meth:`~repro.sim.engine.Engine.advance`
+  calls, and :func:`resume` to load the latest archive back into a
+  live engine.
+
+State capture itself rides the actor snapshot protocol
+(:class:`~repro.sim.actor.Actor`): one pickler serializes the whole
+engine graph so shared references stay shared, and every actor stamps
+its payload with a ``snapshot_version`` that is validated on restore.
+"""
+
+from repro.checkpoint.archive import (
+    CHECKPOINT_SCHEMA,
+    CheckpointArchive,
+    config_hash,
+    list_checkpoints,
+    load_checkpoint,
+    prune_checkpoints,
+    write_checkpoint,
+)
+from repro.checkpoint.journal import WriteAheadJournal
+from repro.checkpoint.runner import (
+    CheckpointConfig,
+    Checkpointer,
+    ResumedRun,
+    SimulatedCrash,
+    resume,
+)
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CheckpointArchive",
+    "CheckpointConfig",
+    "Checkpointer",
+    "ResumedRun",
+    "SimulatedCrash",
+    "WriteAheadJournal",
+    "config_hash",
+    "list_checkpoints",
+    "load_checkpoint",
+    "prune_checkpoints",
+    "resume",
+    "write_checkpoint",
+]

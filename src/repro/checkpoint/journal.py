@@ -1,0 +1,86 @@
+"""Write-ahead journal of control-plane decisions.
+
+The engine snapshot captures *simulated* state; the journal captures
+*decisions* — which attempt the supervisor was on, when its backoff
+expires, how many fault-plan events had fired.  Entries are appended
+(and fsynced) before the action they describe takes effect, so after a
+crash the journal is never behind reality.  A checkpoint manifest
+records the journal offset at snapshot time; replaying entries past
+that offset tells a resumed run what the crashed process decided after
+its last checkpoint (the Doctor's resumed-run rule reports this gap).
+
+The journal is deliberately *outside* the pickle graph: it belongs to
+the process, not the simulation, and a resumed run appends to the same
+file the crashed run left behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import CheckpointError
+
+
+class WriteAheadJournal:
+    """Append-only JSONL journal with fsync-on-append semantics."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._seq = len(self.read(self.path)) if self.path.exists() else 0
+
+    @property
+    def offset(self) -> int:
+        """Number of entries written so far (== next entry's ``seq``)."""
+        return self._seq
+
+    def append(self, kind: str, t: float, **fields) -> dict:
+        """Durably append one entry; returns the entry as written."""
+        entry = {"seq": self._seq, "t": float(t), "kind": str(kind), **fields}
+        line = json.dumps(entry, sort_keys=True)
+        # Open-per-append keeps the journal handle out of long-lived
+        # state (nothing to re-open after a restore) at a cost that is
+        # negligible next to the checkpoint archives themselves.
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._seq += 1
+        return entry
+
+    def replay(self, since: int = 0) -> list[dict]:
+        """Entries with ``seq >= since``, in append order."""
+        return [e for e in self.read(self.path) if e.get("seq", 0) >= since]
+
+    def last_time(self) -> float | None:
+        """Sim time of the final entry, or None for an empty journal."""
+        entries = self.read(self.path)
+        return float(entries[-1]["t"]) if entries else None
+
+    @staticmethod
+    def read(path: str | os.PathLike) -> list[dict]:
+        """Parse a journal file; tolerates a torn final line (the one
+        crash window fsync cannot close)."""
+        p = Path(path)
+        if not p.exists():
+            return []
+        entries: list[dict] = []
+        with open(p, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entries.append(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    if line is not None and fh.readline() == "":
+                        break  # torn tail from a mid-write crash; drop it
+                    raise CheckpointError(
+                        f"corrupt journal entry in {p}: {exc}"
+                    ) from exc
+        return entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"WriteAheadJournal({self.path}, seq={self._seq})"

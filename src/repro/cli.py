@@ -23,6 +23,13 @@ Two modes:
 
       javmm-repro doctor run.jsonl
       javmm-repro compare baseline.jsonl candidate.jsonl --threshold-pct 5
+
+- run crash-safe, and resume a crashed run from its latest durable
+  checkpoint (the resumed run is bit-identical to an uninterrupted
+  one)::
+
+      javmm-repro migrate --workload derby --checkpoint-dir ckpts/
+      javmm-repro resume --checkpoint-dir ckpts/
 """
 
 from __future__ import annotations
@@ -46,13 +53,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(ALL_EXPERIMENTS) + ["all", "migrate", "trace", "doctor", "compare"],
+        choices=sorted(ALL_EXPERIMENTS)
+        + ["all", "migrate", "trace", "doctor", "compare", "resume"],
         help=(
             "which figure/table to regenerate ('all' runs everything; "
             "'migrate' runs one ad-hoc migration; 'trace' runs one with "
             "telemetry on and prints the per-phase latency table; "
             "'doctor' diagnoses a telemetry export; 'compare' diffs two "
-            "runs for regressions)"
+            "runs for regressions; 'resume' continues a crashed run "
+            "from its latest checkpoint)"
         ),
     )
     parser.add_argument(
@@ -106,6 +115,43 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4,
         help="attempt budget for --supervise (default: %(default)s)",
+    )
+    checkpoint = parser.add_argument_group("checkpoint options")
+    checkpoint.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help=(
+            "write durable checkpoints here during migrate/trace (and "
+            "read them back for 'resume')"
+        ),
+    )
+    checkpoint.add_argument(
+        "--checkpoint-every",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="simulated seconds between checkpoints (default: %(default)s)",
+    )
+    checkpoint.add_argument(
+        "--checkpoint-budget",
+        type=float,
+        default=3.0,
+        metavar="PCT",
+        help=(
+            "max percentage of wall clock spent writing checkpoints; due "
+            "writes past the budget are deferred to the next cadence "
+            "instant. 0 disables the throttle and honours the cadence "
+            "exactly (default: %(default)s)"
+        ),
+    )
+    checkpoint.add_argument(
+        "--digest",
+        action="store_true",
+        help=(
+            "add a 'final_digest' field to --json output: sha256 over "
+            "the final page versions, analyzer samples and report "
+            "(equal digests == bit-identical runs)"
+        ),
     )
     telemetry = parser.add_argument_group(
         "telemetry options (any of these turns telemetry on)"
@@ -164,23 +210,44 @@ def _write_telemetry_outputs(args: argparse.Namespace, probe: object) -> None:
         print(f"wrote {n} telemetry records: {args.telemetry_out}", file=sys.stderr)
 
 
-def _run_supervised(args: argparse.Namespace) -> int:
-    from repro.core import supervised_migrate
-    from repro.units import MiB
+def _final_digest(vm, report) -> str:
+    """sha256 over page versions + analyzer samples + report JSON.
 
-    engine = "javmm" if args.engine == "auto" else args.engine
-    telemetry = _telemetry_requested(args) or args.experiment == "trace"
-    result, vm = supervised_migrate(
-        workload=args.workload,
-        engine_name=engine,
-        seed=args.seed,
-        vm_kwargs={
-            "mem_bytes": MiB(args.mem_mb),
-            "max_young_bytes": MiB(args.young_mb),
-        },
-        max_attempts=args.max_attempts,
-        telemetry=telemetry,
+    Equal digests mean the two runs ended in bit-identical simulated
+    state — the chaos harness compares a crashed-and-resumed run to an
+    uninterrupted one this way across a process boundary.
+    """
+    import hashlib
+
+    import numpy as np
+
+    h = hashlib.sha256()
+    pages = vm.domain.read_pages(np.arange(vm.domain.n_pages))
+    h.update(pages.tobytes())
+    for sample in vm.analyzer.samples:
+        h.update(repr(sample).encode("utf-8"))
+    if report is not None:
+        h.update(json.dumps(report.to_dict(), sort_keys=True).encode("utf-8"))
+    return h.hexdigest()
+
+
+def _checkpointer(args: argparse.Namespace, config: dict):
+    if not args.checkpoint_dir:
+        return None
+    from repro.checkpoint import CheckpointConfig, Checkpointer
+
+    budget = args.checkpoint_budget
+    return Checkpointer(
+        CheckpointConfig(
+            directory=args.checkpoint_dir,
+            every_s=args.checkpoint_every,
+            config=config,
+            max_overhead=None if budget <= 0 else budget / 100.0,
+        )
     )
+
+
+def _print_supervised(args: argparse.Namespace, result, vm) -> int:
     _write_telemetry_outputs(args, vm.probe)
     if args.experiment == "trace" and vm.probe.enabled:
         print(vm.probe.tracer.phase_table())
@@ -202,6 +269,8 @@ def _run_supervised(args: argparse.Namespace) -> int:
             ],
             "report": result.report.to_dict() if result.report else None,
         }
+        if args.digest:
+            payload["final_digest"] = _final_digest(vm, result.report)
         print(json.dumps(payload, indent=2))
     else:
         print(result.summary())
@@ -210,21 +279,41 @@ def _run_supervised(args: argparse.Namespace) -> int:
     return 0 if result.ok and result.report and result.report.verified else 1
 
 
-def _run_migrate(args: argparse.Namespace) -> int:
-    from repro.core import MigrationExperiment
+def _run_supervised(args: argparse.Namespace) -> int:
+    from repro.core import supervised_migrate
     from repro.units import MiB
 
-    if args.supervise:
-        return _run_supervised(args)
+    engine = "javmm" if args.engine == "auto" else args.engine
     telemetry = _telemetry_requested(args) or args.experiment == "trace"
-    result = MigrationExperiment(
+    checkpoint = None
+    if args.checkpoint_dir:
+        from repro.checkpoint import CheckpointConfig
+
+        checkpoint = CheckpointConfig(
+            directory=args.checkpoint_dir,
+            every_s=args.checkpoint_every,
+            max_overhead=(
+                None
+                if args.checkpoint_budget <= 0
+                else args.checkpoint_budget / 100.0
+            ),
+        )
+    result, vm = supervised_migrate(
         workload=args.workload,
-        engine=args.engine,
-        mem_bytes=MiB(args.mem_mb),
-        max_young_bytes=MiB(args.young_mb),
+        engine_name=engine,
         seed=args.seed,
+        vm_kwargs={
+            "mem_bytes": MiB(args.mem_mb),
+            "max_young_bytes": MiB(args.young_mb),
+        },
+        max_attempts=args.max_attempts,
         telemetry=telemetry,
-    ).run()
+        checkpoint=checkpoint,
+    )
+    return _print_supervised(args, result, vm)
+
+
+def _print_migrate(args: argparse.Namespace, result, vm) -> int:
     _write_telemetry_outputs(args, result.probe)
     if args.experiment == "trace" and result.probe is not None and result.probe.enabled:
         print(result.probe.tracer.phase_table())
@@ -233,12 +322,62 @@ def _run_migrate(args: argparse.Namespace) -> int:
         payload["workload"] = result.workload
         payload["engine"] = result.engine
         payload["observed_app_downtime_s"] = result.observed_app_downtime_s
+        if args.digest:
+            payload["final_digest"] = _final_digest(vm, result.report)
         print(json.dumps(payload, indent=2))
     else:
         if result.policy_decision is not None:
             print(f"policy: chose {result.engine} — {result.policy_decision.reason}")
         print(result.report.summary())
     return 0 if result.report.verified else 1
+
+
+def _run_migrate(args: argparse.Namespace) -> int:
+    from repro.core import MigrationExperiment
+    from repro.core.experiment import ExperimentRun
+    from repro.units import MiB
+
+    if args.supervise:
+        return _run_supervised(args)
+    telemetry = _telemetry_requested(args) or args.experiment == "trace"
+    experiment = MigrationExperiment(
+        workload=args.workload,
+        engine=args.engine,
+        mem_bytes=MiB(args.mem_mb),
+        max_young_bytes=MiB(args.young_mb),
+        seed=args.seed,
+        telemetry=telemetry,
+    )
+    run = ExperimentRun(experiment)
+    result = run.run(_checkpointer(args, experiment.config_fingerprint()))
+    return _print_migrate(args, result, run.vm)
+
+
+def _run_resume(args: argparse.Namespace) -> int:
+    from repro.checkpoint import resume
+    from repro.core.experiment import ExperimentRun
+    from repro.core.supervisor import MigrationSupervisor
+
+    if not args.checkpoint_dir:
+        print("resume needs --checkpoint-dir", file=sys.stderr)
+        return 2
+    resumed = resume(args.checkpoint_dir)
+    controller = resumed.controller
+    checkpointer = _checkpointer(args, {})
+    if isinstance(controller, MigrationSupervisor):
+        result = controller.run(checkpointer)
+        vm = controller.vm
+        if vm.probe.enabled:
+            vm.probe.finish(controller.engine.now)
+        return _print_supervised(args, result, vm)
+    if isinstance(controller, ExperimentRun):
+        result = controller.run(checkpointer)
+        return _print_migrate(args, result, controller.vm)
+    print(
+        f"checkpoint holds an unresumable {type(controller).__name__} root",
+        file=sys.stderr,
+    )
+    return 2
 
 
 def _run_doctor(args: argparse.Namespace) -> int:
@@ -278,6 +417,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_doctor(args)
     if args.experiment == "compare":
         return _run_compare(args)
+    if args.experiment == "resume":
+        return _run_resume(args)
     if args.experiment in ("migrate", "trace"):
         return _run_migrate(args)
     names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]

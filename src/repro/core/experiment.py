@@ -5,9 +5,20 @@ minutes before migrating; the builder seeds the observed Old generation
 so a short warm-up reaches the same state), starts the chosen migration
 engine, runs until it completes, cools down, and returns everything the
 evaluation plots need.
+
+The drive loop lives in :class:`ExperimentRun`, an explicit phase
+machine (warmup → choose → migrate → cooldown → done) whose every
+deadline is an *absolute* simulated instant stored on the object — so
+the whole run, engine graph included, can be checkpointed between
+engine advances and resumed in another process exactly where it died
+(see :mod:`repro.checkpoint`).  ``MigrationExperiment.run()`` simply
+drives an :class:`ExperimentRun` with no checkpointer, which makes the
+uncheckpointed path the same code as the crash-safe one.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from dataclasses import dataclass, field
 
@@ -96,53 +107,165 @@ class MigrationExperiment:
         vm.jvm.migration_load = migrator.load_fraction
         return engine, vm, migrator
 
-    def run(self) -> ExperimentResult:
-        engine, vm, migrator = self.build()
-        engine.run_until(self.warmup_s)
-        decision = None
-        if migrator is None:
-            from repro.core.auto import choose_engine_live
+    def config_fingerprint(self) -> dict:
+        """The scalar config a checkpoint manifest hashes: two
+        experiments with equal fingerprints are interchangeable resume
+        sources."""
+        return {
+            "driver": "MigrationExperiment",
+            "workload": (
+                self.workload
+                if isinstance(self.workload, str)
+                else self.workload.name
+            ),
+            "engine": self.engine,
+            "mem_bytes": self.mem_bytes,
+            "max_young_bytes": self.max_young_bytes,
+            "warmup_s": self.warmup_s,
+            "cooldown_s": self.cooldown_s,
+            "dt": self.dt,
+            "seed": self.seed,
+            "migration_timeout_s": self.migration_timeout_s,
+            "vm_kwargs": {k: str(v) for k, v in sorted(self.vm_kwargs.items())},
+            "migrator_kwargs": {
+                k: str(v) for k, v in sorted(self.migrator_kwargs.items())
+            },
+        }
 
-            decision = choose_engine_live(vm, self.warmup_s, link=self._link)
-            migrator = make_migrator(
-                decision.engine, vm, self._link, **self.migrator_kwargs
-            )
-            engine.add(migrator)
-            vm.jvm.migration_load = migrator.load_fraction
-        young_at_migration = vm.heap.young_committed
-        old_at_migration = vm.heap.old_used
-        migration_start = engine.now
-        migrator.start(engine.now)
-        engine.run_while(lambda: not migrator.done, timeout=self.migration_timeout_s)
-        if not migrator.done:
-            raise MigrationError("migration did not finish within the timeout")
-        migration_end = engine.now
-        engine.run_until(migration_end + self.cooldown_s)
+    def run(self, checkpointer=None) -> ExperimentResult:
+        return ExperimentRun(self).run(checkpointer)
 
+
+class ExperimentRun:
+    """The resumable phase machine behind ``MigrationExperiment.run``.
+
+    All mutable drive state — the current phase, every deadline (as an
+    absolute simulated instant), the captured mid-run measurements —
+    lives on this object, and the object is the checkpoint's pickle
+    root, so a restored run continues mid-phase with nothing recomputed.
+    """
+
+    def __init__(self, experiment: MigrationExperiment) -> None:
+        self.experiment = experiment
+        engine, vm, migrator = experiment.build()
+        self.engine = engine
+        self.vm = vm
+        self.migrator = migrator
+        self.link = experiment._link
+        self.phase = "warmup"
+        self.decision = None
+        self.young_at_migration: int | None = None
+        self.old_at_migration: int | None = None
+        self.migration_start: float | None = None
+        self.migration_end: float | None = None
+        #: absolute deadline of the migrate phase (run_while semantics)
+        self._migrate_deadline: float | None = None
+        self.result: ExperimentResult | None = None
+
+    # -- checkpoint hooks ---------------------------------------------------------------
+
+    @property
+    def probe(self):
+        return self.vm.probe
+
+    def checkpoint_arrays(self) -> dict:
+        """Inspectable numpy mirror: the source page versions."""
+        domain = self.vm.domain
+        return {"page_versions": domain.read_pages(np.arange(domain.n_pages))}
+
+    def checkpoint_extra(self) -> dict:
+        return {
+            "driver": "experiment",
+            "phase": self.phase,
+            "engine": (
+                self.decision.engine
+                if self.decision is not None
+                else self.experiment.engine
+            ),
+        }
+
+    # -- the phase machine --------------------------------------------------------------
+
+    def run(self, checkpointer=None) -> ExperimentResult:
+        from repro.checkpoint.runner import advance_to, advance_while
+
+        exp = self.experiment
+        if checkpointer is not None and checkpointer.written == 0:
+            checkpointer.arm(self)
+        while self.phase != "done":
+            if self.phase == "warmup":
+                advance_to(self, exp.warmup_s, checkpointer)
+                self.phase = "choose"
+            elif self.phase == "choose":
+                if self.migrator is None:
+                    from repro.core.auto import choose_engine_live
+
+                    self.decision = choose_engine_live(
+                        self.vm, exp.warmup_s, link=self.link
+                    )
+                    self.migrator = make_migrator(
+                        self.decision.engine, self.vm, self.link,
+                        **exp.migrator_kwargs,
+                    )
+                    self.engine.add(self.migrator)
+                    self.vm.jvm.migration_load = self.migrator.load_fraction
+                self.young_at_migration = self.vm.heap.young_committed
+                self.old_at_migration = self.vm.heap.old_used
+                self.migration_start = self.engine.now
+                self._migrate_deadline = self.engine.now + exp.migration_timeout_s
+                self.migrator.start(self.engine.now)
+                self.phase = "migrate"
+            elif self.phase == "migrate":
+                migrator = self.migrator
+                advance_while(
+                    self,
+                    lambda: not migrator.done,
+                    self._migrate_deadline,
+                    exp.migration_timeout_s,
+                    checkpointer,
+                )
+                if not migrator.done:
+                    raise MigrationError(
+                        "migration did not finish within the timeout"
+                    )
+                self.migration_end = self.engine.now
+                self.phase = "cooldown"
+            elif self.phase == "cooldown":
+                advance_to(self, self.migration_end + exp.cooldown_s, checkpointer)
+                self.result = self._finish()
+                self.phase = "done"
+        return self.result
+
+    def _finish(self) -> ExperimentResult:
+        exp = self.experiment
+        vm = self.vm
         analyzer = vm.analyzer
         before = analyzer.mean_throughput(
-            start_s=max(0.0, migration_start - 15.0), end_s=migration_start
+            start_s=max(0.0, self.migration_start - 15.0),
+            end_s=self.migration_start,
         )
-        settle = min(2.0, self.cooldown_s / 2.0)
-        after = analyzer.mean_throughput(start_s=migration_end + settle)
-        observed_downtime = analyzer.max_zero_run_seconds(start_s=migration_start)
+        settle = min(2.0, exp.cooldown_s / 2.0)
+        after = analyzer.mean_throughput(start_s=self.migration_end + settle)
+        observed_downtime = analyzer.max_zero_run_seconds(
+            start_s=self.migration_start
+        )
         workload_name = (
-            self.workload if isinstance(self.workload, str) else self.workload.name
+            exp.workload if isinstance(exp.workload, str) else exp.workload.name
         )
         if vm.probe.enabled:
-            vm.probe.finish(engine.now)
+            vm.probe.finish(self.engine.now)
         return ExperimentResult(
             workload=workload_name,
-            engine=decision.engine if decision is not None else self.engine,
-            report=migrator.report,
+            engine=self.decision.engine if self.decision is not None else exp.engine,
+            report=self.migrator.report,
             throughput=list(analyzer.samples),
             gc_log=list(vm.heap.counters.minor_log),
-            young_committed_at_migration=young_at_migration,
-            old_used_at_migration=old_at_migration,
+            young_committed_at_migration=self.young_at_migration,
+            old_used_at_migration=self.old_at_migration,
             observed_app_downtime_s=observed_downtime,
             mean_throughput_before=before,
             mean_throughput_after=after,
-            policy_decision=decision,
+            policy_decision=self.decision,
             event_log=vm.event_log,
             probe=vm.probe,
         )

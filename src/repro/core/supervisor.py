@@ -135,6 +135,24 @@ class MigrationSupervisor:
         #: of the analysis pipeline); off only for overhead measurement
         self.analysis = analysis
         self.migrator_kwargs = dict(migrator_kwargs or {})
+        # -- resumable drive state (see :meth:`run`) -----------------------------
+        # Every field below is an absolute value (attempt counters, sim
+        # instants), never a relative one, so a checkpoint taken
+        # mid-backoff or mid-attempt restores the exact remaining
+        # budget.  ``None`` state means the loop has not started.
+        self._state: str | None = None
+        self._result: SupervisionResult | None = None
+        self._current: str = engine_name
+        self._consecutive = 0
+        self._wait = 0.0
+        self._attempt = 1
+        self._backoff_until: float | None = None
+        self._attempt_deadline: float | None = None
+        self._migrator: object | None = None
+        self._monitor: ConvergenceMonitor | None = None
+        self._record: AttemptRecord | None = None
+        self._span_backoff: object | None = None
+        self._span_attempt: object | None = None
 
     # -- engine degradation ------------------------------------------------------------
 
@@ -164,113 +182,240 @@ class MigrationSupervisor:
             return True
         return consecutive_same_engine >= degrade_after
 
+    # -- checkpoint hooks --------------------------------------------------------------
+
+    @property
+    def probe(self):
+        return self.vm.probe
+
+    def checkpoint_arrays(self) -> dict:
+        """Inspectable numpy mirror: the source page versions."""
+        import numpy as np
+
+        domain = self.vm.domain
+        return {"page_versions": domain.read_pages(np.arange(domain.n_pages))}
+
+    def checkpoint_extra(self) -> dict:
+        extra = {
+            "driver": "supervisor",
+            "state": self._state,
+            "attempt": self._attempt,
+            "engine": self._current,
+            "wait_s": self._wait,
+        }
+        if self.injector is not None:
+            extra["faults_fired"] = len(self.injector.injected)
+            extra["faults_pending"] = len(self.injector._pending)
+        return extra
+
+    def _journal(self, checkpointer, kind: str, **fields) -> None:
+        """Write-ahead note of a decision about to take effect."""
+        if checkpointer is None:
+            return
+        if self.injector is not None:
+            fields.setdefault("faults_fired", len(self.injector.injected))
+        checkpointer.journal.append(kind, self.engine.now, **fields)
+
     # -- the loop ----------------------------------------------------------------------
 
-    def run(self) -> SupervisionResult:
+    def run(self, checkpointer=None) -> SupervisionResult:
+        """Drive the retry/degrade state machine to completion.
+
+        The machine — ``next`` → (``backoff`` →) ``launch`` →
+        ``attempt`` → ``next`` … → ``done`` — keeps all its state on
+        ``self``, so with a *checkpointer* the whole supervisor (engine
+        graph included) is durably snapshotted between engine advances
+        and a crashed run resumes mid-backoff or mid-attempt with its
+        original deadlines.  Without one, behaviour is identical to an
+        unsupervised loop over ``run_until``/``run_while``.
+        """
+        from repro.checkpoint.runner import advance_to, advance_while
+
         probe = self.vm.probe
-        result = SupervisionResult(ok=False, engine=self.engine_name, report=None)
-        current = self.engine_name
-        result.degradations.append(current)
-        consecutive = 0
-        wait = 0.0
-        for attempt in range(1, self.max_attempts + 1):
-            if wait > 0.0:
-                # Back off: the guest keeps running at the source while
-                # the (possibly transient) failure clears.
-                span_backoff = probe.begin(
-                    "backoff", self.engine.now, track="supervisor",
-                    cat="supervisor", attempt=attempt, wait_s=wait,
-                )
-                self.engine.run_until(self.engine.now + wait)
-                probe.end(span_backoff, self.engine.now)
-            migrator = make_migrator(
-                current,
-                self.vm,
-                self.link,
-                stall_timeout_s=self.stall_timeout_s,
-                phase_timeouts=self.phase_timeouts,
-                **self.migrator_kwargs,
+        if self._state is None:
+            self._result = SupervisionResult(
+                ok=False, engine=self.engine_name, report=None
             )
-            migrator.report.attempt = attempt
-            monitor = ConvergenceMonitor() if self.analysis else None
-            migrator.monitor = monitor
-            self.engine.add(migrator)
-            self.vm.jvm.migration_load = migrator.load_fraction
-            if self.injector is not None:
-                self.injector.bind_migrator(migrator)
-            span_attempt = probe.begin(
-                "attempt", self.engine.now, track="supervisor",
-                cat="supervisor", attempt=attempt, engine=current,
-            )
-            migrator.start(self.engine.now)
-            record = AttemptRecord(
-                attempt=attempt,
-                engine=current,
-                report=migrator.report,
-                aborted=False,
-                waited_before_s=wait,
-            )
-            try:
-                self.engine.run_while(
-                    lambda: not migrator.finished, timeout=self.attempt_timeout_s
-                )
-                record.aborted = migrator.aborted
-                record.reason = migrator.report.abort_reason
-            except MigrationAbortedError as exc:
-                record.aborted = True
-                record.reason = str(exc)
-            except SimulationError:
-                # The attempt ran out its wall-clock budget without the
-                # watchdog firing; abort it ourselves.
-                migrator.abort(self.engine.now, "supervision timeout")
-                record.aborted = True
-                record.reason = "supervision timeout"
-            finally:
-                self.engine.remove(migrator)
-            diagnosis = (
-                monitor.diagnosis
-                if monitor is not None
-                else ConvergenceMonitor().diagnosis  # UNKNOWN placeholder
-            )
-            if diagnosis.state is not ConvergenceState.UNKNOWN:
-                record.diagnosis = diagnosis.summary()
-            probe.end(span_attempt, self.engine.now,
-                      aborted=record.aborted, reason=record.reason,
-                      convergence=diagnosis.state.value)
-            result.attempts.append(record)
-
-            if not record.aborted:
-                result.ok = True
-                result.engine = current
-                result.report = migrator.report
-                result.migrator = migrator
-                return result
-
-            consecutive += 1
-            probe.count("supervisor.retries", engine=current)
-            result.report = migrator.report
-            result.engine = current
-            wait = self.backoff_s * (self.backoff_factor ** (attempt - 1))
-            if self._should_degrade(record, consecutive, self.degrade_after):
-                degraded = self._next_engine(current)
-                if degraded != current:
-                    # The degrade decision cites the convergence verdict,
-                    # not just the exhausted retry budget.
-                    if record.diagnosis and self.vm.event_log is not None:
-                        self.vm.event_log.log(
-                            self.engine.now, "supervisor",
-                            f"diagnosis before degrade: {record.diagnosis}",
-                        )
-                    probe.count("supervisor.degradations")
-                    probe.instant(
-                        "degrade", self.engine.now, track="supervisor",
-                        from_engine=current, to_engine=degraded,
-                        diagnosis=diagnosis.state.value,
+            self._result.degradations.append(self._current)
+            self._state = "next"
+        if checkpointer is not None and checkpointer.written == 0:
+            checkpointer.arm(self)
+        while self._state != "done":
+            if self._state == "next":
+                if self._attempt > self.max_attempts:
+                    self._state = "done"
+                elif self._wait > 0.0:
+                    # Back off: the guest keeps running at the source
+                    # while the (possibly transient) failure clears.
+                    self._backoff_until = self.engine.now + self._wait
+                    self._span_backoff = probe.begin(
+                        "backoff", self.engine.now, track="supervisor",
+                        cat="supervisor", attempt=self._attempt, wait_s=self._wait,
                     )
-                    current = degraded
-                    consecutive = 0
-                    result.degradations.append(current)
-        return result
+                    self._journal(
+                        checkpointer, "backoff",
+                        attempt=self._attempt, until_s=self._backoff_until,
+                    )
+                    self._state = "backoff"
+                else:
+                    self._state = "launch"
+            elif self._state == "backoff":
+                advance_to(self, self._backoff_until, checkpointer)
+                probe.end(self._span_backoff, self.engine.now)
+                self._span_backoff = None
+                self._backoff_until = None
+                self._state = "launch"
+            elif self._state == "launch":
+                migrator = make_migrator(
+                    self._current,
+                    self.vm,
+                    self.link,
+                    stall_timeout_s=self.stall_timeout_s,
+                    phase_timeouts=self.phase_timeouts,
+                    **self.migrator_kwargs,
+                )
+                migrator.report.attempt = self._attempt
+                self._monitor = ConvergenceMonitor() if self.analysis else None
+                migrator.monitor = self._monitor
+                self.engine.add(migrator)
+                self.vm.jvm.migration_load = migrator.load_fraction
+                if self.injector is not None:
+                    self.injector.bind_migrator(migrator)
+                self._span_attempt = probe.begin(
+                    "attempt", self.engine.now, track="supervisor",
+                    cat="supervisor", attempt=self._attempt, engine=self._current,
+                )
+                self._attempt_deadline = self.engine.now + self.attempt_timeout_s
+                self._journal(
+                    checkpointer, "attempt-started",
+                    attempt=self._attempt, engine=self._current,
+                    deadline_s=self._attempt_deadline,
+                )
+                migrator.start(self.engine.now)
+                self._migrator = migrator
+                self._record = AttemptRecord(
+                    attempt=self._attempt,
+                    engine=self._current,
+                    report=migrator.report,
+                    aborted=False,
+                    waited_before_s=self._wait,
+                )
+                self._state = "attempt"
+            elif self._state == "attempt":
+                self._run_attempt(checkpointer, advance_while)
+        return self._result
+
+    def _run_attempt(self, checkpointer, advance_while) -> None:
+        """Run the live attempt to completion and digest its outcome."""
+        probe = self.vm.probe
+        migrator = self._migrator
+        record = self._record
+        try:
+            advance_while(
+                self,
+                lambda: not migrator.finished,
+                self._attempt_deadline,
+                self.attempt_timeout_s,
+                checkpointer,
+            )
+            record.aborted = migrator.aborted
+            record.reason = migrator.report.abort_reason
+        except MigrationAbortedError as exc:
+            record.aborted = True
+            record.reason = str(exc)
+        except SimulationError:
+            # The attempt ran out its wall-clock budget without the
+            # watchdog firing; abort it ourselves.
+            migrator.abort(self.engine.now, "supervision timeout")
+            record.aborted = True
+            record.reason = "supervision timeout"
+        finally:
+            self.engine.remove(migrator)
+        monitor = self._monitor
+        diagnosis = (
+            monitor.diagnosis
+            if monitor is not None
+            else ConvergenceMonitor().diagnosis  # UNKNOWN placeholder
+        )
+        if diagnosis.state is not ConvergenceState.UNKNOWN:
+            record.diagnosis = diagnosis.summary()
+        probe.end(self._span_attempt, self.engine.now,
+                  aborted=record.aborted, reason=record.reason,
+                  convergence=diagnosis.state.value)
+        self._span_attempt = None
+        self._attempt_deadline = None
+        self._migrator = None
+        self._monitor = None
+        self._record = None
+        result = self._result
+        result.attempts.append(record)
+        self._journal(
+            checkpointer, "attempt-finished",
+            attempt=self._attempt, engine=self._current,
+            aborted=record.aborted, reason=record.reason,
+        )
+
+        if not record.aborted:
+            result.ok = True
+            result.engine = self._current
+            result.report = migrator.report
+            result.migrator = migrator
+            self._state = "done"
+            return
+
+        self._consecutive += 1
+        probe.count("supervisor.retries", engine=self._current)
+        result.report = migrator.report
+        result.engine = self._current
+        self._wait = self.backoff_s * (self.backoff_factor ** (self._attempt - 1))
+        if self._should_degrade(record, self._consecutive, self.degrade_after):
+            degraded = self._next_engine(self._current)
+            if degraded != self._current:
+                # The degrade decision cites the convergence verdict,
+                # not just the exhausted retry budget.
+                if record.diagnosis and self.vm.event_log is not None:
+                    self.vm.event_log.log(
+                        self.engine.now, "supervisor",
+                        f"diagnosis before degrade: {record.diagnosis}",
+                    )
+                probe.count("supervisor.degradations")
+                probe.instant(
+                    "degrade", self.engine.now, track="supervisor",
+                    from_engine=self._current, to_engine=degraded,
+                    diagnosis=diagnosis.state.value,
+                )
+                self._journal(
+                    checkpointer, "degrade",
+                    from_engine=self._current, to_engine=degraded,
+                )
+                self._current = degraded
+                self._consecutive = 0
+                result.degradations.append(self._current)
+        self._attempt += 1
+        self._state = "next"
+
+
+def supervised_config_fingerprint(
+    workload: str,
+    engine_name: str,
+    plan: object | None,
+    warmup_s: float,
+    dt: float,
+    seed: int,
+    vm_kwargs: dict | None,
+) -> dict:
+    """The scalar config hashed into supervised-run checkpoint
+    manifests (see :func:`repro.checkpoint.config_hash`)."""
+    return {
+        "driver": "supervised_migrate",
+        "workload": workload,
+        "engine_name": engine_name,
+        "plan": [repr(e) for e in plan] if plan is not None else [],
+        "warmup_s": warmup_s,
+        "dt": dt,
+        "seed": seed,
+        "vm_kwargs": {k: str(v) for k, v in sorted((vm_kwargs or {}).items())},
+    }
 
 
 def supervised_migrate(
@@ -283,6 +428,7 @@ def supervised_migrate(
     seed: int = 20150421,
     vm_kwargs: dict | None = None,
     telemetry: bool = False,
+    checkpoint: object | None = None,
     **supervisor_kwargs,
 ) -> tuple[SupervisionResult, JavaVM]:
     """Build a guest, optionally arm a fault plan, and migrate supervised.
@@ -291,7 +437,10 @@ def supervised_migrate(
     outcome and the guest (e.g. verify the destination image against the
     source).  *plan* is a :class:`~repro.faults.FaultPlan`; its injector
     is bound to the link, LKM, agent and netlink bus, and re-bound to
-    each attempt's daemon.
+    each attempt's daemon.  *checkpoint* is a
+    :class:`~repro.checkpoint.CheckpointConfig`; with one, the
+    supervisor writes durable cadence checkpoints a crashed process can
+    resume from (:func:`repro.checkpoint.resume`).
     """
     from repro.core.builders import build_java_vm
     from repro.faults import FaultInjector
@@ -322,7 +471,16 @@ def supervised_migrate(
     supervisor = MigrationSupervisor(
         sim, vm, link, engine_name=engine_name, injector=injector, **supervisor_kwargs
     )
-    outcome = supervisor.run()
+    checkpointer = None
+    if checkpoint is not None:
+        from repro.checkpoint import Checkpointer
+
+        if not checkpoint.config:
+            checkpoint.config = supervised_config_fingerprint(
+                workload, engine_name, plan, warmup_s, dt, seed, vm_kwargs
+            )
+        checkpointer = Checkpointer(checkpoint)
+    outcome = supervisor.run(checkpointer)
     if vm.probe.enabled:
         vm.probe.finish(sim.now)
     return outcome, vm

@@ -68,3 +68,15 @@ class FaultInjectionError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-time engine was misused (e.g. time moved backwards)."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint archive could not be written, read, or applied."""
+
+
+class CheckpointSchemaError(CheckpointError):
+    """A checkpoint was produced under an incompatible schema version.
+
+    Raised both for the archive-level schema (``manifest.json``) and for
+    per-actor ``snapshot_version`` mismatches discovered while applying
+    a snapshot payload to a newer class."""

@@ -16,7 +16,7 @@ retry attempts.
 from __future__ import annotations
 
 import math
-from typing import Any, Callable
+from typing import Any
 
 from repro.errors import FaultInjectionError, ProtocolError
 from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
@@ -29,6 +29,9 @@ class FaultInjector(Actor):
 
     priority = 1
     name = "fault-injector"
+    #: checkpoint-protocol layout version (reversion records are
+    #: declarative tuples precisely so this pickles; see _revert)
+    snapshot_version = 1
 
     def __init__(
         self,
@@ -50,7 +53,10 @@ class FaultInjector(Actor):
         #: telemetry handle (see repro.telemetry); no-op unless enabled
         self.probe = NULL_PROBE
         self._pending: list[FaultEvent] = list(plan)
-        self._reversions: list[tuple[float, Callable[[], None]]] = []
+        #: (due-at, fault kind, restore payload) — declarative records,
+        #: not closures, so an armed fault window survives a checkpoint
+        #: pickle and the resumed injector reverts it on schedule
+        self._reversions: list[tuple[float, FaultKind, dict]] = []
         self._delayed: list[tuple[float, str, int | None, Any]] = []
         self._armed_at: float | None = None
         self._now = 0.0
@@ -111,9 +117,9 @@ class FaultInjector(Actor):
         if self._armed_at is None:
             self._armed_at = now - dt
         rel = now - self._armed_at
-        for due_at, revert in [r for r in self._reversions if r[0] <= now]:
-            revert()
-            self._reversions.remove((due_at, revert))
+        for entry in [r for r in self._reversions if r[0] <= now]:
+            self._revert(entry[1], entry[2])
+            self._reversions.remove(entry)
         self._deliver_delayed(now)
         for event in [e for e in self._pending if self._due(e, rel)]:
             self._pending.remove(event)
@@ -137,23 +143,17 @@ class FaultInjector(Actor):
         if kind is FaultKind.LINK_DOWN:
             link = self._require(self.link, "link", event)
             link.sever()
-            self._schedule_revert(event, now, link.restore)
+            self._schedule_revert(event, now, kind, {})
         elif kind is FaultKind.LINK_DEGRADE:
             link = self._require(self.link, "link", event)
             previous = link.bandwidth
             link.set_bandwidth(event.value)
-
-            def revert(link=link, previous=previous):
-                link.bandwidth = previous  # effective rate, bypass efficiency
-
-            self._schedule_revert(event, now, revert)
+            self._schedule_revert(event, now, kind, {"bandwidth": previous})
         elif kind is FaultKind.LINK_LOSS:
             link = self._require(self.link, "link", event)
             previous_loss = link.loss_rate
             link.set_loss_rate(event.value)
-            self._schedule_revert(
-                event, now, lambda: link.set_loss_rate(previous_loss)
-            )
+            self._schedule_revert(event, now, kind, {"loss_rate": previous_loss})
         elif kind is FaultKind.NETLINK_DROP:
             self._require(self.netlink, "netlink", event)
             self._drop_until = self._window_end(event, now)
@@ -167,13 +167,13 @@ class FaultInjector(Actor):
         elif kind is FaultKind.AGENT_HANG:
             agent = self._require(self.agent, "agent", event)
             agent.hang()
-            self._schedule_revert(event, now, agent.unhang)
+            self._schedule_revert(event, now, kind, {})
         elif kind is FaultKind.AGENT_CRASH:
             self._require(self.agent, "agent", event).crash()
         elif kind is FaultKind.LKM_HANG:
             lkm = self._require(self.lkm, "lkm", event)
             lkm.hang()
-            self._schedule_revert(event, now, lkm.unhang)
+            self._schedule_revert(event, now, kind, {})
         elif kind is FaultKind.DEST_KILL:
             migrator = self._require(self.migrator, "migrator", event)
             migrator.notify_destination_failed("destination host died")
@@ -202,10 +202,25 @@ class FaultInjector(Actor):
         return target
 
     def _schedule_revert(
-        self, event: FaultEvent, now: float, revert: Callable[[], None]
+        self, event: FaultEvent, now: float, kind: FaultKind, payload: dict
     ) -> None:
         if event.duration_s is not None:
-            self._reversions.append((now + event.duration_s, revert))
+            self._reversions.append((now + event.duration_s, kind, payload))
+
+    def _revert(self, kind: FaultKind, payload: dict) -> None:
+        """Undo a windowed fault from its declarative reversion record."""
+        if kind is FaultKind.LINK_DOWN:
+            self.link.restore()
+        elif kind is FaultKind.LINK_DEGRADE:
+            self.link.bandwidth = payload["bandwidth"]  # effective rate, bypass efficiency
+        elif kind is FaultKind.LINK_LOSS:
+            self.link.set_loss_rate(payload["loss_rate"])
+        elif kind is FaultKind.AGENT_HANG:
+            self.agent.unhang()
+        elif kind is FaultKind.LKM_HANG:
+            self.lkm.unhang()
+        else:  # pragma: no cover - exhaustive dispatch
+            raise FaultInjectionError(f"unhandled reversion kind {kind!r}")
 
     @staticmethod
     def _window_end(event: FaultEvent, now: float) -> float:

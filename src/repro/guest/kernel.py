@@ -29,6 +29,9 @@ class GuestKernel(Actor):
     """A Linux-like kernel for one domain."""
 
     priority = 0
+    #: checkpoint-protocol layout version (see repro.sim.actor);
+    #: bump when a state field is added/renamed/repurposed
+    snapshot_version = 1
 
     def __init__(
         self,

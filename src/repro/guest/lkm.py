@@ -99,6 +99,9 @@ class AssistLKM(Actor):
     """Guest kernel module coordinating application-assisted migration."""
 
     priority = 5
+    #: checkpoint-protocol layout version (see repro.sim.actor);
+    #: bump when a state field is added/renamed/repurposed
+    snapshot_version = 1
 
     def __init__(
         self,

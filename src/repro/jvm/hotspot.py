@@ -61,6 +61,9 @@ class HotSpotJVM(Actor):
     """Runs a synthetic Java workload against a generational heap."""
 
     priority = 0
+    #: checkpoint-protocol layout version (see repro.sim.actor);
+    #: bump when a state field is added/renamed/repurposed
+    snapshot_version = 1
 
     def __init__(
         self,

@@ -35,6 +35,9 @@ class AssistedMigrator(PrecopyMigrator):
     """Pre-copy migration guided by the LKM's transfer bitmap."""
 
     name = "assisted"
+    #: checkpoint-protocol layout version; this subclass adds its own
+    #: state fields, so it versions its snapshot independently
+    snapshot_version = 1
 
     def __init__(
         self,

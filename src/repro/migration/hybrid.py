@@ -106,6 +106,9 @@ class JavmmCompressedMigrator(JavmmMigrator):
     """JAVMM with per-page compression of the non-skipped pages."""
 
     name = "javmm+compress"
+    #: checkpoint-protocol layout version; this subclass adds its own
+    #: state fields, so it versions its snapshot independently
+    snapshot_version = 1
 
     def __init__(
         self,

@@ -23,6 +23,9 @@ class JavmmMigrator(AssistedMigrator):
     """Assisted migration of a Java VM, skipping Young-generation garbage."""
 
     name = "javmm"
+    #: checkpoint-protocol layout version; this subclass adds its own
+    #: state fields, so it versions its snapshot independently
+    snapshot_version = 1
 
     def __init__(
         self,

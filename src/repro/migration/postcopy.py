@@ -51,6 +51,9 @@ class PostCopyMigrator(Actor):
     """Resume first, fetch memory afterwards."""
 
     priority = 10
+    #: checkpoint-protocol layout version (see repro.sim.actor);
+    #: bump when a state field is added/renamed/repurposed
+    snapshot_version = 1
     name = "postcopy"
 
     def __init__(

@@ -64,6 +64,9 @@ class PrecopyMigrator(Actor):
     """Xen-style iterative pre-copy migration daemon."""
 
     priority = 10
+    #: checkpoint-protocol layout version (see repro.sim.actor);
+    #: bump when a state field is added/renamed/repurposed
+    snapshot_version = 1
     name = "xen-precopy"
 
     def __init__(

@@ -60,6 +60,9 @@ class RemusReplicator(Actor):
     """Periodic checkpoint replication to a backup domain."""
 
     priority = 10
+    #: checkpoint-protocol layout version (see repro.sim.actor);
+    #: bump when a state field is added/renamed/repurposed
+    snapshot_version = 1
 
     def __init__(
         self,

@@ -47,6 +47,22 @@ class IterationRecord:
             self.dirtied_during_bytes / self.duration_s if self.duration_s > 0 else 0.0
         )
 
+    @classmethod
+    def from_dict(cls, d: dict) -> "IterationRecord":
+        return cls(
+            index=d["index"],
+            start_s=d["start_s"],
+            duration_s=d["duration_s"],
+            pending_pages=d["pending_pages"],
+            pages_sent=d["pages_sent"],
+            wire_bytes=d["wire_bytes"],
+            pages_skipped_dirty=d["pages_skipped_dirty"],
+            pages_skipped_bitmap=d["pages_skipped_bitmap"],
+            is_last=d.get("is_last", False),
+            is_waiting=d.get("is_waiting", False),
+            dirtied_during_bytes=d.get("dirtied_during_bytes", 0),
+        )
+
 
 @dataclass
 class DowntimeBreakdown:
@@ -72,6 +88,17 @@ class DowntimeBreakdown:
             + self.final_update_s
             + self.last_iter_s
             + self.resume_s
+        )
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "DowntimeBreakdown":
+        # vm_downtime_s / app_downtime_s are derived sums, not fields.
+        return cls(
+            safepoint_s=d.get("safepoint_s", 0.0),
+            enforced_gc_s=d.get("enforced_gc_s", 0.0),
+            final_update_s=d.get("final_update_s", 0.0),
+            last_iter_s=d.get("last_iter_s", 0.0),
+            resume_s=d.get("resume_s", 0.0),
         )
 
 
@@ -132,6 +159,10 @@ class MigrationReport:
         return {
             "migrator": self.migrator,
             "vm_bytes": self.vm_bytes,
+            # started/finished are the primary fields; completion_time_s
+            # is their derived difference, kept for existing consumers.
+            "started_s": self.started_s,
+            "finished_s": self.finished_s,
             "completion_time_s": self.completion_time_s,
             "total_wire_bytes": self.total_wire_bytes,
             "total_pages_sent": self.total_pages_sent,
@@ -175,6 +206,32 @@ class MigrationReport:
                 for rec in self.iterations
             ],
         }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "MigrationReport":
+        """Inverse of :meth:`to_dict`: rebuild a report from its JSON
+        view.  Derived keys (totals, ``completion_time_s``,
+        ``n_iterations``) are recomputed from the primary fields, so
+        ``to_dict -> from_dict -> to_dict`` is a fixed point."""
+        return cls(
+            migrator=d["migrator"],
+            vm_bytes=d["vm_bytes"],
+            started_s=d.get("started_s", 0.0),
+            finished_s=d.get("finished_s", 0.0),
+            iterations=[IterationRecord.from_dict(r) for r in d.get("iterations", [])],
+            downtime=DowntimeBreakdown.from_dict(d.get("downtime", {})),
+            cpu_seconds=d.get("cpu_seconds", 0.0),
+            verified=d.get("verified"),
+            mismatched_pages=d.get("mismatched_pages", 0),
+            violating_pages=d.get("violating_pages", 0),
+            lkm_overhead_bytes=d.get("lkm_overhead_bytes", 0),
+            stop_reason=d.get("stop_reason", ""),
+            aborted=d.get("aborted", False),
+            abort_reason=d.get("abort_reason", ""),
+            abort_phase=d.get("abort_phase", ""),
+            source_intact=d.get("source_intact"),
+            attempt=d.get("attempt", 1),
+        )
 
     def summary(self) -> str:
         """A human-readable one-paragraph summary."""

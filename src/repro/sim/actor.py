@@ -5,9 +5,21 @@ event-driven kernel (see :mod:`repro.sim.engine`) additionally asks each
 actor for a *horizon* via :meth:`next_event`; when every actor declares
 one, the engine covers the quiet ticks in one :meth:`step_many` call per
 actor instead of interleaving per-tick :meth:`step` calls.
+
+Actors also participate in the durable-checkpoint protocol (see
+:mod:`repro.checkpoint`): :meth:`snapshot_state` /
+:meth:`restore_state` move an actor's mutable state in and out of a
+plain dict, and :attr:`snapshot_version` stamps that dict so archives
+written by an older class layout are rejected (or migrated) instead of
+silently mis-restored.  The checkpoint subsystem serializes the whole
+actor graph through one pickler, so references actors share (a domain,
+a link, the event log) stay shared after restore; the protocol methods
+are wired into pickling via ``__getstate__`` / ``__setstate__``.
 """
 
 from __future__ import annotations
+
+from repro.errors import CheckpointSchemaError
 
 
 class Actor:
@@ -27,6 +39,10 @@ class Actor:
     #: the engine's step size, filled in by :meth:`Engine.add` so that
     #: :meth:`next_event` can reason about the tick grid
     sim_dt: float | None = None
+
+    #: version of this class's :meth:`snapshot_state` layout; bump when
+    #: a field is added/renamed/repurposed so old archives fail loudly
+    snapshot_version: int = 1
 
     def step(self, now: float, dt: float) -> None:
         """Advance the actor from ``now - dt`` to ``now``."""
@@ -79,3 +95,40 @@ class Actor:
     def finished(self) -> bool:
         """True when the actor no longer needs stepping."""
         return False
+
+    # -- checkpoint protocol ---------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """The actor's mutable state as a dict (the snapshot payload).
+
+        The default captures ``__dict__`` wholesale, which is correct
+        for actors whose every attribute is either durable state or a
+        shared reference the enclosing pickle graph resolves.  Override
+        to exclude caches or to transmute unpicklable entries (see
+        :class:`~repro.faults.injector.FaultInjector`); whatever this
+        returns must be consumable by :meth:`restore_state`.
+        """
+        return dict(self.__dict__)
+
+    def restore_state(self, state: dict, version: int) -> None:
+        """Apply a :meth:`snapshot_state` payload written at *version*.
+
+        The default refuses any version other than the class's current
+        :attr:`snapshot_version`; a subclass that can migrate an older
+        layout overrides this and upgrades *state* before applying it.
+        """
+        if version != type(self).snapshot_version:
+            raise CheckpointSchemaError(
+                f"{type(self).__name__} snapshot v{version} cannot be applied "
+                f"to class v{type(self).snapshot_version}"
+            )
+        self.__dict__.update(state)
+
+    def __getstate__(self) -> dict:
+        return {
+            "snapshot_version": type(self).snapshot_version,
+            "state": self.snapshot_state(),
+        }
+
+    def __setstate__(self, payload: dict) -> None:
+        self.restore_state(payload["state"], payload.get("snapshot_version", 0))

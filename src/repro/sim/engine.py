@@ -29,10 +29,12 @@ callback at the first tick at or after that instant (in both kernels).
 from __future__ import annotations
 
 import heapq
+import io
 import os
+import pickle
 from typing import Callable, Iterable
 
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import CheckpointError, CheckpointSchemaError, ConfigurationError, SimulationError
 from repro.sim.actor import Actor
 from repro.sim.clock import SimClock
 
@@ -45,6 +47,10 @@ KERNEL_ENV_VAR = "REPRO_SIM_KERNEL"
 
 class Engine:
     """Steps a set of actors against a shared simulated clock."""
+
+    #: version of the engine's own snapshot layout (clock, roster,
+    #: wake-queue); bump on incompatible changes
+    snapshot_version: int = 1
 
     def __init__(
         self,
@@ -176,6 +182,19 @@ class Engine:
         self.step()
         return 1
 
+    def advance(self, bound: float) -> int:
+        """Public single advance toward *bound*; returns ticks taken.
+
+        This is the building block resumable drivers (checkpointed
+        experiment/supervisor loops) use instead of :meth:`run_until`:
+        they own the loop so they can interleave checkpoint writes at
+        exact instants, while each individual advance keeps the kernel's
+        leap semantics.  *bound* only limits how far one leap may reach;
+        a plain step may still land one ``dt`` past it, exactly as
+        :meth:`run_until` overshoots its target by at most one tick.
+        """
+        return self._advance(bound)
+
     def run_until(self, t: float) -> None:
         """Run steps until simulated time reaches at least *t*."""
         if t < self.now:
@@ -197,6 +216,67 @@ class Engine:
                     f"run_while did not terminate within {timeout:.1f} sim-seconds"
                 )
             self._advance(deadline)
+
+    # -- snapshot / restore -----------------------------------------------------------
+
+    def describe(self) -> dict:
+        """A JSON-safe structural summary (the checkpoint manifest body).
+
+        Captures identity, not state: the clock position, kernel, and
+        the registered roster with each actor's class and declared
+        ``snapshot_version``.  A restore can be validated against this
+        before any state is applied.
+        """
+        return {
+            "snapshot_version": type(self).snapshot_version,
+            "ticks": self.clock.ticks,
+            "now_s": self.now,
+            "dt": self.dt,
+            "kernel": self.kernel,
+            "leaps": self.leaps,
+            "pending_timers": len(self._timers),
+            "actors": [
+                {
+                    "class": type(actor).__name__,
+                    "module": type(actor).__module__,
+                    "priority": priority,
+                    "snapshot_version": type(actor).snapshot_version,
+                }
+                for priority, _, actor in self._actors
+            ],
+        }
+
+    def snapshot(self) -> bytes:
+        """Serialize the engine — clock, wake-queue, and every
+        registered actor — into one self-contained blob.
+
+        The whole graph goes through a single pickler, so objects shared
+        between actors (a domain, a link, the event log) come back
+        shared; each actor contributes its state via the
+        :class:`~repro.sim.actor.Actor` snapshot protocol.  Pair with
+        :meth:`restore`.
+        """
+        buf = io.BytesIO()
+        pickler = pickle.Pickler(buf, protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            pickler.dump((type(self).snapshot_version, self))
+        except Exception as exc:
+            raise CheckpointError(f"engine state did not serialize: {exc}") from exc
+        return buf.getvalue()
+
+    @staticmethod
+    def restore(blob: bytes) -> "Engine":
+        """Rebuild an engine (and its actor graph) from :meth:`snapshot`."""
+        try:
+            version, engine = pickle.loads(blob)
+        except Exception as exc:
+            raise CheckpointError(f"engine snapshot did not load: {exc}") from exc
+        if version != Engine.snapshot_version:
+            raise CheckpointSchemaError(
+                f"engine snapshot v{version} cannot be applied to "
+                f"engine v{Engine.snapshot_version}"
+            )
+        return engine
 
 
 def resolve_kernel(kernel: str | None = None) -> str:

@@ -5,11 +5,34 @@ randomness draws from a named child stream of one root seed.  Two
 simulations built with the same seed and the same stream names observe
 identical draws regardless of the order in which *other* streams are
 consumed.
+
+Stream spawn keys are derived with :func:`zlib.crc32`, not the builtin
+``hash``: string hashing is randomized per process (PYTHONHASHSEED), so
+a builtin-hash key would make draws differ between a run and its
+crash-restarted resume — exactly the cross-process determinism the
+checkpoint layer (:mod:`repro.checkpoint`) must guarantee.
+
+:meth:`SimRng.snapshot` / :meth:`SimRng.restore` capture every live
+stream's bit-generator state explicitly, so a restored ``SimRng``
+continues the exact draw sequence of the original — including streams
+first touched only after the restore point.
 """
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
+
+from repro.errors import CheckpointSchemaError
+
+#: version of the :meth:`SimRng.snapshot` payload layout
+RNG_SNAPSHOT_VERSION = 1
+
+
+def _spawn_key(name: str) -> int:
+    """Stable 32-bit spawn key for a stream name (process-independent)."""
+    return zlib.crc32(name.encode("utf-8")) & 0xFFFFFFFF
 
 
 class SimRng:
@@ -25,7 +48,7 @@ class SimRng:
         """Return the (memoized) generator for substream *name*."""
         if name not in self._streams:
             child = np.random.default_rng(
-                np.random.SeedSequence(entropy=self.seed, spawn_key=(hash(name) & 0xFFFFFFFF,))
+                np.random.SeedSequence(entropy=self.seed, spawn_key=(_spawn_key(name),))
             )
             self._streams[name] = child
         return self._streams[name]
@@ -33,3 +56,39 @@ class SimRng:
     def uniform(self, name: str, low: float, high: float) -> float:
         """One uniform draw from substream *name*."""
         return float(self.stream(name).uniform(low, high))
+
+    # -- checkpoint protocol ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Every live stream's exact bit-generator state, JSON-shaped.
+
+        The payload is plain dicts/ints (numpy exposes generator state
+        that way), so it can ride in a checkpoint manifest as well as a
+        pickle.
+        """
+        return {
+            "snapshot_version": RNG_SNAPSHOT_VERSION,
+            "seed": self.seed,
+            "streams": {
+                name: gen.bit_generator.state for name, gen in self._streams.items()
+            },
+        }
+
+    def restore(self, payload: dict) -> None:
+        """Apply a :meth:`snapshot` payload, resuming every stream
+        mid-sequence; streams not yet live at snapshot time are simply
+        recreated on first use (their spawn keys are deterministic)."""
+        version = payload.get("snapshot_version", 0)
+        if version != RNG_SNAPSHOT_VERSION:
+            raise CheckpointSchemaError(
+                f"SimRng snapshot v{version} cannot be applied to "
+                f"v{RNG_SNAPSHOT_VERSION}"
+            )
+        self.seed = int(payload["seed"])
+        self._streams = {}
+        for name, state in payload["streams"].items():
+            gen = np.random.default_rng(
+                np.random.SeedSequence(entropy=self.seed, spawn_key=(_spawn_key(name),))
+            )
+            gen.bit_generator.state = state
+            self._streams[name] = gen

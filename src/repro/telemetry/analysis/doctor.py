@@ -25,7 +25,10 @@ Rule catalogue (see ``docs/OBSERVABILITY.md`` for the full table):
 - ``slow-downtime`` — stop-and-copy + resume spans above the downtime
   budget;
 - ``event-loss`` — ring-buffer drops in the event log or sample series
-  (the export itself is lossy: treat absence of evidence carefully).
+  (the export itself is lossy: treat absence of evidence carefully);
+- ``resumed-run`` — the run was restored from a durable checkpoint
+  (``checkpoint-restore`` span present); flags the gap between the
+  checkpoint instant and the crashed run's last journaled decision.
 """
 
 from __future__ import annotations
@@ -129,6 +132,7 @@ class Doctor:
             "downtime_budget_s": 1.0,
             "skip_collapse_factor": 0.5,
             "stop_pages": 50,
+            "resume_gap_s": 5.0,
             **thresholds,
         }
 
@@ -451,6 +455,60 @@ def rule_event_loss(dump: TelemetryDump, thresholds: dict) -> list[Finding]:
     return findings
 
 
+def rule_resumed_run(dump: TelemetryDump, thresholds: dict) -> list[Finding]:
+    """Detect a crash-restarted run and size its re-execution window.
+
+    A ``checkpoint-restore`` span marks a run resumed from a durable
+    checkpoint.  Its args carry the checkpoint instant and the crashed
+    run's last write-ahead journal instant; the difference is the
+    stretch of simulated time the resumed run re-executed (always with
+    identical results — the chaos suite enforces that — but re-paid in
+    wall clock).  A gap above ``resume_gap_s`` suggests the checkpoint
+    cadence is too slow for the crash rate.
+    """
+    restores = [s for s in dump.spans if s["name"] == "checkpoint-restore"]
+    if not restores:
+        return []
+    findings = []
+    gap_budget = thresholds["resume_gap_s"]
+    for s in restores:
+        args = s.get("args", {})
+        checkpoint_t = args.get("checkpoint_t")
+        journal_last_t = args.get("journal_last_t")
+        gap = (
+            max(0.0, float(journal_last_t) - float(checkpoint_t))
+            if checkpoint_t is not None and journal_last_t is not None
+            else 0.0
+        )
+        severity = "warning" if gap > gap_budget else "info"
+        title = (
+            f"run resumed from checkpoint t={float(checkpoint_t):.2f}s"
+            if checkpoint_t is not None
+            else "run resumed from a checkpoint"
+        )
+        detail = (
+            f"crashed run journaled decisions up to t={float(journal_last_t):.2f}s; "
+            f"{gap:.2f}s of simulated time re-executed after restore"
+            if journal_last_t is not None
+            else "no journaled decisions after the checkpoint"
+        )
+        if gap > gap_budget:
+            detail += (
+                f" (gap exceeds the {gap_budget:.1f}s budget: "
+                "consider a faster checkpoint cadence)"
+            )
+        findings.append(
+            Finding(
+                rule="resumed-run",
+                severity=severity,
+                title=title,
+                detail=detail,
+                evidence=(f"span:{s['id']}", "metric:checkpoint.restores"),
+            )
+        )
+    return findings
+
+
 DEFAULT_RULES = (
     rule_convergence,
     rule_dirty_vs_bandwidth,
@@ -460,4 +518,5 @@ DEFAULT_RULES = (
     rule_aborts,
     rule_slow_downtime,
     rule_event_loss,
+    rule_resumed_run,
 )

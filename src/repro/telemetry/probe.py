@@ -83,6 +83,11 @@ class NullProbe(Probe):
         self.event_log = None
         self.timeseries = None  # type: ignore[assignment]
 
+    def __reduce__(self):
+        # Checkpoint restore must hand back the shared singleton, not a
+        # fresh copy per holder — components compare against NULL_PROBE.
+        return (_restore_null_probe, ())
+
     def count(self, name: str, amount: float = 1.0, **labels) -> None:
         pass
 
@@ -111,3 +116,8 @@ class NullProbe(Probe):
 
 #: The shared disabled probe.  Stateless, so one instance serves everyone.
 NULL_PROBE = NullProbe()
+
+
+def _restore_null_probe() -> NullProbe:
+    """Pickle target for :class:`NullProbe` (see its ``__reduce__``)."""
+    return NULL_PROBE

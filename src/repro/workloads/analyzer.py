@@ -31,6 +31,9 @@ class Analyzer(Actor):
     """Samples workload throughput once per second of external time."""
 
     priority = 20
+    #: checkpoint-protocol layout version (see repro.sim.actor);
+    #: bump when a state field is added/renamed/repurposed
+    snapshot_version = 1
 
     def __init__(self, jvm: HotSpotJVM, interval_s: float = 1.0) -> None:
         self.jvm = jvm

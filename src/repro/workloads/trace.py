@@ -64,6 +64,10 @@ def parse_trace_csv(text: str) -> list[TracePoint]:
 class TraceDrivenJVM(HotSpotJVM):
     """A JVM whose mutator rates follow a breakpoint schedule."""
 
+    #: checkpoint-protocol layout version; this subclass adds its own
+    #: state fields, so it versions its snapshot independently
+    snapshot_version = 1
+
     def __init__(self, process, heap, trace: list[TracePoint], **kwargs) -> None:
         if not trace:
             raise ConfigurationError("trace must have at least one breakpoint")

@@ -375,6 +375,43 @@ def test_rule_event_loss_reports_both_ring_buffers():
     assert any("7" in f.title for f in findings)
 
 
+def test_rule_resumed_run_sizes_the_reexecution_gap():
+    # checkpoint at t=10, crashed run journaled up to t=12: a 2s gap,
+    # within the default 5s budget -> info
+    dump = TelemetryDump(
+        spans=[{
+            "id": 4, "name": "checkpoint-restore", "start_s": 10.0,
+            "end_s": 10.0,
+            "args": {"tick": 2000, "checkpoint_t": 10.0,
+                     "journal_last_t": 12.0, "replayed_entries": 3},
+        }]
+    )
+    findings = Doctor().diagnose(dump).by_rule("resumed-run")
+    assert len(findings) == 1
+    assert findings[0].severity == "info"
+    assert "t=10.00s" in findings[0].title
+    assert "2.00s of simulated time re-executed" in findings[0].detail
+    assert "span:4" in findings[0].evidence
+
+
+def test_rule_resumed_run_warns_when_gap_exceeds_budget():
+    span = {
+        "id": 5, "name": "checkpoint-restore", "start_s": 3.0, "end_s": 3.0,
+        "args": {"checkpoint_t": 3.0, "journal_last_t": 11.0},
+    }
+    findings = Doctor().diagnose(TelemetryDump(spans=[span])).by_rule(
+        "resumed-run"
+    )
+    assert len(findings) == 1
+    assert findings[0].severity == "warning"
+    assert "faster checkpoint cadence" in findings[0].detail
+    # a run that never restored stays quiet
+    assert Doctor().diagnose(TelemetryDump()).by_rule("resumed-run") == []
+    # and the budget is an override like every other threshold
+    lax = Doctor(resume_gap_s=20.0)
+    assert lax.diagnose(TelemetryDump(spans=[span])).findings[0].severity == "info"
+
+
 def test_doctor_healthy_dump_renders_no_findings():
     report = Doctor().diagnose(TelemetryDump())
     assert report.findings == []

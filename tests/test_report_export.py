@@ -1,9 +1,80 @@
-"""JSON export of migration reports."""
+"""JSON export of migration reports, and its exact inverse.
+
+``MigrationReport.from_dict`` must rebuild a report from its
+``to_dict`` view so that exporting again is a fixed point — derived
+keys (totals, ``completion_time_s``, the downtime sums) are recomputed,
+never trusted from the input.  The property test drives this with
+randomized reports, including aborted ones and every optional field.
+"""
 
 import json
 
+from hypothesis import given
+from hypothesis import strategies as st
+
 from repro.core import MigrationExperiment
+from repro.migration.report import (
+    DowntimeBreakdown,
+    IterationRecord,
+    MigrationReport,
+)
 from repro.units import MiB
+
+finite = st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False)
+
+iterations = st.builds(
+    IterationRecord,
+    index=st.integers(0, 50),
+    start_s=finite,
+    duration_s=finite,
+    pending_pages=st.integers(0, 1 << 20),
+    pages_sent=st.integers(0, 1 << 20),
+    wire_bytes=st.integers(0, 1 << 32),
+    pages_skipped_dirty=st.integers(0, 1 << 16),
+    pages_skipped_bitmap=st.integers(0, 1 << 16),
+    is_last=st.booleans(),
+    is_waiting=st.booleans(),
+    dirtied_during_bytes=st.integers(0, 1 << 32),
+)
+
+downtimes = st.builds(
+    DowntimeBreakdown,
+    safepoint_s=finite,
+    enforced_gc_s=finite,
+    final_update_s=finite,
+    last_iter_s=finite,
+    resume_s=finite,
+)
+
+reports = st.builds(
+    MigrationReport,
+    migrator=st.sampled_from(["xen", "assisted", "javmm", "postcopy"]),
+    vm_bytes=st.integers(0, 1 << 34),
+    started_s=finite,
+    finished_s=finite,
+    iterations=st.lists(iterations, max_size=6),
+    downtime=downtimes,
+    cpu_seconds=finite,
+    verified=st.sampled_from([None, True, False]),
+    mismatched_pages=st.integers(0, 1 << 16),
+    violating_pages=st.integers(0, 1 << 16),
+    lkm_overhead_bytes=st.integers(0, 1 << 24),
+    stop_reason=st.text(max_size=20),
+    aborted=st.booleans(),
+    abort_reason=st.text(max_size=20),
+    abort_phase=st.sampled_from(["", "iterating", "waiting-for-apps"]),
+    source_intact=st.sampled_from([None, True, False]),
+    attempt=st.integers(1, 8),
+)
+
+
+@given(reports)
+def test_to_dict_from_dict_is_a_fixed_point(report):
+    exported = report.to_dict()
+    assert MigrationReport.from_dict(exported).to_dict() == exported
+    # and the round trip survives an actual JSON serialization
+    rehydrated = MigrationReport.from_dict(json.loads(json.dumps(exported)))
+    assert rehydrated.to_dict() == exported
 
 
 def test_report_to_dict_is_json_serializable():
