@@ -21,6 +21,7 @@ bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr4_analysis.py
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr5_kernel.py
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr6_checkpoint.py
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr7_wan.py
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 # Bench-regression gate (mirrors the CI bench-regression job):
@@ -29,10 +30,13 @@ bench:
 # fixed-vs-event measure mismatch), and the PR6 checkpoint bench
 # (fails when checkpoint writes cost >5% of wall time at the default
 # cadence, or when a checkpointed or crashed-and-resumed run is not
-# bit-identical to a plain one), then diff their deterministic
-# simulated measures (downtime, total time, wire bytes) against the
-# checked-in baselines with `repro compare` — >5% growth on any gated
-# measure fails.
+# bit-identical to a plain one), and the PR7 WAN bench (fails unless
+# the rescue ladder completes 100% of the migrations the fixed LAN
+# policy aborts across the workload x WAN-profile matrix, with kernel
+# bit-identity, crash/resume equivalence and doctor attribution),
+# then diff their deterministic simulated measures (downtime, total
+# time, wire bytes) against the checked-in baselines with
+# `repro compare` — >5% growth on any gated measure fails.
 check-bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr4_analysis.py /tmp/BENCH_PR4_candidate.json
 	PYTHONPATH=src $(PYTHON) -m repro.cli compare BENCH_PR4.json /tmp/BENCH_PR4_candidate.json
@@ -41,6 +45,8 @@ check-bench:
 	PYTHONPATH=src $(PYTHON) -m repro.cli compare BENCH_PR5.json /tmp/BENCH_PR5_candidate.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr6_checkpoint.py /tmp/BENCH_PR6_candidate.json
 	PYTHONPATH=src $(PYTHON) -m repro.cli compare BENCH_PR6.json /tmp/BENCH_PR6_candidate.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr7_wan.py /tmp/BENCH_PR7_candidate.json
+	PYTHONPATH=src $(PYTHON) -m repro.cli compare BENCH_PR7.json /tmp/BENCH_PR7_candidate.json
 
 figures:
 	$(PYTHON) -m repro.cli all

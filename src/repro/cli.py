@@ -116,6 +116,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=4,
         help="attempt budget for --supervise (default: %(default)s)",
     )
+    from repro.net import WAN_PROFILES
+
+    migrate.add_argument(
+        "--wan",
+        choices=sorted(WAN_PROFILES),
+        default=None,
+        metavar="PROFILE",
+        help=(
+            "migrate over a WAN link profile (implies --supervise): "
+            + ", ".join(sorted(WAN_PROFILES))
+        ),
+    )
+    migrate.add_argument(
+        "--no-rescue",
+        action="store_true",
+        help=(
+            "disable the supervisor's rescue ladder (no auto-converge "
+            "throttling, no rescue wire compression) and RTT-aware "
+            "watchdog rescaling — the fixed-policy baseline"
+        ),
+    )
     checkpoint = parser.add_argument_group("checkpoint options")
     checkpoint.add_argument(
         "--checkpoint-dir",
@@ -298,6 +319,14 @@ def _run_supervised(args: argparse.Namespace) -> int:
                 else args.checkpoint_budget / 100.0
             ),
         )
+    extra: dict = {}
+    if args.wan:
+        from repro.net import wan_link
+
+        extra["link"] = wan_link(args.wan, seed=args.seed)
+    if args.no_rescue:
+        extra["rescue"] = False
+        extra["scale_timeouts"] = False
     result, vm = supervised_migrate(
         workload=args.workload,
         engine_name=engine,
@@ -309,6 +338,7 @@ def _run_supervised(args: argparse.Namespace) -> int:
         max_attempts=args.max_attempts,
         telemetry=telemetry,
         checkpoint=checkpoint,
+        **extra,
     )
     return _print_supervised(args, result, vm)
 
@@ -337,7 +367,7 @@ def _run_migrate(args: argparse.Namespace) -> int:
     from repro.core.experiment import ExperimentRun
     from repro.units import MiB
 
-    if args.supervise:
+    if args.supervise or args.wan:
         return _run_supervised(args)
     telemetry = _telemetry_requested(args) or args.experiment == "trace"
     experiment = MigrationExperiment(

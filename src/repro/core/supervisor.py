@@ -7,7 +7,18 @@ those into a clean abort (source keeps running); this module turns the
 abort into a *policy*:
 
 - **retry** the migration with exponential backoff (the guest runs
-  normally while the supervisor waits out a transient outage);
+  normally while the supervisor waits out a transient outage); on a
+  WAN-grade link the backoff is optionally jittered and every watchdog
+  deadline is rescaled by the link's measured RTT and goodput
+  (:meth:`~repro.net.link.Link.watchdog_scale`), so LAN-tuned timeouts
+  do not fire spuriously on a slow link;
+- **rescue** a STALLED/DIVERGING migration before giving up assistance
+  (the adaptive ladder, see :mod:`repro.core.rescue`): staged
+  auto-converge guest throttling first, then wire compression, both
+  mid-flight (:class:`~repro.core.rescue.RescueController`) and
+  between attempts — engine degradation is the last rung, and a
+  circuit breaker stops re-attempting across a link whose recent
+  attempts all died in the same phase;
 - **degrade** the engine when the assist path itself is implicated:
   ``javmm`` → ``assisted`` → ``xen``.  An abort during
   ``waiting-for-apps`` means the guest side stopped answering, so the
@@ -26,14 +37,23 @@ back in INITIALIZED, so a new ``MigrationBegin`` is always legal.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.core.builders import JavaVM, make_migrator
 from repro.core.policy import choose_engine
+from repro.core.rescue import (
+    RESCUE_STATES,
+    CircuitBreaker,
+    RescueController,
+    supports_wire_compression,
+)
 from repro.errors import ConfigurationError, MigrationAbortedError, SimulationError
+from repro.guest.throttle import DEFAULT_THROTTLE_STAGES, GuestThrottle
 from repro.migration.report import MigrationReport
 from repro.net.link import Link
 from repro.sim.engine import Engine, make_engine
+from repro.sim.rng import SimRng
 from repro.telemetry.analysis.convergence import ConvergenceMonitor, ConvergenceState
 
 #: Assistance levels, most to least assisted.  Degradation walks right.
@@ -64,6 +84,10 @@ class SupervisionResult:
     attempts: list[AttemptRecord] = field(default_factory=list)
     degradations: list[str] = field(default_factory=list)  # engines tried, in order
     migrator: object | None = None  # the final daemon (holds dest_domain)
+    #: rescue-ladder decisions (throttle/compress), in order applied
+    rescues: list[dict] = field(default_factory=list)
+    #: the circuit breaker gave up on the link before max_attempts
+    breaker_tripped: bool = False
 
     @property
     def n_attempts(self) -> int:
@@ -75,6 +99,18 @@ class SupervisionResult:
             f"after {self.n_attempts} attempt(s) "
             f"(engines tried: {' -> '.join(self.degradations)})"
         ]
+        if self.breaker_tripped:
+            lines.append("  circuit breaker OPEN: link written off")
+        for decision in self.rescues:
+            detail = (
+                f"stage {decision['stage']} (x{decision['factor']:.2f})"
+                if decision["action"] == "throttle"
+                else f"ratio {decision['ratio']:.2f}"
+            )
+            lines.append(
+                f"  rescue at {decision['at_s']:.2f}s: "
+                f"{decision['action']} {detail} [{decision['state']}]"
+            )
         for rec in self.attempts:
             verdict = f"aborted ({rec.reason})" if rec.aborted else "completed"
             lines.append(
@@ -106,12 +142,22 @@ class MigrationSupervisor:
         injector: object | None = None,
         consult_policy: bool = True,
         analysis: bool = True,
+        rescue: bool = True,
+        throttle_stages: tuple = DEFAULT_THROTTLE_STAGES,
+        rescue_compression_ratio: float | None = 0.45,
+        rescue_patience: int = 2,
+        backoff_jitter: float = 0.0,
+        breaker_after: int | None = None,
+        scale_timeouts: bool = True,
+        seed: int = 20150421,
         migrator_kwargs: dict | None = None,
     ) -> None:
         if max_attempts < 1:
             raise ConfigurationError("supervisor needs max_attempts >= 1")
         if degrade_after < 1:
             raise ConfigurationError("supervisor needs degrade_after >= 1")
+        if backoff_jitter < 0:
+            raise ConfigurationError("backoff jitter must be >= 0")
         self.engine = engine
         self.vm = vm
         self.link = link
@@ -134,6 +180,21 @@ class MigrationSupervisor:
         #: attach a ConvergenceMonitor to every attempt (the online half
         #: of the analysis pipeline); off only for overhead measurement
         self.analysis = analysis
+        #: the adaptive rescue ladder (throttle -> compress -> degrade)
+        self.rescue = rescue
+        self.rescue_compression_ratio = rescue_compression_ratio
+        self.rescue_patience = rescue_patience
+        #: multiplicative backoff jitter: each wait is stretched by a
+        #: uniform factor in [1, 1 + jitter] drawn from a named SimRng
+        #: substream (0 keeps the exact exponential schedule)
+        self.backoff_jitter = backoff_jitter
+        #: stretch watchdogs/backoffs by the link's RTT/goodput scale
+        self.scale_timeouts = scale_timeouts
+        self._throttle = (
+            GuestThrottle(vm.jvm, throttle_stages) if rescue else None
+        )
+        self._breaker = CircuitBreaker(breaker_after)
+        self._rng = SimRng(seed)
         self.migrator_kwargs = dict(migrator_kwargs or {})
         # -- resumable drive state (see :meth:`run`) -----------------------------
         # Every field below is an absolute value (attempt counters, sim
@@ -153,6 +214,10 @@ class MigrationSupervisor:
         self._record: AttemptRecord | None = None
         self._span_backoff: object | None = None
         self._span_attempt: object | None = None
+        self._rescuer: RescueController | None = None
+        #: once compression is enabled it stays on for later attempts
+        self._rescue_compression = False
+        self._attempt_budget_s = attempt_timeout_s
 
     # -- engine degradation ------------------------------------------------------------
 
@@ -171,6 +236,28 @@ class MigrationSupervisor:
             if decision.engine == "xen":
                 return "xen"
         return candidate
+
+    def _scaled_deadlines(self) -> tuple[float | None, dict, float]:
+        """Watchdog/backoff deadlines rescaled to the link's shape.
+
+        ``(stall, phase_timeouts, attempt_budget)`` — each deadline is
+        stretched by the link's goodput scale plus an RTT-derived grace
+        (:meth:`~repro.net.link.Link.watchdog_scale`).  A plain LAN
+        link reports ``(1.0, 0.0)``, keeping deadlines untouched.
+        Consulted at every launch, so weather that reshapes the link
+        between attempts reshapes the next attempt's patience too.
+        """
+        stall = self.stall_timeout_s
+        timeouts = dict(self.phase_timeouts)
+        budget = self.attempt_timeout_s
+        if self.scale_timeouts:
+            scale, grace = self.link.watchdog_scale()
+            if scale != 1.0 or grace != 0.0:
+                if stall is not None:
+                    stall = stall * scale + grace
+                timeouts = {k: v * scale + grace for k, v in timeouts.items()}
+                budget = budget * scale
+        return stall, timeouts, budget
 
     @staticmethod
     def _should_degrade(record: AttemptRecord, consecutive_same_engine: int,
@@ -202,6 +289,10 @@ class MigrationSupervisor:
             "attempt": self._attempt,
             "engine": self._current,
             "wait_s": self._wait,
+            "throttle_stage": (
+                self._throttle.stage if self._throttle is not None else 0
+            ),
+            "rescue_compression": self._rescue_compression,
         }
         if self.injector is not None:
             extra["faults_fired"] = len(self.injector.injected)
@@ -266,18 +357,31 @@ class MigrationSupervisor:
                 self._backoff_until = None
                 self._state = "launch"
             elif self._state == "launch":
+                stall, timeouts, budget = self._scaled_deadlines()
                 migrator = make_migrator(
                     self._current,
                     self.vm,
                     self.link,
-                    stall_timeout_s=self.stall_timeout_s,
-                    phase_timeouts=self.phase_timeouts,
+                    stall_timeout_s=stall,
+                    phase_timeouts=timeouts,
                     **self.migrator_kwargs,
                 )
                 migrator.report.attempt = self._attempt
+                if self._rescue_compression and supports_wire_compression(migrator):
+                    migrator.wire_compression = self.rescue_compression_ratio
                 self._monitor = ConvergenceMonitor() if self.analysis else None
                 migrator.monitor = self._monitor
                 self.engine.add(migrator)
+                if self.rescue and self._monitor is not None:
+                    self._rescuer = RescueController(
+                        migrator,
+                        self._monitor,
+                        throttle=self._throttle,
+                        compression_ratio=self.rescue_compression_ratio,
+                        patience=self.rescue_patience,
+                    )
+                    self._rescuer.probe = probe
+                    self.engine.add(self._rescuer)
                 self.vm.jvm.migration_load = migrator.load_fraction
                 if self.injector is not None:
                     self.injector.bind_migrator(migrator)
@@ -285,7 +389,8 @@ class MigrationSupervisor:
                     "attempt", self.engine.now, track="supervisor",
                     cat="supervisor", attempt=self._attempt, engine=self._current,
                 )
-                self._attempt_deadline = self.engine.now + self.attempt_timeout_s
+                self._attempt_budget_s = budget
+                self._attempt_deadline = self.engine.now + budget
                 self._journal(
                     checkpointer, "attempt-started",
                     attempt=self._attempt, engine=self._current,
@@ -303,7 +408,71 @@ class MigrationSupervisor:
                 self._state = "attempt"
             elif self._state == "attempt":
                 self._run_attempt(checkpointer, advance_while)
+        if self._throttle is not None and self._throttle.engaged:
+            # Supervision is over either way; leave the guest at its
+            # baseline speed (at the destination on success, still at
+            # the source after exhaustion).
+            self._throttle.release()
         return self._result
+
+    def _attempt_rescue(self, checkpointer, record: AttemptRecord,
+                        diagnosis) -> bool:
+        """Between-attempts half of the ladder: throttle, then compress.
+
+        Returns True when a rung was climbed, which defers engine
+        degradation to a later abort.  A ``waiting-for-apps`` abort
+        means the guest assist path went quiet — reshaping the guest
+        cannot fix that, so the immediate-degrade rule keeps priority.
+        """
+        if not self.rescue:
+            return False
+        if record.report.abort_phase == "waiting-for-apps":
+            return False
+        if diagnosis.state not in RESCUE_STATES:
+            return False
+        if diagnosis.state is ConvergenceState.STALLED and not math.isfinite(
+            diagnosis.ratio
+        ):
+            # An infinite dirty/bandwidth ratio means the link is dead,
+            # not slow; reshaping the guest cannot fix that.  Backoff,
+            # retry and the circuit breaker own dead links.
+            return False
+        now = self.engine.now
+        if self._throttle is not None and not self._throttle.exhausted:
+            factor = self._throttle.escalate()
+            decision = {
+                "action": "throttle",
+                "at_s": now,
+                "stage": self._throttle.stage,
+                "factor": factor,
+                "state": diagnosis.state.value,
+            }
+        elif (
+            not self._rescue_compression
+            and self.rescue_compression_ratio is not None
+        ):
+            self._rescue_compression = True
+            decision = {
+                "action": "compress",
+                "at_s": now,
+                "ratio": self.rescue_compression_ratio,
+                "state": diagnosis.state.value,
+            }
+        else:
+            return False
+        self._result.rescues.append(decision)
+        self._journal(checkpointer, "rescue", **decision)
+        probe = self.vm.probe
+        probe.count("supervisor.rescues", action=decision["action"])
+        probe.instant("rescue", now, track="supervisor", **decision)
+        if decision["action"] == "throttle":
+            probe.gauge("supervisor.throttle_factor", decision["factor"])
+        if self.vm.event_log is not None:
+            self.vm.event_log.log(
+                now, "supervisor", f"rescue: {decision['action']} "
+                f"({diagnosis.state.value})",
+            )
+        return True
 
     def _run_attempt(self, checkpointer, advance_while) -> None:
         """Run the live attempt to completion and digest its outcome."""
@@ -315,7 +484,7 @@ class MigrationSupervisor:
                 self,
                 lambda: not migrator.finished,
                 self._attempt_deadline,
-                self.attempt_timeout_s,
+                self._attempt_budget_s,
                 checkpointer,
             )
             record.aborted = migrator.aborted
@@ -331,6 +500,8 @@ class MigrationSupervisor:
             record.reason = "supervision timeout"
         finally:
             self.engine.remove(migrator)
+            if self._rescuer is not None:
+                self.engine.remove(self._rescuer)
         monitor = self._monitor
         diagnosis = (
             monitor.diagnosis
@@ -354,12 +525,24 @@ class MigrationSupervisor:
             attempt=self._attempt, engine=self._current,
             aborted=record.aborted, reason=record.reason,
         )
+        rescuer = self._rescuer
+        self._rescuer = None
+        if rescuer is not None and rescuer.decisions:
+            # Mid-flight ladder decisions become durable journal facts
+            # only now, but the controller itself rides in every
+            # checkpoint, so a crash mid-attempt replays them exactly.
+            for decision in rescuer.decisions:
+                result.rescues.append(decision)
+                self._journal(checkpointer, "rescue", **decision)
+            if any(d["action"] == "compress" for d in rescuer.decisions):
+                self._rescue_compression = True
 
         if not record.aborted:
             result.ok = True
             result.engine = self._current
             result.report = migrator.report
             result.migrator = migrator
+            self._breaker.record_success()
             self._state = "done"
             return
 
@@ -368,7 +551,29 @@ class MigrationSupervisor:
         result.report = migrator.report
         result.engine = self._current
         self._wait = self.backoff_s * (self.backoff_factor ** (self._attempt - 1))
-        if self._should_degrade(record, self._consecutive, self.degrade_after):
+        if self.backoff_jitter > 0.0:
+            self._wait *= 1.0 + self.backoff_jitter * self._rng.uniform(
+                "supervisor-backoff", 0.0, 1.0
+            )
+        abort_phase = record.report.abort_phase or record.reason
+        if self._breaker.record_abort(abort_phase):
+            probe.count("supervisor.breaker_trips")
+            probe.instant(
+                "breaker-tripped", self.engine.now, track="supervisor",
+                phase=abort_phase, streak=self._breaker.streak[1],
+            )
+            self._journal(
+                checkpointer, "breaker-tripped",
+                phase=abort_phase, streak=self._breaker.streak[1],
+            )
+            result.breaker_tripped = True
+            self._state = "done"
+            return
+        if self._attempt_rescue(checkpointer, record, diagnosis):
+            # The reshaped guest/wire gets its chance before the
+            # supervisor spends an assistance level.
+            pass
+        elif self._should_degrade(record, self._consecutive, self.degrade_after):
             degraded = self._next_engine(self._current)
             if degraded != self._current:
                 # The degrade decision cites the convergence verdict,
@@ -453,6 +658,11 @@ def supervised_migrate(
     link = link or Link()
     if warmup_s > 0:
         sim.run_until(warmup_s)
+    if hasattr(link, "install"):
+        # A WanLink brings its own driver actor (burst loss, weather);
+        # armed here so weather offsets count from the supervised
+        # migration's start, exactly like a fault plan's.
+        link.install(sim)
     injector = None
     if plan is not None:
         # Registered only now, after warm-up, so the plan's t=0 is the

@@ -18,6 +18,7 @@ side by side.  The benchmark suite (``benchmarks/``) and the CLI
 | table3    | Table 3 — settings of the Category-1 sweep            |
 | fig12     | Fig 12a-c — Young-generation size sweep               |
 | ablations | design-choice ablations (DESIGN.md §4)                |
+| wan       | WAN survival: rescue ladder vs fixed policy (§8)      |
 """
 
 from repro.experiments import (  # noqa: F401
@@ -34,6 +35,7 @@ from repro.experiments import (  # noqa: F401
     table1,
     table2,
     table3,
+    wan,
 )
 
 ALL_EXPERIMENTS = {
@@ -50,4 +52,5 @@ ALL_EXPERIMENTS = {
     "ablations": ablations,
     "scaleup": scaleup,
     "multiapp": multiapp,
+    "wan": wan,
 }

@@ -30,6 +30,12 @@ from repro.errors import FaultInjectionError
 class FaultKind(enum.Enum):
     """What breaks."""
 
+    def __repr__(self) -> str:
+        # ``FaultKind.LINK_DOWN`` instead of ``<FaultKind.LINK_DOWN:
+        # 'link-down'>`` so a FaultEvent/FaultPlan repr round-trips
+        # through eval (plans are quoted in checkpoint manifests).
+        return f"{type(self).__name__}.{self.name}"
+
     LINK_DOWN = "link-down"
     LINK_DEGRADE = "link-degrade"
     LINK_LOSS = "link-loss"
@@ -44,6 +50,13 @@ class FaultKind(enum.Enum):
 
 #: Kinds that require a ``value`` (bandwidth, loss rate, delay seconds).
 _VALUED = (FaultKind.LINK_DEGRADE, FaultKind.LINK_LOSS, FaultKind.NETLINK_DELAY)
+
+#: Clamp bounds for :meth:`FaultPlan.chaos` draws — safely inside each
+#: builder's validated range whatever the underlying distribution does.
+CHAOS_MIN_BANDWIDTH = 1.0
+CHAOS_MIN_LOSS_RATE = 0.01
+CHAOS_MAX_LOSS_RATE = 0.95
+CHAOS_MIN_DELAY_S = 1e-3
 #: Kinds that are one-way: there is nothing to revert when they end.
 _IRREVERSIBLE = (FaultKind.AGENT_CRASH, FaultKind.DEST_KILL)
 
@@ -247,33 +260,49 @@ class FaultPlan:
         Only recoverable kinds are drawn (outage, degrade, loss, netlink
         drop/delay/duplicate, agent/LKM hang) so a supervised migration
         always has a path to completion; the schedule is a pure function
-        of *seed*.
+        of *seed*.  Every drawn magnitude is clamped into its builder's
+        validated range, so a plan built from *any* seed constructs —
+        the draws approximate the ranges, the clamps guarantee them.
         """
         if horizon_s <= 0:
             raise FaultInjectionError("chaos needs a positive horizon")
         rng = np.random.default_rng(seed)
         plan = cls()
         for _ in range(n_events):
-            at = float(rng.uniform(0.0, horizon_s))
-            dur = float(rng.exponential(mean_duration_s)) + 0.01
+            at = float(np.clip(rng.uniform(0.0, horizon_s), 0.0, horizon_s))
+            dur = max(float(rng.exponential(mean_duration_s)) + 0.01, 0.01)
             kind = rng.integers(0, 8)
             if kind == 0:
                 plan.link_outage(at_s=at, duration_s=dur)
             elif kind == 1:
                 plan.link_degrade(
                     at_s=at,
-                    bandwidth_bytes_per_s=float(rng.uniform(5e6, 5e7)),
+                    bandwidth_bytes_per_s=float(
+                        np.clip(rng.uniform(5e6, 5e7), CHAOS_MIN_BANDWIDTH, None)
+                    ),
                     duration_s=dur,
                 )
             elif kind == 2:
                 plan.link_loss(
-                    at_s=at, loss_rate=float(rng.uniform(0.05, 0.5)), duration_s=dur
+                    at_s=at,
+                    loss_rate=float(
+                        np.clip(
+                            rng.uniform(0.05, 0.5),
+                            CHAOS_MIN_LOSS_RATE,
+                            CHAOS_MAX_LOSS_RATE,
+                        )
+                    ),
+                    duration_s=dur,
                 )
             elif kind == 3:
                 plan.netlink_drop(at_s=at, duration_s=dur)
             elif kind == 4:
                 plan.netlink_delay(
-                    at_s=at, delay_s=float(rng.uniform(0.01, 0.2)), duration_s=dur
+                    at_s=at,
+                    delay_s=float(
+                        np.clip(rng.uniform(0.01, 0.2), CHAOS_MIN_DELAY_S, None)
+                    ),
+                    duration_s=dur,
                 )
             elif kind == 5:
                 plan.netlink_duplicate(at_s=at, duration_s=dur)
@@ -283,5 +312,14 @@ class FaultPlan:
                 plan.lkm_hang(at_s=at, duration_s=dur)
         return plan
 
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"FaultPlan({len(self.events)} events)"
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return self.events == other.events
+
+    def __repr__(self) -> str:
+        # Round-trips: ``eval(repr(plan))`` rebuilds an equal plan given
+        # FaultPlan/FaultEvent/FaultKind in the namespace.  Checkpoint
+        # manifests fingerprint plans through this repr, so it must
+        # carry the full schedule, not just a count.
+        return f"FaultPlan({self.events!r})"

@@ -12,5 +12,14 @@ from repro.guest.kernel import GuestKernel
 from repro.guest.lkm import AssistLKM, LkmState
 from repro.guest.netlink import NetlinkBus
 from repro.guest.process import Process
+from repro.guest.throttle import DEFAULT_THROTTLE_STAGES, GuestThrottle
 
-__all__ = ["AssistLKM", "GuestKernel", "LkmState", "NetlinkBus", "Process"]
+__all__ = [
+    "AssistLKM",
+    "DEFAULT_THROTTLE_STAGES",
+    "GuestKernel",
+    "GuestThrottle",
+    "LkmState",
+    "NetlinkBus",
+    "Process",
+]

@@ -1,0 +1,92 @@
+"""Auto-converge guest throttling (libvirt-style).
+
+When a pre-copy migration cannot keep up with the guest's dirtying
+rate, hypervisors fall back to *auto-converge*: progressively capping
+the guest's CPU so it dirties memory slower than the link can carry it
+(libvirt's ``VIR_MIGRATE_AUTO_CONVERGE``; QEMU throttles in staged
+increments).  The simulated equivalent caps the three
+:class:`~repro.jvm.hotspot.HotSpotJVM` activity rates — allocation,
+old-gen writes, operations — which is exactly what drives the
+dirty-page rate in this model.
+
+The throttle is *staged*: each :meth:`escalate` applies the next,
+harsher factor to the rates saved at first engagement, so stages
+compose absolutely (stage 2 is 45 % of the original, not 45 % of
+stage 1).  :meth:`release` restores the saved baseline, leaving the
+guest exactly as found — the supervisor releases at supervision end
+whether the migration succeeded or the attempt budget ran out.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: Default escalation ladder: fraction of baseline guest speed kept at
+#: each stage (QEMU's cpu-throttle-initial/increment walk a similar
+#: sequence from the other direction).
+DEFAULT_THROTTLE_STAGES = (0.70, 0.45, 0.25)
+
+
+class GuestThrottle:
+    """Staged CPU throttle over a guest JVM's activity rates."""
+
+    def __init__(self, jvm, stages=DEFAULT_THROTTLE_STAGES) -> None:
+        stages = tuple(float(s) for s in stages)
+        if not stages:
+            raise ConfigurationError("throttle needs at least one stage")
+        for s in stages:
+            if not 0.0 < s < 1.0:
+                raise ConfigurationError("throttle stages must be in (0, 1)")
+        if list(stages) != sorted(stages, reverse=True):
+            raise ConfigurationError("throttle stages must be decreasing")
+        self.jvm = jvm
+        self.stages = stages
+        #: 0 = unthrottled; k = ``stages[k-1]`` currently applied
+        self.stage = 0
+        self._baseline: tuple[float, float, float] | None = None
+
+    @property
+    def factor(self) -> float:
+        """Fraction of baseline guest speed currently allowed."""
+        return 1.0 if self.stage == 0 else self.stages[self.stage - 1]
+
+    @property
+    def engaged(self) -> bool:
+        return self.stage > 0
+
+    @property
+    def exhausted(self) -> bool:
+        """No harsher stage is left."""
+        return self.stage >= len(self.stages)
+
+    def escalate(self) -> float | None:
+        """Apply the next stage; returns its factor, or None if spent."""
+        if self.exhausted:
+            return None
+        if self._baseline is None:
+            jvm = self.jvm
+            self._baseline = (
+                jvm.alloc_bytes_per_s,
+                jvm.old_write_bytes_per_s,
+                jvm.ops_per_s,
+            )
+        self.stage += 1
+        factor = self.stages[self.stage - 1]
+        alloc, old, ops = self._baseline
+        self.jvm.alloc_bytes_per_s = alloc * factor
+        self.jvm.old_write_bytes_per_s = old * factor
+        self.jvm.ops_per_s = ops * factor
+        return factor
+
+    def release(self) -> None:
+        """Restore the guest's saved baseline rates (idempotent)."""
+        if self._baseline is not None:
+            alloc, old, ops = self._baseline
+            self.jvm.alloc_bytes_per_s = alloc
+            self.jvm.old_write_bytes_per_s = old
+            self.jvm.ops_per_s = ops
+            self._baseline = None
+        self.stage = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"GuestThrottle(stage={self.stage}/{len(self.stages)})"

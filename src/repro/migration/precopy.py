@@ -47,6 +47,11 @@ CPU_S_PER_PAGE_SCANNED = 2.0e-7
 #: our measurements", Section 5.3).
 DEFAULT_RESUME_DELAY_S = 0.17
 
+#: Daemon CPU per byte run through the rescue wire compressor when a
+#: supervisor enables :attr:`PrecopyMigrator.wire_compression` —
+#: deliberately the same price the compression baseline pays.
+CPU_S_PER_BYTE_RESCUE_COMPRESSED = 12.0 / GIB
+
 _CHUNK = 16384  # pages examined per vectorized batch
 
 
@@ -66,7 +71,7 @@ class PrecopyMigrator(Actor):
     priority = 10
     #: checkpoint-protocol layout version (see repro.sim.actor);
     #: bump when a state field is added/renamed/repurposed
-    snapshot_version = 1
+    snapshot_version = 2  # v2: wire_compression rescue fields
     name = "xen-precopy"
 
     def __init__(
@@ -82,6 +87,8 @@ class PrecopyMigrator(Actor):
         dest_host: "Hypervisor | None" = None,
         stall_timeout_s: float | None = None,
         phase_timeouts: "dict[str, float] | None" = None,
+        wire_compression: float | None = None,
+        wire_compression_cpu_s_per_byte: float = CPU_S_PER_BYTE_RESCUE_COMPRESSED,
     ) -> None:
         self.domain = domain
         self.link = link
@@ -103,6 +110,17 @@ class PrecopyMigrator(Actor):
         #: iterations keep sending dirty pages, so wire-progress
         #: monitoring alone cannot catch it; the phase deadline can.
         self.phase_timeouts = dict(phase_timeouts) if phase_timeouts else {}
+        #: Rescue wire compression: when a supervisor sets this to a
+        #: payload ratio in (0, 1], every page costs that fraction of
+        #: its bytes on the wire and pays compressor CPU — the
+        #: trade-a-core-for-bytes escalation of the rescue ladder.  May
+        #: be flipped on mid-flight; ``None`` sends raw pages.
+        #: Subclasses with their own payload model (the compression
+        #: baselines) override the payload hooks and ignore it.
+        if wire_compression is not None and not 0.0 < wire_compression <= 1.0:
+            raise MigrationError("wire_compression ratio must be in (0, 1]")
+        self.wire_compression = wire_compression
+        self.wire_compression_cpu_s_per_byte = wire_compression_cpu_s_per_byte
 
         self.phase = MigrationPhase.IDLE
         self.dest_domain: Domain | None = None
@@ -156,6 +174,13 @@ class PrecopyMigrator(Actor):
         self.source_versions_at_start = self.domain.pages.snapshot()
         self.domain.dirty_log.enable()
         self.link.register_consumer(self)
+        # Latency-bound floors (zero on a plain LAN link): each
+        # iteration's dirty-bitmap sync crosses the reverse path, and
+        # the final device handover pays one more control round-trip.
+        bitmap_floor = self.link.iteration_floor_s(max(1, self.domain.n_pages // 8))
+        if bitmap_floor > self.min_iteration_s:
+            self.min_iteration_s = bitmap_floor
+        self.resume_delay_s += self.link.control_rtt_s
         self._last_progress_at = now
         self._phase_entered_at = now
         self.report.started_s = now
@@ -220,16 +245,33 @@ class PrecopyMigrator(Actor):
         # Feed the analysis pipeline the partial in-flight iteration: a
         # stall (e.g. a severed link) never *completes* an iteration, so
         # without this the monitor would starve and diagnose nothing.
+        # Only stalled or first-ever partials are fed — a *healthy*
+        # partial iteration systematically undercounts the dirty set
+        # (most of it was just drained mid-round) and would flip a solid
+        # DIVERGING verdict to CONVERGING at the exact moment the
+        # supervisor reads it.
         iterating = self.phase in (
             MigrationPhase.ITERATING,
             MigrationPhase.WAITING_APPS,
             MigrationPhase.LAST_COPY,
         )
         if iterating and now > self._iter_start:
-            dirt_events = (
-                self.domain.pages.total_dirty_events() - self._iter_dirty_events_base
+            eff_bw = self._iter_wire / (now - self._iter_start)
+            threshold = (
+                self.monitor.stall_bandwidth_bytes_s
+                if self.monitor is not None
+                else 1024.0
             )
-            self._observe_iteration(now, dirt_events, is_last=False)
+            starving = (
+                self.monitor is not None
+                and self.monitor.diagnosis.n_iterations == 0
+            )
+            if eff_bw <= threshold or starving:
+                dirt_events = (
+                    self.domain.pages.total_dirty_events()
+                    - self._iter_dirty_events_base
+                )
+                self._observe_iteration(now, dirt_events, is_last=False)
         self.probe.count("migration.aborts", engine=self.name)
         self.probe.instant(
             "abort", now, track=self._track, reason=reason, phase=self.phase.value
@@ -349,7 +391,10 @@ class PrecopyMigrator(Actor):
 
     def _cpu_cost_sent(self, n_pages: int) -> float:
         """Daemon CPU seconds to prepare and push *n_pages*."""
-        return n_pages * PAGE_SIZE * CPU_S_PER_BYTE_SENT
+        cost = n_pages * PAGE_SIZE * CPU_S_PER_BYTE_SENT
+        if self.wire_compression is not None:
+            cost += n_pages * PAGE_SIZE * self.wire_compression_cpu_s_per_byte
+        return cost
 
     def _transfer_allowed(self, pfns: np.ndarray) -> np.ndarray:
         """Boolean mask of pages the daemon may transfer (all, here)."""
@@ -418,6 +463,8 @@ class PrecopyMigrator(Actor):
 
     def _page_payload_bytes(self) -> int:
         """Payload bytes one page costs (compression baselines override)."""
+        if self.wire_compression is not None:
+            return max(1, int(PAGE_SIZE * self.wire_compression))
         return PAGE_SIZE
 
     def _page_wire_cost(self) -> float:

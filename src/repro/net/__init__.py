@@ -2,5 +2,14 @@
 
 from repro.net.link import Link
 from repro.net.meter import TrafficMeter
+from repro.net.wan import WAN_PROFILES, WanDriver, WanLink, WeatherEvent, wan_link
 
-__all__ = ["Link", "TrafficMeter"]
+__all__ = [
+    "Link",
+    "TrafficMeter",
+    "WAN_PROFILES",
+    "WanDriver",
+    "WanLink",
+    "WeatherEvent",
+    "wan_link",
+]

@@ -60,6 +60,9 @@ class Link:
         self.meter = TrafficMeter()
         self._consumers: set[object] = set()
         self._severed = False
+        #: bandwidth staged by a reconfiguration that arrived mid-outage;
+        #: applied when :meth:`restore` brings the link back up.
+        self._pending_bandwidth: float | None = None
         self.loss_rate = 0.0
         #: wire bytes spent re-carrying lost data (goodput accounting)
         self.retransmit_wire_bytes = 0
@@ -70,11 +73,19 @@ class Link:
         """Change the raw link speed mid-flight (congestion, failover).
 
         Takes effect from the next simulation step; in-flight byte
-        budgets are unaffected.
+        budgets are unaffected.  While the link is severed the new speed
+        is staged, not applied: a severed link has no negotiated rate, so
+        the reconfiguration takes effect when :meth:`restore` brings the
+        link back up (previously it leaked straight into ``bandwidth``
+        and ``restore()`` silently resurrected the mid-outage value).
         """
         if bandwidth_bytes_per_s <= 0:
             raise ConfigurationError("link bandwidth must be positive")
-        self.bandwidth = float(bandwidth_bytes_per_s) * self._efficiency
+        effective = float(bandwidth_bytes_per_s) * self._efficiency
+        if self._severed:
+            self._pending_bandwidth = effective
+        else:
+            self.bandwidth = effective
 
     # -- fault surface (repro.faults) --------------------------------------------------
 
@@ -87,8 +98,15 @@ class Link:
         self._severed = True
 
     def restore(self) -> None:
-        """Bring a severed link back up at its configured bandwidth."""
+        """Bring a severed link back up at its configured bandwidth.
+
+        A reconfiguration staged during the outage (see
+        :meth:`set_bandwidth`) is applied now.
+        """
         self._severed = False
+        if self._pending_bandwidth is not None:
+            self.bandwidth = self._pending_bandwidth
+            self._pending_bandwidth = None
 
     def set_loss_rate(self, loss_rate: float) -> None:
         """Set the packet-loss probability (0 disables the loss model)."""
@@ -102,6 +120,29 @@ class Link:
         if self._severed:
             return 0.0
         return self.bandwidth * (1.0 - self.loss_rate)
+
+    # -- latency surface (overridden by repro.net.wan.WanLink) -------------------------
+
+    @property
+    def control_rtt_s(self) -> float:
+        """Round-trip time a control exchange pays.  LAN: negligible."""
+        return 0.0
+
+    def iteration_floor_s(self, bitmap_bytes: int) -> float:
+        """Latency floor one pre-copy iteration pays regardless of pages.
+
+        A LAN link adds nothing; a WAN link charges the dirty-bitmap
+        sync round-trip (RTT plus the bitmap crossing the reverse path).
+        """
+        return 0.0
+
+    def watchdog_scale(self) -> tuple[float, float]:
+        """``(scale, grace_s)`` for watchdog/backoff timeouts.
+
+        Timeouts tuned for a healthy gigabit LAN fire spuriously on a
+        slow, high-RTT link.  A plain link keeps them untouched.
+        """
+        return (1.0, 0.0)
 
     # -- fair sharing (gang migration) -----------------------------------------------
 

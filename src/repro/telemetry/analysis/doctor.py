@@ -9,6 +9,12 @@ names a reader can chase back into the export or a Perfetto view.
 
 Rule catalogue (see ``docs/OBSERVABILITY.md`` for the full table):
 
+- ``throttle-rescue`` — the supervisor's adaptive rescue ladder fired
+  (guest throttling and/or wire compression); names every rung applied
+  and ranks first among criticals so a rescued run leads with *how* it
+  was rescued;
+- ``wan-loss-burst`` — the WAN link's Gilbert–Elliott chain entered
+  its bursty-loss state during the migration;
 - ``convergence`` — replays the same
   :class:`~repro.telemetry.analysis.convergence.ConvergenceMonitor`
   the supervisor runs online over the exported per-iteration series,
@@ -209,6 +215,91 @@ def _iteration_span_ids(dump: TelemetryDump, limit: int = 6) -> tuple[str, ...]:
 
 
 # -- rules -------------------------------------------------------------------------------
+
+
+def rule_throttle_rescue(dump: TelemetryDump, thresholds: dict) -> list[Finding]:
+    """Name every rescue-ladder rung the supervisor applied.
+
+    Rescue instants are emitted both mid-flight (the
+    :class:`~repro.core.rescue.RescueController`) and between attempts;
+    a run that needed rescuing should lead with how it was rescued, so
+    this rule is first in the catalogue and critical — the stable
+    severity sort then puts it at the top of the report.
+    """
+    rescues = sorted(
+        (i for i in dump.instants if i["name"] == "rescue"),
+        key=lambda i: i["time_s"],
+    )
+    if not rescues:
+        return []
+    parts = []
+    deepest_factor = None
+    compressed = None
+    for inst in rescues:
+        args = inst.get("args", {})
+        if args.get("action") == "throttle":
+            deepest_factor = args.get("factor")
+            parts.append(
+                f"throttle stage {args.get('stage')} "
+                f"(x{float(args.get('factor', 0.0)):.2f})"
+            )
+        elif args.get("action") == "compress":
+            compressed = args.get("ratio")
+            parts.append(f"wire compression (ratio {float(compressed):.2f})")
+    summary = []
+    if deepest_factor is not None:
+        summary.append(f"guest throttled to x{float(deepest_factor):.2f}")
+    if compressed is not None:
+        summary.append(f"pages compressed to {float(compressed):.0%}")
+    evidence = tuple(
+        f"instant:rescue@{i['time_s']:.3f}" for i in rescues[:6]
+    ) + ("metric:supervisor.rescues",)
+    return [
+        Finding(
+            rule="throttle-rescue",
+            severity="critical",
+            title=(
+                f"rescue ladder applied: {', '.join(summary) or 'rescued'}"
+            ),
+            detail=" -> ".join(parts),
+            evidence=evidence,
+        )
+    ]
+
+
+def rule_wan_loss_burst(dump: TelemetryDump, thresholds: dict) -> list[Finding]:
+    bursts = [i for i in dump.instants if i["name"] == "wan-burst"]
+    if not bursts:
+        return []
+    peak_loss = max(
+        float(i.get("args", {}).get("loss_rate", 0.0)) for i in bursts
+    )
+    _, fractions = _series(dump, "migration.retransmit_fraction")
+    peak_retrans = max(fractions, default=0.0)
+    detail = (
+        f"burst loss peaked at {peak_loss:.0%}; retransmissions peaked at "
+        f"{peak_retrans:.0%} of an iteration's wire bytes"
+        if fractions
+        else f"burst loss peaked at {peak_loss:.0%}"
+    )
+    return [
+        Finding(
+            rule="wan-loss-burst",
+            severity="warning",
+            title=(
+                f"WAN link entered its bursty-loss state "
+                f"{len(bursts)} time(s) during transfer"
+            ),
+            detail=detail,
+            evidence=tuple(
+                f"instant:wan-burst@{i['time_s']:.3f}" for i in bursts[:6]
+            ) + (
+                "series:net.loss_rate",
+                "series:migration.retransmit_fraction",
+                "metric:net.loss_bursts",
+            ),
+        )
+    ]
 
 
 #: worse states sort first; CONVERGING/UNKNOWN never produce a finding
@@ -510,6 +601,8 @@ def rule_resumed_run(dump: TelemetryDump, thresholds: dict) -> list[Finding]:
 
 
 DEFAULT_RULES = (
+    rule_throttle_rescue,
+    rule_wan_loss_burst,
     rule_convergence,
     rule_dirty_vs_bandwidth,
     rule_skip_collapse,

@@ -239,3 +239,52 @@ def test_sigkill_crash_resume_digest(tmp_path, kernel):
          "--json", "--digest"]
     )
     assert resumed == expected
+
+
+# -- WAN link + rescue ladder under chaos restart --------------------------------------
+
+_WAN_CORE = [("continental", "fixed")]
+_WAN_EXTRA = [("continental", "event"), ("metro", "fixed"), ("metro", "event")]
+_WAN_MATRIX = _WAN_CORE + [
+    pytest.param(*combo, marks=pytest.mark.skipif(
+        not FULL, reason="full chaos matrix needs REPRO_CHAOS_FULL=1"))
+    for combo in _WAN_EXTRA
+]
+
+
+@pytest.mark.parametrize("profile,kernel", _WAN_MATRIX)
+def test_wan_rescue_crash_resume_equivalence(tmp_path, monkeypatch,
+                                             profile, kernel):
+    """Crash-resume with the whole WAN stack in the actor graph: the
+    Gilbert–Elliott loss chain, the weather driver, the rescue
+    controller and the supervisor's rescue state must all ride the
+    checkpoint and replay bit-identically."""
+    from repro.net import wan_link
+
+    monkeypatch.setenv(KERNEL_ENV_VAR, kernel)
+    plan = FaultPlan().link_flap(at_s=1.0, down_s=2.5, count=3, spacing_s=6.0)
+    kwargs = dict(
+        workload="derby", warmup_s=4.0, seed=11,
+        vm_kwargs=dict(VM_KWARGS), max_attempts=3, backoff_s=0.5,
+    )
+    baseline, vm_b = supervised_migrate(
+        link=wan_link(profile, seed=11), plan=plan, **kwargs
+    )
+    assert baseline.ok  # the ladder rides the outages out
+    expected = _fingerprint(vm_b, baseline.report)
+
+    crash_at = _crash_tick(f"wan-{profile}-{kernel}", 1400, 900)
+    cfg = CheckpointConfig(directory=str(tmp_path), every_s=0.5,
+                           crash_at_tick=crash_at, max_overhead=None)
+    with pytest.raises(SimulatedCrash):
+        supervised_migrate(
+            link=wan_link(profile, seed=11), plan=plan, checkpoint=cfg, **kwargs
+        )
+
+    resumed = resume(str(tmp_path))
+    sup = resumed.controller
+    outcome = sup.run(resumed.checkpointer(every_s=0.5, max_overhead=None))
+    assert outcome.ok == baseline.ok
+    assert outcome.rescues == baseline.rescues
+    assert outcome.n_attempts == baseline.n_attempts
+    _assert_identical(expected, _fingerprint(sup.vm, outcome.report))

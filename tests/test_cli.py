@@ -77,6 +77,7 @@ def test_experiment_registry_complete():
     expected = {
         "fig01", "fig05", "fig08", "fig09", "fig10", "fig11", "fig12",
         "table1", "table2", "table3", "ablations", "scaleup", "multiapp",
+        "wan",
     }
     assert set(ALL_EXPERIMENTS) == expected
     for module in ALL_EXPERIMENTS.values():

@@ -329,3 +329,69 @@ def test_supervised_runs_are_bit_identical(engine_name, with_faults, monkeypatch
     assert (fixed.report is None) == (event.report is None)
     if fixed.report is not None:
         assert fixed.report.to_dict() == event.report.to_dict()
+
+
+# -- WAN equivalence ----------------------------------------------------------------------
+
+
+def _run_wan(kernel: str, profile: str, seed: int, monkeypatch):
+    from repro.net import wan_link
+
+    monkeypatch.setenv(KERNEL_ENV_VAR, kernel)
+    result, vm = supervised_migrate(
+        workload="derby",
+        link=wan_link(profile, seed=seed),
+        seed=seed,
+        vm_kwargs={"mem_bytes": MiB(512), "max_young_bytes": MiB(128)},
+    )
+    all_pfns = np.arange(vm.domain.n_pages, dtype=np.int64)
+    return result, vm.domain.read_pages(all_pfns), vm.analyzer.samples
+
+
+@pytest.mark.parametrize("profile", ["metro", "continental"])
+def test_wan_profile_runs_are_bit_identical(profile, monkeypatch):
+    """Gilbert–Elliott burst loss, weather shifts and the rescue ladder
+    must all replay identically under the leaping kernel: the loss
+    chain freezes while the link is idle and draws per-tick while a
+    migration holds it, in both kernels."""
+    f_result, f_pages, f_samples = _run_wan("fixed", profile, 20150421, monkeypatch)
+    e_result, e_pages, e_samples = _run_wan("event", profile, 20150421, monkeypatch)
+    assert f_result.ok == e_result.ok
+    assert f_result.n_attempts == e_result.n_attempts
+    assert f_result.rescues == e_result.rescues
+    assert f_result.breaker_tripped == e_result.breaker_tripped
+    assert (f_result.report is None) == (e_result.report is None)
+    if f_result.report is not None:
+        assert f_result.report.to_dict() == e_result.report.to_dict()
+    assert np.array_equal(f_pages, e_pages)
+    assert f_samples == e_samples
+
+
+def test_wan_outage_rescue_run_is_bit_identical(monkeypatch):
+    """Outage plan + WAN link + rescue ladder, fixed vs event."""
+    from repro.net import wan_link
+
+    def run(kernel: str):
+        monkeypatch.setenv(KERNEL_ENV_VAR, kernel)
+        plan = FaultPlan().link_flap(at_s=1.0, down_s=2.5, count=3, spacing_s=6.0)
+        result, vm = supervised_migrate(
+            workload="derby",
+            link=wan_link("continental"),
+            plan=plan,
+            vm_kwargs={"mem_bytes": MiB(512), "max_young_bytes": MiB(128)},
+        )
+        return result
+
+    fixed = run("fixed")
+    event = run("event")
+    assert fixed.ok == event.ok
+    assert fixed.rescues == event.rescues
+    assert [
+        (a.attempt, a.engine, a.aborted, a.reason, a.waited_before_s)
+        for a in fixed.attempts
+    ] == [
+        (a.attempt, a.engine, a.aborted, a.reason, a.waited_before_s)
+        for a in event.attempts
+    ]
+    if fixed.report is not None:
+        assert fixed.report.to_dict() == event.report.to_dict()

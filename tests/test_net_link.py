@@ -102,3 +102,39 @@ def test_meter_stale_mark_after_reset_raises():
     meter.mark("m")  # re-marking after reset is fine
     meter.add(2, 20, 24)
     assert meter.since("m") == (2, 20, 24)
+
+
+def test_reconfigure_during_sever_is_deferred_to_restore():
+    """A set_bandwidth() that lands mid-outage must not leak into the
+    live bandwidth, and restore() must come back at the *new* speed —
+    previously the mid-outage value was applied immediately and then
+    silently resurrected by restore()."""
+    link = Link(bandwidth_bytes_per_s=1000, efficiency=1.0, page_overhead_bytes=0)
+    link.sever()
+    assert link.goodput == 0.0
+    link.set_bandwidth(500)
+    assert link.bandwidth == pytest.approx(1000)  # staged, not applied
+    assert link.goodput == 0.0
+    link.restore()
+    assert link.bandwidth == pytest.approx(500)
+    assert link.goodput == pytest.approx(500)
+
+
+def test_restore_without_pending_reconfigure_keeps_bandwidth():
+    link = Link(bandwidth_bytes_per_s=1000, efficiency=1.0, page_overhead_bytes=0)
+    link.sever()
+    link.restore()
+    assert link.bandwidth == pytest.approx(1000)
+
+
+def test_reconfigure_while_up_applies_immediately():
+    link = Link(bandwidth_bytes_per_s=1000, efficiency=0.5, page_overhead_bytes=0)
+    link.set_bandwidth(600)
+    assert link.bandwidth == pytest.approx(300)  # efficiency still applies
+
+
+def test_plain_link_latency_surface_is_neutral():
+    link = Link()
+    assert link.control_rtt_s == 0.0
+    assert link.iteration_floor_s(1 << 20) == 0.0
+    assert link.watchdog_scale() == (1.0, 0.0)

@@ -132,3 +132,63 @@ def test_link_flap_during_stop_and_copy_keeps_occupied_from_pages(
     assert migrator.report.violating_pages == 0
     got = migrator.dest_domain.pages.snapshot()[pfns]
     assert np.array_equal(got, frozen)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    horizon_s=st.floats(0.5, 120.0),
+    n_events=st.integers(1, 12),
+    mean_duration_s=st.floats(0.01, 5.0),
+)
+def test_chaos_plan_constructs_and_is_clamped_for_any_seed(
+    seed, horizon_s, n_events, mean_duration_s
+):
+    """chaos() must be total over its seed space: every drawn magnitude
+    lands inside its builder's validated range (the clamps are the
+    guarantee; the draws only approximate it)."""
+    from repro.faults.plan import (
+        CHAOS_MAX_LOSS_RATE,
+        CHAOS_MIN_LOSS_RATE,
+        FaultKind,
+    )
+
+    plan = FaultPlan.chaos(
+        seed, horizon_s, n_events=n_events, mean_duration_s=mean_duration_s
+    )
+    assert len(plan) == n_events
+    for event in plan:
+        assert 0.0 <= event.at_s <= horizon_s
+        assert event.duration_s is not None and event.duration_s > 0
+        if event.kind is FaultKind.LINK_DEGRADE:
+            assert event.value > 0
+        elif event.kind is FaultKind.LINK_LOSS:
+            assert CHAOS_MIN_LOSS_RATE <= event.value <= CHAOS_MAX_LOSS_RATE
+            assert 0.0 < event.value < 1.0
+        elif event.kind is FaultKind.NETLINK_DELAY:
+            assert event.value > 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), n_events=st.integers(1, 8))
+def test_chaos_plan_is_a_pure_function_of_its_seed(seed, n_events):
+    a = FaultPlan.chaos(seed, 30.0, n_events=n_events)
+    b = FaultPlan.chaos(seed, 30.0, n_events=n_events)
+    assert a == b
+    assert repr(a) == repr(b)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), n_events=st.integers(0, 8))
+def test_chaos_plan_repr_round_trips_through_eval(seed, n_events):
+    """Checkpoint manifests fingerprint plans via repr: it must carry
+    the full schedule and rebuild an equal plan."""
+    from repro.faults.plan import FaultEvent, FaultKind
+
+    plan = FaultPlan.chaos(seed, 45.0, n_events=n_events)
+    rebuilt = eval(
+        repr(plan),
+        {"FaultPlan": FaultPlan, "FaultEvent": FaultEvent, "FaultKind": FaultKind},
+    )
+    assert rebuilt == plan
+    assert repr(rebuilt) == repr(plan)
