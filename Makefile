@@ -22,6 +22,7 @@ bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr5_kernel.py
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr6_checkpoint.py
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr7_wan.py
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr8_attribution.py
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 # Bench-regression gate (mirrors the CI bench-regression job):
@@ -33,10 +34,13 @@ bench:
 # bit-identical to a plain one), and the PR7 WAN bench (fails unless
 # the rescue ladder completes 100% of the migrations the fixed LAN
 # policy aborts across the workload x WAN-profile matrix, with kernel
-# bit-identity, crash/resume equivalence and doctor attribution),
-# then diff their deterministic simulated measures (downtime, total
-# time, wire bytes) against the checked-in baselines with
-# `repro compare` — >5% growth on any gated measure fails.
+# bit-identity, crash/resume equivalence and doctor attribution), and
+# the PR8 attribution bench (fails when building and auditing the
+# conservation-checked ledgers costs >5% of wall time, or when any
+# invariant is violated), then diff their deterministic simulated
+# measures (downtime, total time, wire bytes, retransmitted bytes)
+# against the checked-in baselines with `repro compare` — >5% growth
+# on any gated measure fails.
 check-bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr4_analysis.py /tmp/BENCH_PR4_candidate.json
 	PYTHONPATH=src $(PYTHON) -m repro.cli compare BENCH_PR4.json /tmp/BENCH_PR4_candidate.json
@@ -47,6 +51,8 @@ check-bench:
 	PYTHONPATH=src $(PYTHON) -m repro.cli compare BENCH_PR6.json /tmp/BENCH_PR6_candidate.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr7_wan.py /tmp/BENCH_PR7_candidate.json
 	PYTHONPATH=src $(PYTHON) -m repro.cli compare BENCH_PR7.json /tmp/BENCH_PR7_candidate.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr8_attribution.py /tmp/BENCH_PR8_candidate.json
+	PYTHONPATH=src $(PYTHON) -m repro.cli compare BENCH_PR8.json /tmp/BENCH_PR8_candidate.json
 
 figures:
 	$(PYTHON) -m repro.cli all

@@ -1,0 +1,158 @@
+"""Attribution-layer overhead benchmark (PR 8 acceptance gate).
+
+Runs the telemetry sweep — each workload migrated with ``xen`` and with
+``javmm`` under the :class:`MigrationSupervisor`, probe live — twice:
+
+- **telemetry** — spans, metrics, series samples (the PR 4 baseline
+  configuration);
+- **attribution** — the same sweep, then every attempt's report fed
+  through :func:`attribute_report`, the conservation audit
+  (:func:`assert_conserved`), the link-meter reconciliation
+  (:func:`audit_meter`) and the attribution-carrying JSONL export.
+
+The gated number is **attribution vs telemetry**: accounting for every
+millisecond and wire byte of an already-instrumented migration must
+cost < 5 % wall time.  The ledger work is O(iterations + categories)
+per report, so the expected overhead is noise.
+
+The payload also carries ``conservation_ok`` per run (every invariant
+must hold — the gate fails on any violation, not just on wall time)
+and the simulated measures ``make check-bench`` diffs against the
+checked-in baseline with ``repro compare``: ``retransmit_wire_bytes``
+and ``saved_bytes`` ride along so assist-savings drift is caught too.
+
+Plain script on purpose (no pytest-benchmark dependency)::
+
+    PYTHONPATH=src python benchmarks/bench_pr8_attribution.py [OUT.json]
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.supervisor import supervised_migrate
+from repro.net.link import Link
+from repro.telemetry.attribution import assert_conserved, audit_meter
+from repro.telemetry.export import write_jsonl
+from repro.units import MiB
+
+WORKLOADS = ("derby", "crypto", "scimark")
+ENGINES = ("xen", "javmm")
+#: sweep repetitions; the median wall time absorbs scheduler noise
+ROUNDS = 5
+
+
+def _sweep(attribution: bool, export_dir: Path) -> tuple[float, list[dict]]:
+    """One full sweep; returns (total wall seconds, per-run details)."""
+    details = []
+    total = 0.0
+    for workload in WORKLOADS:
+        for engine in ENGINES:
+            link = Link()
+            t0 = time.perf_counter()
+            result, vm = supervised_migrate(
+                workload=workload,
+                engine_name=engine,
+                link=link,
+                vm_kwargs={
+                    "mem_bytes": MiB(512),
+                    "max_young_bytes": MiB(128),
+                },
+                telemetry=True,
+            )
+            conserved = True
+            if attribution:
+                # The gated extra work: ledger + audit + reconciliation
+                # + the attribution-carrying export.
+                ledgers = []
+                for rec in result.attempts:
+                    if rec.report is None:
+                        continue
+                    led = assert_conserved(rec.report)
+                    conserved = conserved and not led.violations
+                    ledgers.append(led.to_dict())
+                conserved = conserved and not audit_meter(
+                    link.meter,
+                    [rec.report for rec in result.attempts if rec.report],
+                )
+                write_jsonl(
+                    export_dir / f"{workload}-{engine}.jsonl",
+                    probe=vm.probe,
+                    attributions=ledgers,
+                )
+            elapsed = time.perf_counter() - t0
+            total += elapsed
+            assert result.ok, (workload, engine)
+            report = result.report
+            row = {
+                "workload": workload,
+                "engine": engine,
+                "wall_s": round(elapsed, 4),
+                "migration_total_s": round(report.completion_time_s, 4),
+                "downtime_s": round(report.downtime.vm_downtime_s, 5),
+                "wire_bytes": report.total_wire_bytes,
+                "retransmit_wire_bytes": report.wire_by_category.get("loss_retx", 0),
+                "saved_bytes": sum(report.saved_by_category.values()),
+            }
+            if attribution:
+                # Distinguishes this row's comparator key from the
+                # telemetry-only sweep.
+                row["attribution"] = True
+                row["conservation_ok"] = conserved
+            details.append(row)
+    return total, details
+
+
+def main(out_path: "str | None" = None) -> int:
+    telemetry: list[float] = []
+    attribution: list[float] = []
+    details: list[dict] = []
+    with tempfile.TemporaryDirectory(prefix="bench-pr8-") as tmp:
+        # One discarded warm-up sweep: the first round otherwise pays
+        # interpreter/caching costs that read as (fake) overhead.
+        _sweep(attribution=False, export_dir=Path(tmp))
+        for _ in range(ROUNDS):
+            for rounds, attr in ((telemetry, False), (attribution, True)):
+                total, rows = _sweep(attribution=attr, export_dir=Path(tmp))
+                rounds.append(total)
+                details.extend(rows)
+
+    telemetry_s = statistics.median(telemetry)
+    attribution_s = statistics.median(attribution)
+    overhead_pct = 100.0 * (attribution_s - telemetry_s) / telemetry_s
+    conservation_ok = all(
+        row["conservation_ok"] for row in details if "conservation_ok" in row
+    )
+    payload = {
+        "benchmark": "pr8-attribution-overhead",
+        "sweep": {"workloads": WORKLOADS, "engines": ENGINES, "rounds": ROUNDS},
+        "telemetry_s": round(telemetry_s, 4),
+        "attribution_s": round(attribution_s, 4),
+        "attribution_overhead_pct": round(overhead_pct, 2),
+        "conservation_ok": conservation_ok,
+        "telemetry_rounds_s": [round(x, 4) for x in telemetry],
+        "attribution_rounds_s": [round(x, 4) for x in attribution],
+        "runs": details,
+    }
+    out = (
+        Path(out_path)
+        if out_path
+        else Path(__file__).resolve().parent.parent / "BENCH_PR8.json"
+    )
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"telemetry {telemetry_s:.2f}s, attribution {attribution_s:.2f}s "
+        f"-> overhead {overhead_pct:+.1f}%, conservation "
+        f"{'OK' if conservation_ok else 'VIOLATED'} (wrote {out})"
+    )
+    # Two gates: the ledger must be cheap AND every invariant must hold.
+    return 0 if overhead_pct < 5.0 and conservation_ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1] if len(sys.argv) > 1 else None))

@@ -30,6 +30,13 @@ Two modes:
 
       javmm-repro migrate --workload derby --checkpoint-dir ckpts/
       javmm-repro resume --checkpoint-dir ckpts/
+
+- attribute where every millisecond and every wire byte went, with
+  conservation checked (``--audit`` makes any violation fatal, exit 3)::
+
+      javmm-repro migrate --workload derby --audit
+      javmm-repro migrate --workload derby --telemetry-out run.jsonl
+      javmm-repro attribute run.jsonl
 """
 
 from __future__ import annotations
@@ -54,14 +61,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(ALL_EXPERIMENTS)
-        + ["all", "migrate", "trace", "doctor", "compare", "resume"],
+        + ["all", "migrate", "trace", "doctor", "compare", "resume", "attribute"],
         help=(
             "which figure/table to regenerate ('all' runs everything; "
             "'migrate' runs one ad-hoc migration; 'trace' runs one with "
             "telemetry on and prints the per-phase latency table; "
             "'doctor' diagnoses a telemetry export; 'compare' diffs two "
             "runs for regressions; 'resume' continues a crashed run "
-            "from its latest checkpoint)"
+            "from its latest checkpoint; 'attribute' renders the "
+            "conservation-checked attribution waterfall of an export)"
         ),
     )
     parser.add_argument(
@@ -69,9 +77,9 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         metavar="FILE",
         help=(
-            "inputs for 'doctor' (one telemetry JSONL export) and "
-            "'compare' (baseline then candidate: telemetry JSONL or "
-            "BENCH_*.json)"
+            "inputs for 'doctor'/'attribute' (one telemetry JSONL "
+            "export) and 'compare' (baseline then candidate: telemetry "
+            "JSONL or BENCH_*.json)"
         ),
     )
     parser.add_argument(
@@ -101,6 +109,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     migrate.add_argument(
         "--json", action="store_true", help="emit the migration report as JSON"
+    )
+    migrate.add_argument(
+        "--audit",
+        action="store_true",
+        help=(
+            "audit the attribution ledger: every millisecond and wire "
+            "byte must land in exactly one bucket, buckets must sum to "
+            "the report totals, and the link meter must reconcile; any "
+            "violation prints the offenders and exits 3"
+        ),
     )
     migrate.add_argument(
         "--supervise",
@@ -215,7 +233,11 @@ def _telemetry_requested(args: argparse.Namespace) -> bool:
     return bool(args.trace_out or args.metrics_out or args.telemetry_out)
 
 
-def _write_telemetry_outputs(args: argparse.Namespace, probe: object) -> None:
+def _write_telemetry_outputs(
+    args: argparse.Namespace,
+    probe: object,
+    attributions: "list[dict] | None" = None,
+) -> None:
     from repro.telemetry import write_chrome_trace, write_jsonl, write_metrics_json
 
     if probe is None or not probe.enabled:
@@ -227,8 +249,49 @@ def _write_telemetry_outputs(args: argparse.Namespace, probe: object) -> None:
         write_metrics_json(args.metrics_out, probe.metrics)
         print(f"wrote metrics: {args.metrics_out}", file=sys.stderr)
     if args.telemetry_out:
-        n = write_jsonl(args.telemetry_out, probe=probe)
+        n = write_jsonl(args.telemetry_out, probe=probe, attributions=attributions)
         print(f"wrote {n} telemetry records: {args.telemetry_out}", file=sys.stderr)
+
+
+def _attribute_reports(reports, migrator=None) -> "tuple[list[dict], list[str]]":
+    """Ledgers plus every conservation violation for one run's reports.
+
+    When the migrator is at hand its link meter is reconciled too; the
+    CLI owns the link for the whole run, so the meter's category totals
+    must match the summed report ledgers exactly.
+    """
+    from repro.telemetry.attribution import attribute_report, audit_meter
+
+    ledgers = []
+    violations: list[str] = []
+    for report in reports:
+        if report is None:
+            continue
+        led = attribute_report(report)
+        ledgers.append(led.to_dict())
+        violations.extend(
+            f"attempt {led.attempt}: {v}" for v in led.violations
+        )
+    link = getattr(migrator, "link", None)
+    if link is not None:
+        violations.extend(
+            f"meter: {v}"
+            for v in audit_meter(link.meter, [r for r in reports if r is not None])
+        )
+    return ledgers, violations
+
+
+def _audit_verdict(args: argparse.Namespace, violations: list[str]) -> int | None:
+    """In ``--audit`` mode a conservation violation is fatal (exit 3)."""
+    if not args.audit:
+        return None
+    if violations:
+        print("attribution audit FAILED:", file=sys.stderr)
+        for v in violations:
+            print(f"  !! {v}", file=sys.stderr)
+        return 3
+    print("attribution audit: conserved", file=sys.stderr)
+    return None
 
 
 def _final_digest(vm, report) -> str:
@@ -269,7 +332,10 @@ def _checkpointer(args: argparse.Namespace, config: dict):
 
 
 def _print_supervised(args: argparse.Namespace, result, vm) -> int:
-    _write_telemetry_outputs(args, vm.probe)
+    ledgers, violations = _attribute_reports(
+        [rec.report for rec in result.attempts], migrator=result.migrator
+    )
+    _write_telemetry_outputs(args, vm.probe, attributions=ledgers)
     if args.experiment == "trace" and vm.probe.enabled:
         print(vm.probe.tracer.phase_table())
     if args.json:
@@ -289,6 +355,7 @@ def _print_supervised(args: argparse.Namespace, result, vm) -> int:
                 for rec in result.attempts
             ],
             "report": result.report.to_dict() if result.report else None,
+            "attribution": ledgers,
         }
         if args.digest:
             payload["final_digest"] = _final_digest(vm, result.report)
@@ -297,6 +364,13 @@ def _print_supervised(args: argparse.Namespace, result, vm) -> int:
         print(result.summary())
         if result.report is not None:
             print(result.report.summary())
+        if args.audit and ledgers:
+            from repro.viz import attribution_waterfall
+
+            print(attribution_waterfall(ledgers[-1]))
+    verdict = _audit_verdict(args, violations)
+    if verdict is not None:
+        return verdict
     return 0 if result.ok and result.report and result.report.verified else 1
 
 
@@ -343,8 +417,9 @@ def _run_supervised(args: argparse.Namespace) -> int:
     return _print_supervised(args, result, vm)
 
 
-def _print_migrate(args: argparse.Namespace, result, vm) -> int:
-    _write_telemetry_outputs(args, result.probe)
+def _print_migrate(args: argparse.Namespace, result, vm, migrator=None) -> int:
+    ledgers, violations = _attribute_reports([result.report], migrator=migrator)
+    _write_telemetry_outputs(args, result.probe, attributions=ledgers)
     if args.experiment == "trace" and result.probe is not None and result.probe.enabled:
         print(result.probe.tracer.phase_table())
     if args.json:
@@ -352,6 +427,7 @@ def _print_migrate(args: argparse.Namespace, result, vm) -> int:
         payload["workload"] = result.workload
         payload["engine"] = result.engine
         payload["observed_app_downtime_s"] = result.observed_app_downtime_s
+        payload["attribution"] = ledgers
         if args.digest:
             payload["final_digest"] = _final_digest(vm, result.report)
         print(json.dumps(payload, indent=2))
@@ -359,6 +435,13 @@ def _print_migrate(args: argparse.Namespace, result, vm) -> int:
         if result.policy_decision is not None:
             print(f"policy: chose {result.engine} — {result.policy_decision.reason}")
         print(result.report.summary())
+        if args.audit and ledgers:
+            from repro.viz import attribution_waterfall
+
+            print(attribution_waterfall(ledgers[-1]))
+    verdict = _audit_verdict(args, violations)
+    if verdict is not None:
+        return verdict
     return 0 if result.report.verified else 1
 
 
@@ -380,7 +463,7 @@ def _run_migrate(args: argparse.Namespace) -> int:
     )
     run = ExperimentRun(experiment)
     result = run.run(_checkpointer(args, experiment.config_fingerprint()))
-    return _print_migrate(args, result, run.vm)
+    return _print_migrate(args, result, run.vm, migrator=run.migrator)
 
 
 def _run_resume(args: argparse.Namespace) -> int:
@@ -402,7 +485,9 @@ def _run_resume(args: argparse.Namespace) -> int:
         return _print_supervised(args, result, vm)
     if isinstance(controller, ExperimentRun):
         result = controller.run(checkpointer)
-        return _print_migrate(args, result, controller.vm)
+        return _print_migrate(
+            args, result, controller.vm, migrator=controller.migrator
+        )
     print(
         f"checkpoint holds an unresumable {type(controller).__name__} root",
         file=sys.stderr,
@@ -419,6 +504,31 @@ def _run_doctor(args: argparse.Namespace) -> int:
     report = Doctor().diagnose_file(args.paths[0])
     print(report.render(sparklines=not args.no_sparklines))
     return 0
+
+
+def _run_attribute(args: argparse.Namespace) -> int:
+    from repro.telemetry import read_jsonl
+    from repro.telemetry.attribution import attribute_dump
+    from repro.viz import attribution_waterfall
+
+    if len(args.paths) != 1:
+        print("attribute needs exactly one telemetry JSONL export", file=sys.stderr)
+        return 2
+    dump = read_jsonl(args.paths[0])
+    ledgers = attribute_dump(dump)
+    if not ledgers:
+        print("no migration found in the export", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(ledgers, indent=2))
+    else:
+        print("\n\n".join(attribution_waterfall(led) for led in ledgers))
+    violations = [
+        f"attempt {led.get('attempt', 1)}: {v}"
+        for led in ledgers
+        for v in led.get("violations", [])
+    ]
+    return _audit_verdict(args, violations) or 0
 
 
 def _run_compare(args: argparse.Namespace) -> int:
@@ -447,6 +557,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_doctor(args)
     if args.experiment == "compare":
         return _run_compare(args)
+    if args.experiment == "attribute":
+        return _run_attribute(args)
     if args.experiment == "resume":
         return _run_resume(args)
     if args.experiment in ("migrate", "trace"):

@@ -53,7 +53,7 @@ class PostCopyMigrator(Actor):
     priority = 10
     #: checkpoint-protocol layout version (see repro.sim.actor);
     #: bump when a state field is added/renamed/repurposed
-    snapshot_version = 1
+    snapshot_version = 2  # v2: _wire_total (byte-attribution ledger)
     name = "postcopy"
 
     def __init__(
@@ -75,6 +75,10 @@ class PostCopyMigrator(Actor):
         self._started = 0.0
         self.demand_faults = 0
         self.stall_seconds = 0.0
+        #: wire bytes this migration accounted (the synthetic final
+        #: record carries this rather than the link meter's absolute
+        #: counter, which mixes in other consumers' traffic)
+        self._wire_total = 0
         self._last_step_wire = 0.0
         self._step_capacity = 1.0
         self._recent_stall = 0.0
@@ -217,7 +221,11 @@ class PostCopyMigrator(Actor):
         self.stall_seconds += stall
         self.probe.count("postcopy.stall_s", stall)
         self._recent_stall = min(1.0, stall / dt)
-        self.link.account_pages(int(faulted.size))
+        wire = self.link.account_pages(int(faulted.size), category="demand_fetch")
+        self._wire_total += wire
+        self.report.account_wire(
+            wire, self.link.last_retransmit_bytes, "demand_fetch"
+        )
         # Faulted pages consume wire capacity ahead of background pushes.
         self._budget -= float(faulted.size) * self.link.page_wire_bytes
         self.report.cpu_seconds += faulted.size * PAGE_SIZE * CPU_S_PER_BYTE_SENT
@@ -232,14 +240,21 @@ class PostCopyMigrator(Actor):
             if to_push.size:
                 self.fetched.set_pfns(to_push)
                 self._budget -= to_push.size * wire
-                self.link.account_pages(int(to_push.size))
+                sent = self.link.account_pages(
+                    int(to_push.size), category="background_push"
+                )
+                self._wire_total += sent
+                self.report.account_wire(
+                    sent, self.link.last_retransmit_bytes, "background_push"
+                )
                 self.report.cpu_seconds += to_push.size * PAGE_SIZE * CPU_S_PER_BYTE_SENT
             self._cursor += take
 
     def _finish(self, now: float) -> None:
         self.report.finished_s = now
         self.report.stop_reason = "all pages fetched"
-        # One synthetic record so the totals match the meter.
+        # One synthetic record carrying this migration's own tracked
+        # wire total (equal to the meter on a fresh, unshared link).
         self.report.iterations.append(
             IterationRecord(
                 index=1,
@@ -247,7 +262,7 @@ class PostCopyMigrator(Actor):
                 duration_s=now - self._started,
                 pending_pages=self.domain.n_pages,
                 pages_sent=self.domain.n_pages,
-                wire_bytes=self.link.meter.wire_bytes,
+                wire_bytes=self._wire_total,
                 pages_skipped_dirty=0,
                 pages_skipped_bitmap=0,
                 is_last=True,

@@ -71,7 +71,7 @@ class PrecopyMigrator(Actor):
     priority = 10
     #: checkpoint-protocol layout version (see repro.sim.actor);
     #: bump when a state field is added/renamed/repurposed
-    snapshot_version = 2  # v2: wire_compression rescue fields
+    snapshot_version = 3  # v3: attribution ledger fields on the report
     name = "xen-precopy"
 
     def __init__(
@@ -255,6 +255,11 @@ class PrecopyMigrator(Actor):
             MigrationPhase.WAITING_APPS,
             MigrationPhase.LAST_COPY,
         )
+        if iterating:
+            # The cut-short iteration's wire bytes are in the byte
+            # ledger but will never reach an IterationRecord; byte
+            # conservation on aborted runs needs them called out.
+            self.report.inflight_wire_bytes = self._iter_wire
         if iterating and now > self._iter_start:
             eff_bw = self._iter_wire / (now - self._iter_start)
             threshold = (
@@ -358,6 +363,13 @@ class PrecopyMigrator(Actor):
                 self.phase is not MigrationPhase.LAST_COPY
                 and now - self._iter_start < self.min_iteration_s
             ):
+                if self.phase is MigrationPhase.ITERATING:
+                    # Pending set drained (the break above did not fire)
+                    # but the iteration floor (bitmap-sync RTT on WAN
+                    # links) is unpaid: idle wall time, tallied
+                    # tick-granular as an overlay.  WAITING_APPS idling
+                    # is excluded — that time is the GC-wait bucket.
+                    self.report.floor_wait_s += dt
                 break  # per-iteration overhead floor not yet paid
             if not self._end_iteration(now):
                 break
@@ -393,7 +405,12 @@ class PrecopyMigrator(Actor):
         """Daemon CPU seconds to prepare and push *n_pages*."""
         cost = n_pages * PAGE_SIZE * CPU_S_PER_BYTE_SENT
         if self.wire_compression is not None:
-            cost += n_pages * PAGE_SIZE * self.wire_compression_cpu_s_per_byte
+            rescue = n_pages * PAGE_SIZE * self.wire_compression_cpu_s_per_byte
+            # Tallied here (not in _pump) so the attribution overlay is
+            # definitionally the same number cpu_seconds absorbed, and
+            # baselines that override this hook neither pay nor log it.
+            self.report.rescue_compress_cpu_s += rescue
+            cost += rescue
         return cost
 
     def _transfer_allowed(self, pfns: np.ndarray) -> np.ndarray:
@@ -475,6 +492,19 @@ class PrecopyMigrator(Actor):
         """Exact payload bytes for a batch (per-page compression hooks)."""
         return int(pfns.size) * self._page_payload_bytes()
 
+    def _wire_category(self) -> str:
+        """Byte-ledger category for pages sent right now.
+
+        Waiting iterations are live re-sends of freshly dirtied pages,
+        so they attribute as ``redirty`` like any iteration after the
+        first full pass.
+        """
+        if self.phase is MigrationPhase.LAST_COPY:
+            return "stop_copy"
+        if self._iter_index == 1:
+            return "first_copy"
+        return "redirty"
+
     def _pump(self, now: float) -> None:
         """Move pages until the byte budget or the pending set runs out."""
         wire_cost = self._page_wire_cost()
@@ -505,13 +535,54 @@ class PrecopyMigrator(Actor):
                 dest.install_pages(to_send, self.domain.read_pages(to_send))
                 payload = self._payload_for(to_send)
                 self._budget -= payload + to_send.size * self.link.page_overhead
-                self._iter_wire += self.link.account_pages(
-                    int(to_send.size), payload_bytes=payload
+                category = self._wire_category()
+                wire = self.link.account_pages(
+                    int(to_send.size), payload_bytes=payload, category=category
                 )
+                self._iter_wire += wire
+                self.report.account_wire(
+                    wire, self.link.last_retransmit_bytes, category
+                )
+                full = int(to_send.size) * PAGE_SIZE
+                if payload < full:
+                    # Any payload below raw page bytes is compression at
+                    # work — the baselines' models and the rescue
+                    # compressor alike.
+                    self.report.account_saved(full - payload, "compression")
+                    if self.probe.enabled:
+                        self.probe.count(
+                            "net.saved_bytes", full - payload,
+                            category="compression",
+                        )
                 self._iter_sent += int(to_send.size)
                 self.report.cpu_seconds += self._cpu_cost_sent(int(to_send.size))
             if skipped_bitmap.size and self._iter_index > 1:
                 self._reinject_skipped(skipped_bitmap)
+            if skipped_bitmap.size or skipped_dirty.size:
+                # Savings are priced at what each page would have cost
+                # on the wire right now (pre-loss: the skipped page
+                # would also have skipped its retransmissions).
+                page_cost = int(self._page_wire_cost())
+                if skipped_bitmap.size:
+                    self.report.account_saved(
+                        int(skipped_bitmap.size) * page_cost, "skip_bitmap"
+                    )
+                    if self.probe.enabled:
+                        self.probe.count(
+                            "net.saved_bytes",
+                            int(skipped_bitmap.size) * page_cost,
+                            category="skip_bitmap",
+                        )
+                if skipped_dirty.size:
+                    self.report.account_saved(
+                        int(skipped_dirty.size) * page_cost, "skip_redirty"
+                    )
+                    if self.probe.enabled:
+                        self.probe.count(
+                            "net.saved_bytes",
+                            int(skipped_dirty.size) * page_cost,
+                            category="skip_redirty",
+                        )
             self._iter_skip_bitmap += int(skipped_bitmap.size)
             self._iter_skip_dirty += int(skipped_dirty.size)
             self.report.cpu_seconds += chunk.size * CPU_S_PER_PAGE_SCANNED

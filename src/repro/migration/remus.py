@@ -156,7 +156,7 @@ class RemusReplicator(Actor):
             to_send = dirty[mask]
         if to_send.size:
             self.backup.install_pages(to_send, self.domain.read_pages(to_send))
-            self.link.account_pages(int(to_send.size))
+            self.link.account_pages(int(to_send.size), category="checkpoint_stream")
             self.report.wire_bytes = self.link.meter.wire_bytes
         # The guest pauses while the epoch's dirty set is drained.
         pause = self.pause_overhead_s + self.link.time_to_send_pages(int(to_send.size))

@@ -123,6 +123,40 @@ class MigrationReport:
     abort_phase: str = ""  # MigrationPhase.value when the abort landed
     source_intact: bool | None = None  # post-abort source integrity check
     attempt: int = 1  # ordinal under a MigrationSupervisor (1 = first try)
+    #: byte ledger: wire bytes by category (first_copy / redirty /
+    #: stop_copy / loss_retx / demand_fetch / background_push); the
+    #: attribution layer audits it against ``total_wire_bytes``
+    wire_by_category: dict[str, int] = field(default_factory=dict)
+    #: bytes that never hit the wire thanks to an assist (skip_bitmap /
+    #: skip_redirty) or compression
+    saved_by_category: dict[str, int] = field(default_factory=dict)
+    #: wire bytes of an iteration cut short by abort() — accounted in
+    #: the ledger but never closed into an IterationRecord, so byte
+    #: conservation on aborted runs needs them called out separately
+    inflight_wire_bytes: int = 0
+    #: daemon CPU spent in the rescue wire compressor (overlay bucket)
+    rescue_compress_cpu_s: float = 0.0
+    #: time spent idling on the per-iteration overhead floor (bitmap
+    #: sync RTT on WAN links) with the pending set drained (overlay)
+    floor_wait_s: float = 0.0
+
+    # -- byte-ledger accounting ---------------------------------------------------------
+
+    def account_wire(self, wire: int, retransmitted: int, category: str) -> None:
+        """Attribute one transfer's wire bytes (retransmit split out)."""
+        led = self.wire_by_category
+        carried = int(wire) - int(retransmitted)
+        if carried:
+            led[category] = led.get(category, 0) + carried
+        if retransmitted:
+            led["loss_retx"] = led.get("loss_retx", 0) + int(retransmitted)
+
+    def account_saved(self, n_bytes: int, category: str) -> None:
+        """Attribute bytes an assist or compressor kept off the wire."""
+        if n_bytes:
+            self.saved_by_category[category] = (
+                self.saved_by_category.get(category, 0) + int(n_bytes)
+            )
 
     # -- totals -------------------------------------------------------------------------
 
@@ -180,6 +214,18 @@ class MigrationReport:
             "abort_phase": self.abort_phase,
             "source_intact": self.source_intact,
             "attempt": self.attempt,
+            # Sorted so the dict is a canonical form: two runs with the
+            # same ledger serialize identically regardless of the order
+            # categories were first touched in.
+            "wire_by_category": {
+                k: self.wire_by_category[k] for k in sorted(self.wire_by_category)
+            },
+            "saved_by_category": {
+                k: self.saved_by_category[k] for k in sorted(self.saved_by_category)
+            },
+            "inflight_wire_bytes": self.inflight_wire_bytes,
+            "rescue_compress_cpu_s": self.rescue_compress_cpu_s,
+            "floor_wait_s": self.floor_wait_s,
             "downtime": {
                 "safepoint_s": self.downtime.safepoint_s,
                 "enforced_gc_s": self.downtime.enforced_gc_s,
@@ -231,6 +277,17 @@ class MigrationReport:
             abort_phase=d.get("abort_phase", ""),
             source_intact=d.get("source_intact"),
             attempt=d.get("attempt", 1),
+            wire_by_category={
+                str(k): int(v)
+                for k, v in sorted(d.get("wire_by_category", {}).items())
+            },
+            saved_by_category={
+                str(k): int(v)
+                for k, v in sorted(d.get("saved_by_category", {}).items())
+            },
+            inflight_wire_bytes=d.get("inflight_wire_bytes", 0),
+            rescue_compress_cpu_s=d.get("rescue_compress_cpu_s", 0.0),
+            floor_wait_s=d.get("floor_wait_s", 0.0),
         )
 
     def summary(self) -> str:

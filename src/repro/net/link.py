@@ -66,6 +66,11 @@ class Link:
         self.loss_rate = 0.0
         #: wire bytes spent re-carrying lost data (goodput accounting)
         self.retransmit_wire_bytes = 0
+        #: retransmitted share of the most recent :meth:`account_pages`
+        #: call — read immediately by the caller (the simulation is
+        #: single-threaded) to split its byte ledger without duplicating
+        #: the loss arithmetic.
+        self.last_retransmit_bytes = 0
         #: telemetry handle (see repro.telemetry); no-op unless enabled
         self.probe = NULL_PROBE
 
@@ -194,11 +199,19 @@ class Link:
             return float("inf")
         return n_bytes / self.goodput
 
-    def account_pages(self, n_pages: int, payload_bytes: int | None = None) -> int:
+    def account_pages(
+        self,
+        n_pages: int,
+        payload_bytes: int | None = None,
+        category: str = "page",
+    ) -> int:
         """Record *n_pages* sent; returns wire bytes consumed.
 
         *payload_bytes* overrides the default full-page payload, which
         the compression baseline uses to send fewer wire bytes per page.
+        *category* attributes the bytes in the meter's byte ledger; the
+        retransmitted share is always split out as ``loss_retx`` and
+        mirrored into :attr:`last_retransmit_bytes` for the caller.
         """
         payload = n_pages * PAGE_SIZE if payload_bytes is None else int(payload_bytes)
         wire = payload + n_pages * self.page_overhead
@@ -209,19 +222,40 @@ class Link:
             retrans = int(round(wire * self.loss_rate / (1.0 - self.loss_rate)))
             self.retransmit_wire_bytes += retrans
             wire += retrans
-        self.meter.add(pages=n_pages, payload_bytes=payload, wire_bytes=wire)
+        self.last_retransmit_bytes = retrans
+        self.meter.add(
+            pages=n_pages,
+            payload_bytes=payload,
+            wire_bytes=wire - retrans,
+            category=category,
+        )
+        if retrans:
+            self.meter.add(
+                pages=0, payload_bytes=0, wire_bytes=retrans, category="loss_retx"
+            )
         if self.probe.enabled:
             self.probe.count("net.pages", n_pages)
             self.probe.count("net.payload_bytes", payload)
             self.probe.count("net.wire_bytes", wire)
+            self.probe.count(
+                "net.category_wire_bytes", wire - retrans, category=category
+            )
+            # Emitted even when zero so downstream comparators always
+            # find the series and can gate on its growth.
+            self.probe.count("net.retransmit_wire_bytes", retrans)
             if retrans:
-                self.probe.count("net.retransmit_wire_bytes", retrans)
+                self.probe.count(
+                    "net.category_wire_bytes", retrans, category="loss_retx"
+                )
         return wire
 
-    def account_control(self, n_bytes: int) -> int:
+    def account_control(self, n_bytes: int, category: str = "control") -> int:
         """Record control-plane bytes (handshakes, dirty-bitmap syncs)."""
-        self.meter.add(pages=0, payload_bytes=0, wire_bytes=int(n_bytes))
+        self.meter.add(
+            pages=0, payload_bytes=0, wire_bytes=int(n_bytes), category=category
+        )
         if self.probe.enabled:
             self.probe.count("net.control_bytes", int(n_bytes))
             self.probe.count("net.wire_bytes", int(n_bytes))
+            self.probe.count("net.category_wire_bytes", int(n_bytes), category=category)
         return int(n_bytes)

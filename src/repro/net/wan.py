@@ -201,13 +201,17 @@ class WanDriver(Actor):
 
     priority = 1
     name = "wan-driver"
-    snapshot_version = 1
+    snapshot_version = 2  # v2: _burst_wire_base (burst wire attribution)
 
     def __init__(self, link: WanLink) -> None:
         self.link = link
         self._armed_at: float | None = None
         self._now = 0.0
         self._burst = False
+        #: meter reading at burst entry; the delta at burst exit is the
+        #: wire traffic that crossed the link while loss was bursty
+        #: (``net.burst_wire_bytes`` in the byte-attribution layer)
+        self._burst_wire_base = 0
         self._pending: list[WeatherEvent] = sorted(
             link.weather, key=lambda e: e.at_s
         )
@@ -287,8 +291,13 @@ class WanDriver(Actor):
                 link.set_loss_rate(link.good_loss_rate)
                 if link.probe.enabled:
                     link.probe.sample("net.loss_rate", now, link.loss_rate)
+                    link.probe.count(
+                        "net.burst_wire_bytes",
+                        link.meter.wire_bytes - self._burst_wire_base,
+                    )
         elif u < min(1.0, dt / link.mean_good_s):
             self._burst = True
+            self._burst_wire_base = link.meter.wire_bytes
             link.set_loss_rate(link.bad_loss_rate)
             probe = link.probe
             if probe.enabled:

@@ -18,8 +18,12 @@ every layer shares:
   (dirty rate, skip ratio, link utilization, …) fed via
   :meth:`Probe.sample`;
 - :func:`write_jsonl` / :func:`read_jsonl` — the unified JSONL stream
-  carrying spans, metrics, samples and
+  carrying spans, metrics, samples, attribution ledgers and
   :class:`~repro.sim.eventlog.EventLog` records under one schema;
+- :mod:`repro.telemetry.attribution` — the conservation-checked
+  attribution layer: :func:`attribute_report` decomposes completion
+  time, downtime and wire bytes into additive audited ledgers, and
+  :func:`assert_conserved` raises on any violation (``--audit``);
 - :mod:`repro.telemetry.analysis` — the interpretation layer: the
   online :class:`~repro.telemetry.analysis.ConvergenceMonitor`, the
   rule-based :class:`~repro.telemetry.analysis.Doctor` and the
@@ -28,6 +32,17 @@ every layer shares:
 See ``docs/OBSERVABILITY.md`` for the span taxonomy and metric names.
 """
 
+from repro.telemetry.attribution import (
+    AttributionAuditError,
+    MigrationLedger,
+    assert_conserved,
+    attribute_dump,
+    attribute_report,
+    attribute_supervision,
+    audit_meter,
+    audit_report,
+    recheck_ledger,
+)
 from repro.telemetry.export import (
     SCHEMA,
     TelemetryDump,
@@ -50,12 +65,14 @@ from repro.telemetry.tracer import InstantEvent, Span, Tracer
 
 __all__ = [
     "SCHEMA",
+    "AttributionAuditError",
     "Counter",
     "Gauge",
     "Histogram",
     "InstantEvent",
     "MetricsRegistry",
     "MetricsSnapshot",
+    "MigrationLedger",
     "NULL_PROBE",
     "NullProbe",
     "Probe",
@@ -64,7 +81,14 @@ __all__ = [
     "TelemetryDump",
     "TimeseriesStore",
     "Tracer",
+    "assert_conserved",
+    "attribute_dump",
+    "attribute_report",
+    "attribute_supervision",
+    "audit_meter",
+    "audit_report",
     "read_jsonl",
+    "recheck_ledger",
     "telemetry_records",
     "write_chrome_trace",
     "write_jsonl",

@@ -42,6 +42,7 @@ DEFAULT_THRESHOLDS: dict[str, float] = {
     "total_time_s": 5.0,
     "migration_total_s": 5.0,
     "wire_bytes": 5.0,
+    "retransmit_wire_bytes": 5.0,
     "aborts": 0.0,
 }
 ABS_FLOORS: dict[str, float] = {
@@ -49,6 +50,7 @@ ABS_FLOORS: dict[str, float] = {
     "total_time_s": 1e-3,
     "migration_total_s": 1e-3,
     "wire_bytes": 4096.0,
+    "retransmit_wire_bytes": 4096.0,
     "aborts": 0.0,
 }
 
@@ -167,6 +169,12 @@ def summarize_dump(dump: TelemetryDump) -> dict[str, dict[str, float]]:
         "downtime_s": downtime,
         "total_time_s": total,
         "wire_bytes": dump.metric_total("net.wire_bytes"),
+        # Always present (the link emits the series even at zero loss),
+        # so rescue-compression runs can gate on retransmit growth.
+        "retransmit_wire_bytes": dump.metric_total("net.retransmit_wire_bytes"),
+        # Informational (no threshold entry): bytes assists/compression
+        # kept off the wire — context for a wire_bytes verdict.
+        "saved_bytes": dump.metric_total("net.saved_bytes"),
         "aborts": float(len(aborted)),
     }
     return {"migration": measures}
@@ -183,6 +191,8 @@ def summarize_bench(payload: dict) -> dict[str, dict[str, float]]:
             key_parts.append("telemetry" if run["telemetry"] else "plain")
         if "analysis" in run:
             key_parts.append("analysis" if run["analysis"] else "plain")
+        if "attribution" in run:
+            key_parts.append("attribution" if run["attribution"] else "plain")
         key = "/".join(key_parts) or "run"
         bucket = grouped.setdefault(key, {})
         for name, value in run.items():

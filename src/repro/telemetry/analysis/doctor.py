@@ -34,7 +34,18 @@ Rule catalogue (see ``docs/OBSERVABILITY.md`` for the full table):
   (the export itself is lossy: treat absence of evidence carefully);
 - ``resumed-run`` — the run was restored from a durable checkpoint
   (``checkpoint-restore`` span present); flags the gap between the
-  checkpoint instant and the crashed run's last journaled decision.
+  checkpoint instant and the crashed run's last journaled decision;
+- ``downtime-retransmit`` — the attribution ledger shows app downtime
+  dominated by the stop-and-copy transfer while loss retransmissions
+  ate a meaningful wire share: the blackout is a network-loss problem,
+  not a guest problem;
+- ``assist-overhead`` — the attribution ledger shows the guest assist's
+  wire overhead (LKM bitmap updates) exceeding the bytes its skips
+  saved: the assist cost more than it bought.
+
+The last two rules need an export with ``attribution`` records (schema
+3, written by ``--telemetry-out`` since the attribution layer landed);
+they stay silent on older exports.
 """
 
 from __future__ import annotations
@@ -139,6 +150,7 @@ class Doctor:
             "skip_collapse_factor": 0.5,
             "stop_pages": 50,
             "resume_gap_s": 5.0,
+            "downtime_stop_copy_share": 0.5,
             **thresholds,
         }
 
@@ -600,6 +612,95 @@ def rule_resumed_run(dump: TelemetryDump, thresholds: dict) -> list[Finding]:
     return findings
 
 
+def rule_downtime_retransmit(dump: TelemetryDump, thresholds: dict) -> list[Finding]:
+    """Attribution-backed: the blackout was spent re-sending lost bytes.
+
+    Fires when the final (non-aborted) ledger shows the stop-and-copy
+    transfer dominating app downtime *and* loss retransmissions above
+    the retransmit threshold — together they say the last-iteration
+    dirty set was small but the lossy wire made even that slow, so the
+    fix is the network path (or rescue compression), not the guest.
+    """
+    ledgers = [a for a in dump.attributions if not a.get("aborted")]
+    if not ledgers:
+        return []
+    led = ledgers[-1]
+    downtime = float(led.get("app_downtime_s", 0.0))
+    stop_copy = float(led.get("downtime_s", {}).get("stop_copy", 0.0))
+    wire = led.get("wire_bytes", {})
+    carried = sum(wire.values())
+    retx = wire.get("loss_retx", 0)
+    if downtime <= 0 or carried <= 0:
+        return []
+    share = stop_copy / downtime
+    retx_share = retx / carried
+    if (
+        share < thresholds["downtime_stop_copy_share"]
+        or retx_share < thresholds["retransmit_fraction"]
+    ):
+        return []
+    return [
+        Finding(
+            rule="downtime-retransmit",
+            severity="warning",
+            title=(
+                f"app downtime dominated by retransmit-inflated stop-and-copy "
+                f"({share:.0%} of {downtime:.3f}s blackout)"
+            ),
+            detail=(
+                f"loss retransmissions re-carried {retx_share:.0%} of all wire "
+                f"bytes ({retx} of {carried}); the final dirty set paid that "
+                f"tax with the guest paused"
+            ),
+            evidence=(
+                "attribution:downtime_s.stop_copy",
+                "attribution:wire_bytes.loss_retx",
+                "metric:net.retransmit_wire_bytes",
+            ),
+        )
+    ]
+
+
+def rule_assist_overhead(dump: TelemetryDump, thresholds: dict) -> list[Finding]:
+    """Attribution-backed: the guest assist cost more wire than it saved.
+
+    Compares each ledger's skip savings (``skip_bitmap`` — bytes the
+    transfer bitmap kept off the wire) against the assist's own wire
+    overhead (LKM bitmap-update traffic).  A negative balance means the
+    paper's mechanism is upside-down for this workload — worth a
+    finding because the whole point of the assist is a net byte win.
+    """
+    findings = []
+    for led in dump.attributions:
+        overhead = int(led.get("assist_overhead_bytes", 0))
+        if overhead <= 0:
+            continue
+        saved = int(led.get("saved_bytes", {}).get("skip_bitmap", 0))
+        if saved >= overhead:
+            continue
+        findings.append(
+            Finding(
+                rule="assist-overhead",
+                severity="warning",
+                title=(
+                    f"assist savings below wire overhead: skips saved {saved} B "
+                    f"but bitmap updates cost {overhead} B"
+                ),
+                detail=(
+                    f"attempt {led.get('attempt', 1)} "
+                    f"({led.get('engine', '?')}): the guest assist was a net "
+                    f"loss of {overhead - saved} wire bytes"
+                ),
+                evidence=(
+                    "attribution:saved_bytes.skip_bitmap",
+                    "attribution:assist_overhead_bytes",
+                    "metric:net.saved_bytes",
+                ),
+            )
+        )
+    return findings
+
+
 DEFAULT_RULES = (
     rule_throttle_rescue,
     rule_wan_loss_burst,
@@ -612,4 +713,6 @@ DEFAULT_RULES = (
     rule_slow_downtime,
     rule_event_loss,
     rule_resumed_run,
+    rule_downtime_retransmit,
+    rule_assist_overhead,
 )

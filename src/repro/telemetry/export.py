@@ -1,18 +1,24 @@
 """Unified telemetry export: spans, metrics and event-log records.
 
-One JSONL stream carries all three narratives under a single schema so
+One JSONL stream carries all the narratives under a single schema so
 downstream tools need exactly one parser:
 
-- line 1 is a ``{"type": "meta", "schema": "repro-telemetry/2"}`` header;
+- line 1 is a ``{"type": "meta", "schema": "repro-telemetry/3"}`` header;
 - ``{"type": "span", ...}`` — one per (closed or open) tracer span;
 - ``{"type": "instant", ...}`` — tracer markers;
 - ``{"type": "event", ...}`` — the free-text EventLog records;
 - ``{"type": "metric", ...}`` — one per metrics series (final values);
 - ``{"type": "sample", ...}`` — one time-series point (schema 2), with
   ``{"type": "series_dropped", ...}`` recording per-series ring-buffer
-  eviction counts.
+  eviction counts;
+- ``{"type": "attribution", ...}`` — one audited attribution ledger per
+  migration attempt (schema 3, see :mod:`repro.telemetry.attribution`).
 
-Schema 1 streams (no samples) still read back fine.
+Schema 1 (no samples) and schema 2 (no attributions) streams still read
+back fine, and :func:`read_jsonl` is forward-compatible the other way
+too: record kinds it does not know are counted and reported through one
+warning instead of failing the parse, so older readers survive newer
+streams.
 
 :func:`read_jsonl` round-trips the stream back into plain structures,
 and :func:`write_chrome_trace` / :func:`write_metrics_json` cover the
@@ -23,6 +29,7 @@ two single-format outputs the CLI exposes (``--trace-out`` /
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -31,7 +38,7 @@ from repro.telemetry.probe import Probe
 from repro.telemetry.timeseries import TimeseriesStore
 from repro.telemetry.tracer import Tracer
 
-SCHEMA = "repro-telemetry/2"
+SCHEMA = "repro-telemetry/3"
 
 
 def telemetry_records(
@@ -39,6 +46,7 @@ def telemetry_records(
     metrics: MetricsRegistry | None = None,
     event_log: object | None = None,
     timeseries: TimeseriesStore | None = None,
+    attributions: list[dict] | None = None,
 ) -> list[dict]:
     """Every telemetry record as one flat, typed list (the JSONL body)."""
     records: list[dict] = [{"type": "meta", "schema": SCHEMA}]
@@ -65,6 +73,9 @@ def telemetry_records(
             records.append({"type": "metric", **sv.to_dict()})
     if timeseries is not None:
         records.extend(timeseries.to_records())
+    if attributions:
+        for ledger in attributions:
+            records.append({"type": "attribution", **ledger})
     return records
 
 
@@ -75,19 +86,21 @@ def write_jsonl(
     event_log: object | None = None,
     probe: Probe | None = None,
     timeseries: TimeseriesStore | None = None,
+    attributions: list[dict] | None = None,
 ) -> int:
     """Write the unified stream; returns the number of records written.
 
     Pass either the stores explicitly or a live *probe* (whose tracer,
     metrics, event log and time-series store are used for anything not
-    given).
+    given).  *attributions* takes ledger dicts from
+    :func:`repro.telemetry.attribution.attribute_report`.
     """
     if probe is not None and probe.enabled:
         tracer = tracer if tracer is not None else probe.tracer
         metrics = metrics if metrics is not None else probe.metrics
         event_log = event_log if event_log is not None else probe.event_log
         timeseries = timeseries if timeseries is not None else probe.timeseries
-    records = telemetry_records(tracer, metrics, event_log, timeseries)
+    records = telemetry_records(tracer, metrics, event_log, timeseries, attributions)
     with open(path, "w") as fh:
         for record in records:
             fh.write(json.dumps(record) + "\n")
@@ -104,7 +117,11 @@ class TelemetryDump:
     events: list[dict] = field(default_factory=list)
     metrics: list[dict] = field(default_factory=list)
     samples: list[dict] = field(default_factory=list)
+    attributions: list[dict] = field(default_factory=list)
     dropped_events: int = 0
+    #: record kinds this reader did not recognize -> occurrence count
+    #: (forward compatibility: newer streams parse with a warning)
+    unknown_records: dict[str, int] = field(default_factory=dict)
 
     def metric_value(self, name: str, default: float = 0.0) -> float:
         for m in self.metrics:
@@ -123,7 +140,12 @@ class TelemetryDump:
 
 
 def read_jsonl(path: str | Path) -> TelemetryDump:
-    """Parse a unified stream back into structured lists (round-trip)."""
+    """Parse a unified stream back into structured lists (round-trip).
+
+    Unknown record kinds (from schemas newer than this reader) are
+    skipped, counted in ``dump.unknown_records``, and reported via one
+    :class:`UserWarning` per kind — never a parse failure.
+    """
     dump = TelemetryDump()
     with open(path) as fh:
         for line in fh:
@@ -144,8 +166,19 @@ def read_jsonl(path: str | Path) -> TelemetryDump:
                 dump.metrics.append(record)
             elif kind in ("sample", "series_dropped"):
                 dump.samples.append({"type": kind, **record})
+            elif kind == "attribution":
+                dump.attributions.append(record)
             elif kind == "event_log_dropped":
                 dump.dropped_events = record["dropped"]
+            else:
+                dump.unknown_records[kind] = dump.unknown_records.get(kind, 0) + 1
+    for kind in sorted(dump.unknown_records):
+        warnings.warn(
+            f"skipped {dump.unknown_records[kind]} unknown telemetry "
+            f"record(s) of kind {kind!r} (stream schema {dump.schema!r}, "
+            f"reader schema {SCHEMA!r})",
+            stacklevel=2,
+        )
     return dump
 
 

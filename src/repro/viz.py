@@ -10,7 +10,10 @@ and the CLI:
 - :func:`stacked_bars` — Figures 9/10/12: labelled horizontal bars;
 - :func:`timeseries_sparkline` — one telemetry time-series (or any
   ``(times, values)`` pair) as a labelled sparkline, used by the
-  ``doctor`` output.
+  ``doctor`` output;
+- :func:`attribution_waterfall` — the conservation-checked attribution
+  ledger (``repro attribute`` / ``--audit``) as cumulative-offset
+  waterfall bars: where every millisecond and every wire byte went.
 
 No plotting dependencies: everything renders to strings.
 """
@@ -18,7 +21,7 @@ No plotting dependencies: everything renders to strings.
 from __future__ import annotations
 
 from repro.migration.report import MigrationReport
-from repro.units import MIB
+from repro.units import MIB, fmt_bytes, fmt_seconds
 from repro.workloads.analyzer import ThroughputSample
 
 _SPARK_LEVELS = " .:-=+*#%@"
@@ -160,6 +163,116 @@ def stacked_bars(
         f"{glyphs[i % len(glyphs)]} = {name}" for i, name in enumerate(seg_names)
     )
     return "\n".join(lines + [legend])
+
+
+#: Render order for attribution waterfalls (matches the canonical
+#: bucket orders in repro.telemetry.attribution).
+_TIME_ORDER = (
+    "first_copy", "redirty", "gc_wait", "stop_copy", "fetch",
+    "resume", "abort_tail",
+)
+_DOWNTIME_ORDER = (
+    "safepoint", "enforced_gc", "final_update", "stop_copy", "resume",
+)
+_WIRE_ORDER = (
+    "first_copy", "redirty", "stop_copy", "loss_retx",
+    "demand_fetch", "background_push", "control", "other",
+)
+_SAVED_ORDER = ("skip_bitmap", "skip_redirty", "compression")
+
+
+def _waterfall_section(
+    title: str,
+    buckets: dict[str, float],
+    order: tuple[str, ...],
+    total: float,
+    fmt,
+    width: int,
+) -> list[str]:
+    """One waterfall block: each bucket's bar starts at the cumulative
+    offset of everything before it, so the bars tile the total."""
+    names = [n for n in order if buckets.get(n)] + sorted(
+        n for n in buckets if n not in order and buckets[n]
+    )
+    lines = [f"{title}: {fmt(total)}"]
+    if not names:
+        lines.append("  (nothing attributed)")
+        return lines
+    label_w = max(len(n) for n in names)
+    cum = 0.0
+    denom = total if total > 0 else sum(buckets[n] for n in names) or 1.0
+    for name in names:
+        value = buckets[name]
+        lo = min(round(width * cum / denom), width - 1)
+        hi = min(max(round(width * (cum + value) / denom), lo + 1), width)
+        bar = " " * lo + "#" * (hi - lo)
+        share = 100.0 * value / denom
+        lines.append(
+            f"  {name:<{label_w}} |{bar:<{width}}| {fmt(value)} ({share:.1f}%)"
+        )
+        cum += value
+    return lines
+
+
+def attribution_waterfall(ledger: dict, width: int = 56) -> str:
+    """Render one attribution ledger (its ``to_dict`` form) as stacked
+    waterfall sections: completion time, app downtime, wire bytes and
+    assist/compression savings, plus the conservation verdict."""
+    head = f"attribution: {ledger.get('engine', '?')} (attempt {ledger.get('attempt', 1)}"
+    head += ", ABORTED)" if ledger.get("aborted") else ")"
+    lines = [head]
+    lines += _waterfall_section(
+        "completion",
+        {k: v / 1e9 for k, v in ledger.get("time_ns", {}).items()},
+        _TIME_ORDER,
+        ledger.get("total_ns", 0) / 1e9,
+        fmt_seconds,
+        width,
+    )
+    lines += _waterfall_section(
+        "app downtime",
+        dict(ledger.get("downtime_s", {})),
+        _DOWNTIME_ORDER,
+        ledger.get("app_downtime_s", 0.0),
+        fmt_seconds,
+        width,
+    )
+    wire_total = ledger.get("total_wire_bytes", 0) + ledger.get(
+        "inflight_wire_bytes", 0
+    )
+    lines += _waterfall_section(
+        "wire bytes",
+        dict(ledger.get("wire_bytes", {})),
+        _WIRE_ORDER,
+        wire_total,
+        fmt_bytes,
+        width,
+    )
+    saved = dict(ledger.get("saved_bytes", {}))
+    if saved:
+        lines += _waterfall_section(
+            "saved off the wire",
+            saved,
+            _SAVED_ORDER,
+            sum(saved.values()),
+            fmt_bytes,
+            width,
+        )
+    overlays = {k: v for k, v in ledger.get("overlays", {}).items() if v}
+    if overlays:
+        lines.append(
+            "overlays: "
+            + ", ".join(f"{k} {fmt_seconds(v)}" for k, v in sorted(overlays.items()))
+        )
+    violations = ledger.get("violations", [])
+    if violations:
+        lines.append(f"conservation: VIOLATED ({len(violations)})")
+        lines += [f"  !! {v}" for v in violations]
+    else:
+        n_checks = len(ledger.get("conservation", {}))
+        suffix = f" ({n_checks} invariants)" if n_checks else " (unaudited export)"
+        lines.append("conservation: OK" + suffix)
+    return "\n".join(lines)
 
 
 def downtime_breakdown_bar(report: MigrationReport, width: int = 56) -> str:

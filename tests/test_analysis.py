@@ -599,7 +599,7 @@ def test_healthy_run_samples_expected_series(healthy_run):
         assert name in store, name
         assert len(store.series(name)) > 0, name
     dump = read_jsonl(path)
-    assert dump.schema == "repro-telemetry/2"
+    assert dump.schema == "repro-telemetry/3"
     assert dump.timeseries().get("migration.pages_remaining") == store.get(
         "migration.pages_remaining"
     )

@@ -1,0 +1,444 @@
+"""The conservation-checked attribution layer.
+
+Every millisecond of completion time and every wire byte must land in
+exactly one ledger bucket, and the buckets must sum bit-exactly to the
+:class:`~repro.migration.report.MigrationReport` totals.  These tests
+drive the ledger across engines, loss, aborts, rescue compression and
+the offline (JSONL) path, and exercise the audit surfaces: the
+``--audit`` CLI mode, the forward-compatible reader, and the two
+attribution-backed doctor rules.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import MigrationExperiment
+from repro.core.experiment import ExperimentRun
+from repro.core.supervisor import supervised_migrate
+from repro.errors import ReproError
+from repro.faults import FaultPlan
+from repro.migration.report import (
+    DowntimeBreakdown,
+    IterationRecord,
+    MigrationReport,
+)
+from repro.net.link import Link
+from repro.telemetry.attribution import (
+    AttributionAuditError,
+    MigrationLedger,
+    assert_conserved,
+    attribute_dump,
+    attribute_report,
+    attribute_supervision,
+    audit_meter,
+)
+from repro.telemetry.export import SCHEMA, TelemetryDump, read_jsonl, write_jsonl
+from repro.units import GiB, MiB
+
+VM_KWARGS = {"mem_bytes": MiB(512), "max_young_bytes": MiB(128)}
+
+
+def _run(engine: str, workload: str = "crypto"):
+    exp = MigrationExperiment(workload=workload, engine=engine, **VM_KWARGS)
+    run = ExperimentRun(exp)
+    result = run.run()
+    return result, run
+
+
+# -- per-engine conservation --------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "engine",
+    ["xen", "assisted", "javmm", "stopcopy", "postcopy", "compress", "throttle"],
+)
+def test_every_engine_conserves(engine):
+    result, run = _run(engine)
+    ledger = assert_conserved(result.report)
+    # Time: integer-ns buckets sum bit-exactly to the report total.
+    assert sum(ledger.time_ns.values()) == ledger.total_ns
+    assert all(v >= 0 for v in ledger.time_ns.values())
+    # Bytes: every wire byte categorized, reconciled to the report.
+    assert sum(ledger.wire_bytes.values()) == result.report.total_wire_bytes
+    # The run owned its link, so the meter reconciles category by
+    # category against the report ledger.
+    assert audit_meter(run.link.meter, [result.report]) == []
+
+
+def test_downtime_replay_is_bit_exact():
+    result, _ = _run("javmm")
+    ledger = attribute_report(result.report)
+    d = result.report.downtime
+    assert ledger.app_downtime_s == d.app_downtime_s
+    assert sum(
+        ledger.downtime_s[k]
+        for k in ("safepoint", "enforced_gc", "final_update", "stop_copy", "resume")
+    ) == pytest.approx(d.app_downtime_s)
+    assert ledger.conservation["downtime_sum_exact"]
+
+
+def test_javmm_attributes_skip_savings():
+    result, _ = _run("javmm")
+    ledger = attribute_report(result.report)
+    assert ledger.saved_bytes.get("skip_bitmap", 0) > 0
+    assert ledger.conservation["skip_savings_consistent"]
+    # The assist's own wire overhead is carried for the doctor rule.
+    assert ledger.assist_overhead_bytes == result.report.lkm_overhead_bytes
+
+
+def test_ledger_roundtrips_through_dict():
+    result, _ = _run("xen")
+    ledger = attribute_report(result.report)
+    rebuilt = MigrationLedger.from_dict(json.loads(json.dumps(ledger.to_dict())))
+    assert rebuilt.to_dict() == ledger.to_dict()
+
+
+def test_attribution_works_on_serialized_report():
+    """The dict form is the audited artifact: attributing the report
+    object and its ``to_dict()`` round-trip gives identical ledgers."""
+    result, _ = _run("javmm")
+    direct = attribute_report(result.report).to_dict()
+    from_dict = attribute_report(result.report.to_dict()).to_dict()
+    assert direct == from_dict
+
+
+# -- loss, aborts, rescue -----------------------------------------------------------------
+
+
+def test_loss_retransmissions_are_split_out():
+    link = Link()
+    link.set_loss_rate(0.05)
+    result, vm = supervised_migrate(
+        "crypto", "javmm", link=link, vm_kwargs=VM_KWARGS
+    )
+    assert result.ok
+    sup = attribute_supervision(result)
+    assert sup["violations"] == []
+    led = sup["attempts"][-1]
+    assert led["wire_bytes"]["loss_retx"] > 0
+    assert led["overlays"]["loss_retx_est_s"] > 0
+    assert audit_meter(link.meter, [r.report for r in result.attempts]) == []
+
+
+def test_aborted_attempt_conserves_with_inflight_bytes():
+    link = Link()
+    plan = FaultPlan().link_outage(at_s=0.05, duration_s=1.0)
+    result, vm = supervised_migrate(
+        "crypto", "javmm", plan=plan, link=link, vm_kwargs=VM_KWARGS,
+        stall_timeout_s=0.5, backoff_s=1.0,
+    )
+    assert result.ok and result.attempts[0].aborted
+    sup = attribute_supervision(result)
+    assert sup["violations"] == []
+    aborted = sup["attempts"][0]
+    # The cut-short iteration's bytes are called out, not lost.
+    assert aborted["inflight_wire_bytes"] > 0
+    assert aborted["time_ns"]["abort_tail"] >= 0
+    assert sup["overlays"]["backoff_s"] > 0
+    # Meter reconciliation spans ALL attempts on the shared link.
+    assert audit_meter(link.meter, [r.report for r in result.attempts]) == []
+
+
+def test_rescue_compression_savings_and_cpu_overlay():
+    from repro.core.builders import build_java_vm, make_migrator
+    from repro.sim.engine import make_engine
+
+    sim = make_engine(0.005)
+    vm = build_java_vm(workload="crypto", **VM_KWARGS)
+    vm.register(sim)
+    link = Link()
+    mig = make_migrator("xen", vm, link, wire_compression=0.55)
+    sim.add(mig)
+    sim.run_until(2.0)
+    mig.start(sim.now)
+    while not mig.finished:
+        sim.run_until(sim.now + 0.5)
+    ledger = assert_conserved(mig.report)
+    assert ledger.saved_bytes["compression"] > 0
+    assert ledger.overlays["rescue_compress_cpu_s"] > 0
+    assert mig.report.rescue_compress_cpu_s <= mig.report.cpu_seconds
+    assert audit_meter(link.meter, [mig.report]) == []
+
+
+# -- violations are caught ----------------------------------------------------------------
+
+
+def _clean_report() -> MigrationReport:
+    report = MigrationReport("xen", GiB(1), started_s=0.0, finished_s=10.0)
+    report.iterations = [
+        IterationRecord(1, 0.0, 6.0, 1000, 1000, 800, 0, 0),
+        IterationRecord(2, 6.0, 3.9, 400, 400, 200, 0, 0, is_last=True),
+    ]
+    report.downtime = DowntimeBreakdown(last_iter_s=3.9, resume_s=0.1)
+    report.account_wire(800, 0, "first_copy")
+    report.account_wire(200, 0, "stop_copy")
+    return report
+
+
+def test_synthetic_clean_report_conserves():
+    ledger = assert_conserved(_clean_report())
+    assert ledger.time_ns["resume"] == 100_000_000
+    assert ledger.wire_bytes == {"first_copy": 800, "stop_copy": 200}
+
+
+def test_uncategorized_wire_bytes_are_a_violation():
+    report = _clean_report()
+    report.wire_by_category["first_copy"] -= 64  # drop bytes on the floor
+    with pytest.raises(AttributionAuditError) as exc:
+        assert_conserved(report)
+    assert isinstance(exc.value, ReproError)
+    assert any("wire_ledger_matches_total" in v for v in exc.value.violations)
+    assert not exc.value.ledger.conservation["wire_ledger_matches_total"]
+
+
+def test_double_counted_time_is_a_violation():
+    report = _clean_report()
+    # An iteration longer than the whole run forces a negative residual.
+    report.iterations[0].duration_s = 11.0
+    with pytest.raises(AttributionAuditError) as exc:
+        assert_conserved(report)
+    assert any("time_buckets_nonnegative" in v for v in exc.value.violations)
+
+
+def test_unbounded_resume_tail_is_a_violation():
+    report = _clean_report()
+    report.finished_s = 20.0  # 10 s of unaccounted wall time
+    with pytest.raises(AttributionAuditError) as exc:
+        assert_conserved(report)
+    assert any("resume_tail_bounded" in v for v in exc.value.violations)
+
+
+def test_meter_mismatch_is_reported():
+    report = _clean_report()
+    link = Link()
+    link.meter.add(0, 1000, 1000, category="first_copy")
+    violations = audit_meter(link.meter, [report])
+    assert violations  # 1000 on the meter vs 800 in the ledger
+    assert any("first_copy" in v for v in violations)
+
+
+# -- export / offline path ----------------------------------------------------------------
+
+
+def test_attribution_records_roundtrip_through_jsonl(tmp_path):
+    result, run = _run("javmm")
+    ledgers = [assert_conserved(result.report).to_dict()]
+    path = tmp_path / "run.jsonl"
+    write_jsonl(path, probe=run.vm.probe, attributions=ledgers)
+    dump = read_jsonl(path)
+    assert dump.schema == SCHEMA
+    assert attribute_dump(dump) == ledgers
+
+
+def test_attribute_dump_rechecks_tampered_ledgers(tmp_path):
+    """An embedded ledger edited after export must not coast on its
+    write-time conservation verdict."""
+    result, run = _run("javmm")
+    ledgers = [assert_conserved(result.report).to_dict()]
+    path = tmp_path / "run.jsonl"
+    write_jsonl(path, probe=run.vm.probe, attributions=ledgers)
+    tampered = []
+    for line in path.read_text().splitlines():
+        rec = json.loads(line)
+        if rec.get("type") == "attribution":
+            rec["total_wire_bytes"] += 12345
+        tampered.append(json.dumps(rec))
+    path.write_text("\n".join(tampered) + "\n")
+    [led] = attribute_dump(read_jsonl(path))
+    assert led["conservation"]["wire_ledger_matches_total"] is False
+    assert any("wire_ledger_matches_total" in v for v in led["violations"])
+
+
+def test_read_jsonl_skips_unknown_kinds_with_counted_warning(tmp_path):
+    path = tmp_path / "future.jsonl"
+    records = [
+        {"type": "meta", "schema": "repro-telemetry/9"},
+        {"type": "metric", "kind": "counter", "name": "x", "labels": {}, "value": 1},
+        {"type": "hologram", "payload": "from the future"},
+        {"type": "hologram", "payload": "another"},
+        {"type": "flux", "v": 2},
+    ]
+    path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+    with pytest.warns(UserWarning) as caught:
+        dump = read_jsonl(path)
+    messages = sorted(str(w.message) for w in caught)
+    assert len(messages) == 2  # one warning per unknown kind, not per record
+    assert "1 unknown telemetry record(s) of kind 'flux'" in messages[0]
+    assert "2 unknown telemetry record(s) of kind 'hologram'" in messages[1]
+    assert dump.unknown_records == {"hologram": 2, "flux": 1}
+    assert dump.metric_value("x") == 1  # known records still parsed
+
+
+def test_attribute_dump_synthesizes_from_spans_on_old_exports(tmp_path):
+    """A /2-era export (no attribution records) still gets a ledger,
+    reconstructed from spans and category metrics — unaudited."""
+    exp = MigrationExperiment(
+        workload="crypto", engine="javmm", telemetry=True, **VM_KWARGS
+    )
+    run = ExperimentRun(exp)
+    result = run.run()
+    path = tmp_path / "old.jsonl"
+    write_jsonl(path, probe=run.vm.probe)  # no attributions passed
+    dump = read_jsonl(path)
+    assert dump.attributions == []
+    ledgers = attribute_dump(dump)
+    assert len(ledgers) == 1
+    led = ledgers[0]
+    assert led["engine"] == "javmm"
+    assert led["conservation"] == {}  # marked unaudited
+    assert led["wire_bytes"].get("first_copy", 0) > 0
+    # The span-synthesized wire ledger matches the report's categories
+    # exactly: both are fed by the same account_pages calls.
+    assert led["wire_bytes"] == {
+        k: int(v) for k, v in result.report.to_dict()["wire_by_category"].items()
+    }
+
+
+def test_metrics_snapshot_carries_retransmit_and_saved_series():
+    """Satellite: compare gates need these series in every dump."""
+    from repro.telemetry.analysis.compare import summarize_dump
+
+    link = Link()
+    link.set_loss_rate(0.02)
+    result, vm = supervised_migrate(
+        "crypto", "javmm", link=link, vm_kwargs=VM_KWARGS, telemetry=True
+    )
+    snap = vm.probe.metrics.snapshot()
+    names = {sv.name for sv in snap.series.values()}
+    assert "net.retransmit_wire_bytes" in names
+    assert "net.category_wire_bytes" in names
+    assert "net.saved_bytes" in names
+    records = [{"type": "metric", **sv.to_dict()} for sv in snap.series.values()]
+    dump = TelemetryDump(metrics=[{k: v for k, v in r.items() if k != "type"} for r in records])
+    measures = summarize_dump(dump)["migration"]
+    assert measures["retransmit_wire_bytes"] > 0
+    assert measures["saved_bytes"] > 0
+
+
+def test_zero_loss_run_still_emits_retransmit_series():
+    exp = MigrationExperiment(
+        workload="crypto", engine="xen", telemetry=True, **VM_KWARGS
+    )
+    run = ExperimentRun(exp)
+    run.run()
+    snap = run.vm.probe.metrics.snapshot()
+    names = {sv.name for sv in snap.series.values()}
+    # Emitted even at zero so comparators always find the series.
+    assert "net.retransmit_wire_bytes" in names
+
+
+# -- doctor rules -------------------------------------------------------------------------
+
+
+def _dump_with_ledger(**overrides) -> TelemetryDump:
+    led = {
+        "engine": "javmm",
+        "attempt": 1,
+        "aborted": False,
+        "app_downtime_s": 1.0,
+        "downtime_s": {"stop_copy": 0.8, "resume": 0.2},
+        "wire_bytes": {"first_copy": 500, "stop_copy": 300, "loss_retx": 200},
+        "saved_bytes": {"skip_bitmap": 1000},
+        "assist_overhead_bytes": 100,
+    }
+    led.update(overrides)
+    return TelemetryDump(attributions=[led])
+
+
+def test_doctor_flags_retransmit_dominated_downtime():
+    from repro.telemetry.analysis.doctor import rule_downtime_retransmit
+
+    findings = rule_downtime_retransmit(_dump_with_ledger(), {
+        "downtime_stop_copy_share": 0.5, "retransmit_fraction": 0.10,
+    })
+    assert len(findings) == 1
+    assert findings[0].rule == "downtime-retransmit"
+    assert "attribution:wire_bytes.loss_retx" in findings[0].evidence
+
+
+def test_doctor_downtime_retransmit_silent_without_loss():
+    from repro.telemetry.analysis.doctor import rule_downtime_retransmit
+
+    dump = _dump_with_ledger(
+        wire_bytes={"first_copy": 500, "stop_copy": 300}
+    )
+    assert rule_downtime_retransmit(dump, {
+        "downtime_stop_copy_share": 0.5, "retransmit_fraction": 0.10,
+    }) == []
+
+
+def test_doctor_flags_assist_net_loss():
+    from repro.telemetry.analysis.doctor import rule_assist_overhead
+
+    dump = _dump_with_ledger(
+        saved_bytes={"skip_bitmap": 10}, assist_overhead_bytes=5000
+    )
+    findings = rule_assist_overhead(dump, {})
+    assert len(findings) == 1
+    assert findings[0].rule == "assist-overhead"
+    assert "net loss of 4990 wire bytes" in findings[0].detail
+
+
+def test_doctor_assist_rule_silent_when_savings_win():
+    from repro.telemetry.analysis.doctor import rule_assist_overhead
+
+    assert rule_assist_overhead(_dump_with_ledger(), {}) == []
+
+
+def test_doctor_attribution_rules_silent_on_old_exports():
+    from repro.telemetry.analysis import Doctor
+
+    report = Doctor().diagnose(TelemetryDump())
+    assert report.by_rule("downtime-retransmit") == []
+    assert report.by_rule("assist-overhead") == []
+
+
+# -- CLI ----------------------------------------------------------------------------------
+
+
+def test_cli_migrate_audit_passes_and_prints_waterfall(capsys):
+    code = main([
+        "migrate", "--workload", "crypto", "--engine", "javmm",
+        "--mem-mb", "512", "--young-mb", "128", "--audit",
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "attribution: javmm" in captured.out
+    assert "conservation: OK" in captured.out
+    assert "attribution audit: conserved" in captured.err
+
+
+def test_cli_json_payload_carries_attribution(capsys):
+    code = main([
+        "migrate", "--workload", "crypto", "--engine", "xen",
+        "--mem-mb", "512", "--young-mb", "128", "--json",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload["attribution"]) == 1
+    assert payload["attribution"][0]["violations"] == []
+    assert sum(payload["attribution"][0]["wire_bytes"].values()) == (
+        payload["total_wire_bytes"]
+    )
+
+
+def test_cli_attribute_renders_export(tmp_path, capsys):
+    out = tmp_path / "run.jsonl"
+    assert main([
+        "migrate", "--workload", "crypto", "--engine", "javmm",
+        "--mem-mb", "512", "--young-mb", "128",
+        "--telemetry-out", str(out),
+    ]) == 0
+    capsys.readouterr()
+    assert main(["attribute", str(out), "--audit"]) == 0
+    captured = capsys.readouterr()
+    assert "attribution: javmm" in captured.out
+    assert "conservation: OK" in captured.out
+
+
+def test_cli_attribute_requires_one_path(capsys):
+    assert main(["attribute"]) == 2

@@ -46,17 +46,27 @@ def _crash_tick(scenario: str, lo: int, span: int) -> int:
 
 
 def _fingerprint(run_vm, report) -> tuple:
-    """Everything the equivalence oracle compares, hashard-free."""
+    """Everything the equivalence oracle compares, hashard-free.
+
+    Includes the audited attribution ledger: a crash-resumed run must
+    both *conserve* (every millisecond and wire byte lands in exactly
+    one bucket) and produce a ledger bit-identical to the uninterrupted
+    run's.
+    """
+    from repro.telemetry.attribution import assert_conserved
+
     domain = run_vm.domain
     pages = domain.read_pages(np.arange(domain.n_pages))
     samples = [repr(s) for s in run_vm.analyzer.samples]
-    return (report.to_dict() if report is not None else None, pages, samples)
+    ledger = assert_conserved(report).to_dict() if report is not None else None
+    return (report.to_dict() if report is not None else None, pages, samples, ledger)
 
 
 def _assert_identical(expected: tuple, actual: tuple) -> None:
     assert actual[0] == expected[0], "final reports differ"
     assert np.array_equal(actual[1], expected[1]), "page versions differ"
     assert actual[2] == expected[2], "throughput samples differ"
+    assert actual[3] == expected[3], "attribution ledgers differ"
 
 
 # -- unsupervised experiments ----------------------------------------------------------

@@ -20,7 +20,18 @@ from repro.core.supervisor import supervised_migrate
 from repro.errors import ConfigurationError, SimulationError
 from repro.faults import FaultPlan
 from repro.sim import Actor, Engine, KERNEL_ENV_VAR, make_engine, resolve_kernel
+from repro.telemetry.attribution import assert_conserved
 from repro.units import MiB
+
+
+def _ledgers(result) -> list[dict]:
+    """Audited attribution ledgers of every attempt (conservation must
+    hold in both kernels, and the ledgers must match bit-exactly)."""
+    out = []
+    for rec in result.attempts:
+        if rec.report is not None:
+            out.append(assert_conserved(rec.report).to_dict())
+    return out
 
 
 class Recorder(Actor):
@@ -290,6 +301,12 @@ def test_migration_measures_are_bit_identical(engine_name, seed):
     event = _run_migration("event", engine_name, seed)
     # Per-iteration streams and the final report, field by field.
     assert fixed.report.to_dict() == event.report.to_dict()
+    # The attribution ledgers conserve under both kernels and match
+    # bit-exactly (integer-ns time buckets, exact byte categories).
+    assert (
+        assert_conserved(fixed.report).to_dict()
+        == assert_conserved(event.report).to_dict()
+    )
     assert fixed.report.iterations == event.report.iterations
     assert fixed.throughput == event.throughput
     assert fixed.observed_app_downtime_s == event.observed_app_downtime_s
@@ -329,6 +346,7 @@ def test_supervised_runs_are_bit_identical(engine_name, with_faults, monkeypatch
     assert (fixed.report is None) == (event.report is None)
     if fixed.report is not None:
         assert fixed.report.to_dict() == event.report.to_dict()
+    assert _ledgers(fixed) == _ledgers(event)
 
 
 # -- WAN equivalence ----------------------------------------------------------------------
@@ -363,6 +381,7 @@ def test_wan_profile_runs_are_bit_identical(profile, monkeypatch):
     assert (f_result.report is None) == (e_result.report is None)
     if f_result.report is not None:
         assert f_result.report.to_dict() == e_result.report.to_dict()
+    assert _ledgers(f_result) == _ledgers(e_result)
     assert np.array_equal(f_pages, e_pages)
     assert f_samples == e_samples
 
@@ -395,3 +414,4 @@ def test_wan_outage_rescue_run_is_bit_identical(monkeypatch):
     ]
     if fixed.report is not None:
         assert fixed.report.to_dict() == event.report.to_dict()
+    assert _ledgers(fixed) == _ledgers(event)

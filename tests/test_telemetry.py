@@ -190,7 +190,7 @@ def test_jsonl_round_trip(tmp_path):
     assert n == 1 + 1 + 1 + 2 + 1 + 1  # meta, span, instant, events, dropped, metric
 
     dump = read_jsonl(path)
-    assert dump.schema == "repro-telemetry/2"
+    assert dump.schema == "repro-telemetry/3"
     (span_rec,) = dump.spans
     assert span_rec["name"] == "migration" and span_rec["end_s"] == 1.0
     assert dump.instants[0]["name"] == "abort"
@@ -355,7 +355,7 @@ def test_cli_trace_outputs(tmp_path, capsys):
     assert any(s["name"] == "migration.pages_sent" for s in series)
 
     dump = read_jsonl(jsonl)
-    assert dump.schema == "repro-telemetry/2"
+    assert dump.schema == "repro-telemetry/3"
     assert dump.spans and dump.metrics and dump.events
 
 

@@ -3,10 +3,12 @@
 from repro.migration.report import DowntimeBreakdown, IterationRecord, MigrationReport
 from repro.units import GiB
 from repro.viz import (
+    attribution_waterfall,
     downtime_breakdown_bar,
     iteration_boxes,
     stacked_bars,
     throughput_sparkline,
+    timeseries_sparkline,
 )
 from repro.workloads.analyzer import ThroughputSample
 
@@ -75,3 +77,107 @@ def test_downtime_breakdown_bar_contains_components():
     assert "safepoint" in out
     assert "enforced GC" in out
     assert "resume" in out
+
+
+# -- edge cases (attribution PR satellites) ----------------------------------------------
+
+
+def test_downtime_breakdown_bar_zero_downtime():
+    """A zero-downtime report (e.g. post-copy) must render, not divide
+    by zero: every segment is empty and the total reads 0.00 s."""
+    report = MigrationReport("postcopy", GiB(1), started_s=0.0, finished_s=5.0)
+    report.downtime = DowntimeBreakdown()
+    out = downtime_breakdown_bar(report)
+    lines = out.splitlines()
+    assert "0.00 s" in lines[0]
+    assert lines[0].split("|")[1].strip() == ""
+
+
+def test_timeseries_sparkline_empty_series():
+    assert "(no samples)" in timeseries_sparkline([], [], label="x")
+    assert "(no samples)" in timeseries_sparkline(None, label="x")
+
+
+def test_timeseries_sparkline_single_sample():
+    out = timeseries_sparkline([1.0], [42.0], label="one")
+    assert "one" in out
+    assert "n=1" in out
+    assert "min 42 max 42" in out
+
+
+def _ledger(**overrides) -> dict:
+    base = {
+        "engine": "javmm",
+        "attempt": 1,
+        "aborted": False,
+        "total_ns": 4_000_000_000,
+        "time_ns": {
+            "first_copy": 3_000_000_000,
+            "redirty": 500_000_000,
+            "stop_copy": 100_000_000,
+            "resume": 400_000_000,
+        },
+        "app_downtime_s": 0.5,
+        "downtime_s": {"safepoint": 0.1, "stop_copy": 0.1, "resume": 0.3},
+        "total_wire_bytes": 1000,
+        "inflight_wire_bytes": 0,
+        "wire_bytes": {"first_copy": 800, "redirty": 200},
+        "saved_bytes": {"skip_bitmap": 5000},
+        "assist_overhead_bytes": 100,
+        "overlays": {"floor_wait_s": 0.0},
+        "conservation": {"time_buckets_sum_to_total": True},
+        "violations": [],
+    }
+    base.update(overrides)
+    return base
+
+
+def test_attribution_waterfall_renders_all_sections():
+    out = attribution_waterfall(_ledger())
+    assert "attribution: javmm (attempt 1)" in out
+    assert "completion:" in out
+    assert "app downtime:" in out
+    assert "wire bytes:" in out
+    assert "saved off the wire:" in out
+    assert "conservation: OK" in out
+    # Bars tile the total: offsets are cumulative, widths bounded.
+    for line in out.splitlines():
+        if "|" in line:
+            bar = line.split("|")[1]
+            assert len(bar) <= 56
+
+
+def test_attribution_waterfall_bars_are_cumulative():
+    out = attribution_waterfall(_ledger(), width=40)
+    lines = [line for line in out.splitlines() if line.startswith("  first_copy")]
+    first = lines[0].split("|")[1]
+    # first_copy is 3/4 of completion: the bar starts at column 0.
+    assert first.startswith("#")
+    redirty = next(
+        line for line in out.splitlines() if line.startswith("  redirty")
+    ).split("|")[1]
+    # redirty starts where first_copy ended, not at column 0.
+    assert redirty.startswith(" ")
+
+
+def test_attribution_waterfall_violations_and_empty_sections():
+    led = _ledger(
+        saved_bytes={},
+        total_wire_bytes=0,
+        wire_bytes={},
+        violations=["wire_ledger_matches_total: categorized 0 B, report carried 9 B"],
+    )
+    out = attribution_waterfall(led)
+    assert "conservation: VIOLATED (1)" in out
+    assert "!! wire_ledger_matches_total" in out
+    assert "(nothing attributed)" in out
+    assert "saved off the wire" not in out
+
+
+def test_attribution_waterfall_zero_total_nonzero_buckets():
+    """An unaudited (span-synthesized) ledger can carry buckets with no
+    total; the section falls back to the bucket sum as denominator."""
+    led = _ledger(total_ns=0, conservation={}, aborted=True)
+    out = attribution_waterfall(led)
+    assert "ABORTED" in out
+    assert "(unaudited export)" in out
