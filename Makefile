@@ -23,6 +23,7 @@ bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr6_checkpoint.py
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr7_wan.py
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr8_attribution.py
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr9_live.py
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 # Bench-regression gate (mirrors the CI bench-regression job):
@@ -40,7 +41,10 @@ bench:
 # invariant is violated), then diff their deterministic simulated
 # measures (downtime, total time, wire bytes, retransmitted bytes)
 # against the checked-in baselines with `repro compare` — >5% growth
-# on any gated measure fails.
+# on any gated measure fails.  The PR9 live bench additionally fails
+# when tailing a streamed export and maintaining the fleet board costs
+# >5% wall time over batch telemetry, or when any tailed board differs
+# from its post-mortem recomputation bit-for-bit.
 check-bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr4_analysis.py /tmp/BENCH_PR4_candidate.json
 	PYTHONPATH=src $(PYTHON) -m repro.cli compare BENCH_PR4.json /tmp/BENCH_PR4_candidate.json
@@ -53,6 +57,8 @@ check-bench:
 	PYTHONPATH=src $(PYTHON) -m repro.cli compare BENCH_PR7.json /tmp/BENCH_PR7_candidate.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr8_attribution.py /tmp/BENCH_PR8_candidate.json
 	PYTHONPATH=src $(PYTHON) -m repro.cli compare BENCH_PR8.json /tmp/BENCH_PR8_candidate.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr9_live.py /tmp/BENCH_PR9_candidate.json
+	PYTHONPATH=src $(PYTHON) -m repro.cli compare BENCH_PR9.json /tmp/BENCH_PR9_candidate.json
 
 figures:
 	$(PYTHON) -m repro.cli all

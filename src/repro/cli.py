@@ -61,7 +61,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(ALL_EXPERIMENTS)
-        + ["all", "migrate", "trace", "doctor", "compare", "resume", "attribute"],
+        + ["all", "migrate", "trace", "doctor", "compare", "resume",
+           "attribute", "watch", "archive"],
         help=(
             "which figure/table to regenerate ('all' runs everything; "
             "'migrate' runs one ad-hoc migration; 'trace' runs one with "
@@ -69,7 +70,10 @@ def build_parser() -> argparse.ArgumentParser:
             "'doctor' diagnoses a telemetry export; 'compare' diffs two "
             "runs for regressions; 'resume' continues a crashed run "
             "from its latest checkpoint; 'attribute' renders the "
-            "conservation-checked attribution waterfall of an export)"
+            "conservation-checked attribution waterfall of an export; "
+            "'watch' tails telemetry streams into a live status board; "
+            "'archive' manages the SQLite multi-run archive "
+            "(ingest/query/trend/export)"
         ),
     )
     parser.add_argument(
@@ -78,8 +82,10 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help=(
             "inputs for 'doctor'/'attribute' (one telemetry JSONL "
-            "export) and 'compare' (baseline then candidate: telemetry "
-            "JSONL or BENCH_*.json)"
+            "export), 'compare' (baseline then candidate: telemetry "
+            "JSONL or BENCH_*.json), 'watch' (streams to tail), and "
+            "'archive' (an action — ingest/query/trend/export — "
+            "followed by its arguments)"
         ),
     )
     parser.add_argument(
@@ -210,6 +216,69 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the unified JSONL export (spans + metrics + events)",
     )
+    telemetry.add_argument(
+        "--telemetry-flush",
+        choices=("line", "interval", "close"),
+        default="close",
+        help=(
+            "when --telemetry-out records hit the disk: 'line' streams "
+            "every record as it happens (tail it with 'watch --follow'), "
+            "'interval' flushes every 0.25s of wall clock, 'close' "
+            "buffers until the run ends (default — the batch exporter's "
+            "write pattern and overhead)"
+        ),
+    )
+    watch = parser.add_argument_group("watch options")
+    watch.add_argument(
+        "--follow",
+        action="store_true",
+        help="watch: keep tailing until every migration reaches done/aborted",
+    )
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="watch --follow: wall seconds between polls (default: %(default)s)",
+    )
+    watch.add_argument(
+        "--watch-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help=(
+            "watch --follow: give up (exit 1) after this many wall "
+            "seconds without every stream finishing (default: %(default)s)"
+        ),
+    )
+    watch.add_argument(
+        "--fleet",
+        action="store_true",
+        help="watch: force the fleet rollup board even for one stream",
+    )
+    watch.add_argument(
+        "--prom-out",
+        metavar="FILE",
+        help="watch: also write the board as a Prometheus text exposition",
+    )
+    archive_opts = parser.add_argument_group("archive options")
+    archive_opts.add_argument(
+        "--db",
+        default="archive.db",
+        metavar="PATH",
+        help="archive database file (default: %(default)s)",
+    )
+    archive_opts.add_argument(
+        "--from-archive",
+        action="append",
+        default=[],
+        metavar="RUN_ID",
+        help=(
+            "doctor/compare/attribute/watch: read this archived run "
+            "(by id or unique prefix, from --db) instead of a file; "
+            "repeatable, consumed after any positional FILEs"
+        ),
+    )
     analysis = parser.add_argument_group("doctor / compare options")
     analysis.add_argument(
         "--threshold-pct",
@@ -233,10 +302,26 @@ def _telemetry_requested(args: argparse.Namespace) -> bool:
     return bool(args.trace_out or args.metrics_out or args.telemetry_out)
 
 
+def _make_sink(args: argparse.Namespace):
+    """A streaming sink for --telemetry-out, or None for the batch path.
+
+    The default 'close' policy keeps the batch exporter's single
+    write-at-end (its measured overhead); 'line'/'interval' mirror
+    records onto the file as they happen so a concurrent ``repro watch
+    --follow`` sees the run live.
+    """
+    if not args.telemetry_out or args.telemetry_flush == "close":
+        return None
+    from repro.telemetry.live import JsonlSink
+
+    return JsonlSink(args.telemetry_out, flush=args.telemetry_flush)
+
+
 def _write_telemetry_outputs(
     args: argparse.Namespace,
     probe: object,
     attributions: "list[dict] | None" = None,
+    sink: object | None = None,
 ) -> None:
     from repro.telemetry import write_chrome_trace, write_jsonl, write_metrics_json
 
@@ -249,7 +334,12 @@ def _write_telemetry_outputs(
         write_metrics_json(args.metrics_out, probe.metrics)
         print(f"wrote metrics: {args.metrics_out}", file=sys.stderr)
     if args.telemetry_out:
-        n = write_jsonl(args.telemetry_out, probe=probe, attributions=attributions)
+        if sink is not None:
+            # Streaming mode: instants/samples/events already went out
+            # live; append the batch-only records and fsync.
+            n = sink.finalize(probe=probe, attributions=attributions)
+        else:
+            n = write_jsonl(args.telemetry_out, probe=probe, attributions=attributions)
         print(f"wrote {n} telemetry records: {args.telemetry_out}", file=sys.stderr)
 
 
@@ -331,11 +421,11 @@ def _checkpointer(args: argparse.Namespace, config: dict):
     )
 
 
-def _print_supervised(args: argparse.Namespace, result, vm) -> int:
+def _print_supervised(args: argparse.Namespace, result, vm, sink=None) -> int:
     ledgers, violations = _attribute_reports(
         [rec.report for rec in result.attempts], migrator=result.migrator
     )
-    _write_telemetry_outputs(args, vm.probe, attributions=ledgers)
+    _write_telemetry_outputs(args, vm.probe, attributions=ledgers, sink=sink)
     if args.experiment == "trace" and vm.probe.enabled:
         print(vm.probe.tracer.phase_table())
     if args.json:
@@ -355,6 +445,7 @@ def _print_supervised(args: argparse.Namespace, result, vm) -> int:
                 for rec in result.attempts
             ],
             "report": result.report.to_dict() if result.report else None,
+            "rescues": list(result.rescues),
             "attribution": ledgers,
         }
         if args.digest:
@@ -401,6 +492,7 @@ def _run_supervised(args: argparse.Namespace) -> int:
     if args.no_rescue:
         extra["rescue"] = False
         extra["scale_timeouts"] = False
+    sink = _make_sink(args)
     result, vm = supervised_migrate(
         workload=args.workload,
         engine_name=engine,
@@ -412,14 +504,16 @@ def _run_supervised(args: argparse.Namespace) -> int:
         max_attempts=args.max_attempts,
         telemetry=telemetry,
         checkpoint=checkpoint,
+        telemetry_sink=sink,
         **extra,
     )
-    return _print_supervised(args, result, vm)
+    return _print_supervised(args, result, vm, sink=sink)
 
 
-def _print_migrate(args: argparse.Namespace, result, vm, migrator=None) -> int:
+def _print_migrate(args: argparse.Namespace, result, vm, migrator=None,
+                   sink=None) -> int:
     ledgers, violations = _attribute_reports([result.report], migrator=migrator)
-    _write_telemetry_outputs(args, result.probe, attributions=ledgers)
+    _write_telemetry_outputs(args, result.probe, attributions=ledgers, sink=sink)
     if args.experiment == "trace" and result.probe is not None and result.probe.enabled:
         print(result.probe.tracer.phase_table())
     if args.json:
@@ -462,8 +556,13 @@ def _run_migrate(args: argparse.Namespace) -> int:
         telemetry=telemetry,
     )
     run = ExperimentRun(experiment)
+    sink = _make_sink(args)
+    if sink is not None and run.vm.probe.enabled:
+        run.vm.probe.sink = sink
+        if run.vm.event_log is not None:
+            run.vm.event_log.sink = sink
     result = run.run(_checkpointer(args, experiment.config_fingerprint()))
-    return _print_migrate(args, result, run.vm, migrator=run.migrator)
+    return _print_migrate(args, result, run.vm, migrator=run.migrator, sink=sink)
 
 
 def _run_resume(args: argparse.Namespace) -> int:
@@ -495,13 +594,41 @@ def _run_resume(args: argparse.Namespace) -> int:
     return 2
 
 
+def _resolve_inputs(args: argparse.Namespace) -> list[str]:
+    """Positional FILEs plus any --from-archive runs, in that order.
+
+    Archived runs are exported back out of the database into a private
+    temp directory, so every downstream consumer (doctor, compare,
+    attribute, watch) keeps its plain path-based interface.
+    """
+    inputs = list(args.paths)
+    if args.from_archive:
+        import tempfile
+
+        from repro.telemetry.archive import RunArchive
+
+        tmpdir = tempfile.mkdtemp(prefix="repro-archive-")
+        with RunArchive(args.db) as archive:
+            for prefix in args.from_archive:
+                run_id = archive.resolve(prefix)
+                out = os.path.join(tmpdir, f"{run_id}.jsonl")
+                archive.export_stream(run_id, out)
+                inputs.append(out)
+    return inputs
+
+
 def _run_doctor(args: argparse.Namespace) -> int:
     from repro.telemetry.analysis import Doctor
 
-    if len(args.paths) != 1:
-        print("doctor needs exactly one telemetry JSONL export", file=sys.stderr)
+    inputs = _resolve_inputs(args)
+    if len(inputs) != 1:
+        print(
+            "doctor needs exactly one telemetry JSONL export "
+            "(a FILE or --from-archive RUN_ID)",
+            file=sys.stderr,
+        )
         return 2
-    report = Doctor().diagnose_file(args.paths[0])
+    report = Doctor().diagnose_file(inputs[0])
     print(report.render(sparklines=not args.no_sparklines))
     return 0
 
@@ -511,10 +638,15 @@ def _run_attribute(args: argparse.Namespace) -> int:
     from repro.telemetry.attribution import attribute_dump
     from repro.viz import attribution_waterfall
 
-    if len(args.paths) != 1:
-        print("attribute needs exactly one telemetry JSONL export", file=sys.stderr)
+    inputs = _resolve_inputs(args)
+    if len(inputs) != 1:
+        print(
+            "attribute needs exactly one telemetry JSONL export "
+            "(a FILE or --from-archive RUN_ID)",
+            file=sys.stderr,
+        )
         return 2
-    dump = read_jsonl(args.paths[0])
+    dump = read_jsonl(inputs[0])
     ledgers = attribute_dump(dump)
     if not ledgers:
         print("no migration found in the export", file=sys.stderr)
@@ -534,18 +666,121 @@ def _run_attribute(args: argparse.Namespace) -> int:
 def _run_compare(args: argparse.Namespace) -> int:
     from repro.telemetry.analysis import compare_runs
 
-    if len(args.paths) != 2:
+    inputs = _resolve_inputs(args)
+    if len(inputs) != 2:
         print(
             "compare needs a baseline and a candidate "
-            "(telemetry JSONL or BENCH_*.json)",
+            "(telemetry JSONL or BENCH_*.json; FILEs first, then any "
+            "--from-archive RUN_IDs)",
             file=sys.stderr,
         )
         return 2
     result = compare_runs(
-        args.paths[0], args.paths[1], threshold_pct=args.threshold_pct
+        inputs[0], inputs[1], threshold_pct=args.threshold_pct
     )
     print(result.render())
     return result.exit_code
+
+
+def _run_watch(args: argparse.Namespace) -> int:
+    """Tail telemetry streams into a live board (one-shot or --follow)."""
+    import time
+
+    from repro.telemetry.live import FileTail, FleetBoard, LiveStatus
+
+    inputs = _resolve_inputs(args)
+    if not inputs:
+        print(
+            "watch needs at least one telemetry stream "
+            "(a FILE or --from-archive RUN_ID)",
+            file=sys.stderr,
+        )
+        return 2
+    tails = []
+    for path in inputs:
+        name = os.path.splitext(os.path.basename(path))[0]
+        tails.append((FileTail(path), LiveStatus(name=name)))
+    board = FleetBoard()
+    deadline = time.monotonic() + args.watch_timeout
+    finished = False
+    while True:
+        for tail, status in tails:
+            status.feed_all(tail.poll())
+            status.stream_missed = tail.corrupt_lines
+            board.update(status)
+        finished = all(status.finished for _, status in tails)
+        if not args.follow or finished or time.monotonic() >= deadline:
+            break
+        time.sleep(args.interval)
+    if args.json:
+        print(json.dumps(board.to_dict(), indent=2))
+    else:
+        print(board.render(fleet=args.fleet or None))
+    if args.prom_out:
+        with open(args.prom_out, "w") as fh:
+            fh.write(board.to_prom_text())
+        print(f"wrote Prometheus exposition: {args.prom_out}", file=sys.stderr)
+    if args.follow and not finished:
+        print(
+            f"watch timed out after {args.watch_timeout}s with "
+            "unfinished migrations",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _run_archive(args: argparse.Namespace) -> int:
+    """``archive ACTION [ARGS...]``: ingest / query / trend / export."""
+    from repro.telemetry.archive import RunArchive
+
+    if not args.paths:
+        print(
+            "archive needs an action: ingest FILE..., query [RUN_ID], "
+            "trend, export RUN_ID OUT",
+            file=sys.stderr,
+        )
+        return 2
+    action, rest = args.paths[0], args.paths[1:]
+    with RunArchive(args.db) as archive:
+        if action == "ingest":
+            if not rest:
+                print("archive ingest needs at least one file", file=sys.stderr)
+                return 2
+            for path in rest:
+                run_id, created = archive.ingest(path)
+                verb = "ingested" if created else "already archived"
+                print(f"{run_id}  {verb}  {path}")
+            return 0
+        if action == "query":
+            if not rest:
+                for run in archive.runs():
+                    print(
+                        f"{run['run_id']}  {run['kind']:<9}  "
+                        f"{run['name']:<24}  {run['path']}"
+                    )
+                return 0
+            payload = archive.query(rest[0])
+            print(json.dumps(payload, indent=2))
+            return 0
+        if action == "trend":
+            trend = archive.trend()
+            if args.json:
+                print(json.dumps(trend, indent=2))
+            else:
+                from repro.viz import trend_table
+
+                print(trend_table(trend))
+            return 1 if trend["regressions"] else 0
+        if action == "export":
+            if len(rest) != 2:
+                print("archive export needs RUN_ID and OUT", file=sys.stderr)
+                return 2
+            n = archive.export_stream(rest[0], rest[1])
+            print(f"wrote {n} lines: {rest[1]}", file=sys.stderr)
+            return 0
+    print(f"unknown archive action {action!r}", file=sys.stderr)
+    return 2
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -559,6 +794,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_compare(args)
     if args.experiment == "attribute":
         return _run_attribute(args)
+    if args.experiment == "watch":
+        return _run_watch(args)
+    if args.experiment == "archive":
+        return _run_archive(args)
     if args.experiment == "resume":
         return _run_resume(args)
     if args.experiment in ("migrate", "trace"):

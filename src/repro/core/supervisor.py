@@ -634,6 +634,7 @@ def supervised_migrate(
     vm_kwargs: dict | None = None,
     telemetry: bool = False,
     checkpoint: object | None = None,
+    telemetry_sink: object | None = None,
     **supervisor_kwargs,
 ) -> tuple[SupervisionResult, JavaVM]:
     """Build a guest, optionally arm a fault plan, and migrate supervised.
@@ -645,7 +646,10 @@ def supervised_migrate(
     each attempt's daemon.  *checkpoint* is a
     :class:`~repro.checkpoint.CheckpointConfig`; with one, the
     supervisor writes durable cadence checkpoints a crashed process can
-    resume from (:func:`repro.checkpoint.resume`).
+    resume from (:func:`repro.checkpoint.resume`).  *telemetry_sink* is
+    a :class:`~repro.telemetry.live.StreamSink`: instants, samples and
+    events are mirrored onto it as they happen (``repro watch`` tails
+    it live); the caller finalizes the sink once attribution is done.
     """
     from repro.core.builders import build_java_vm
     from repro.faults import FaultInjector
@@ -654,6 +658,10 @@ def supervised_migrate(
     vm = build_java_vm(
         workload=workload, seed=seed, telemetry=telemetry, **(vm_kwargs or {})
     )
+    if telemetry_sink is not None and vm.probe.enabled:
+        vm.probe.sink = telemetry_sink
+        if vm.event_log is not None:
+            vm.event_log.sink = telemetry_sink
     vm.register(sim)
     link = link or Link()
     if warmup_s > 0:

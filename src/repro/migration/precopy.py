@@ -55,6 +55,12 @@ CPU_S_PER_BYTE_RESCUE_COMPRESSED = 12.0 / GIB
 _CHUNK = 16384  # pages examined per vectorized batch
 
 
+def _sorted_ledger(ledger: dict) -> dict:
+    """Canonical (sorted-key) copy of a byte ledger, matching the order
+    :meth:`~repro.migration.report.MigrationReport.to_dict` serializes."""
+    return {k: ledger[k] for k in sorted(ledger)}
+
+
 class MigrationPhase(enum.Enum):
     IDLE = "idle"
     ITERATING = "iterating"
@@ -71,7 +77,7 @@ class PrecopyMigrator(Actor):
     priority = 10
     #: checkpoint-protocol layout version (see repro.sim.actor);
     #: bump when a state field is added/renamed/repurposed
-    snapshot_version = 3  # v3: attribution ledger fields on the report
+    snapshot_version = 4  # v4: pages_remaining on iteration records
     name = "xen-precopy"
 
     def __init__(
@@ -192,6 +198,7 @@ class PrecopyMigrator(Actor):
         )
         self._on_migration_started(now)
         self.phase = MigrationPhase.ITERATING
+        self._emit_phase(now)
         self._begin_iteration(now)
 
     @property
@@ -298,6 +305,13 @@ class PrecopyMigrator(Actor):
                 self.domain, self.source_versions_at_start
             ).ok
         self.phase = MigrationPhase.ABORTED
+        self._emit_phase(
+            now,
+            reason=reason,
+            inflight_wire_bytes=self.report.inflight_wire_bytes,
+            wire_by_category=_sorted_ledger(self.report.wire_by_category),
+            saved_by_category=_sorted_ledger(self.report.saved_by_category),
+        )
         self._dest_failed_reason = None
 
     def load_fraction(self) -> float:
@@ -631,6 +645,8 @@ class PrecopyMigrator(Actor):
             prev.set_dirtied_during(
                 prev.dirtied_during_bytes // PAGE_SIZE + dirt_events
             )
+            prev.pages_remaining = self._remaining_dirty_count()
+            self._emit_progress(now, prev)
             return
         record = IterationRecord(
             index=len(self.report.iterations) + 1,
@@ -645,7 +661,9 @@ class PrecopyMigrator(Actor):
             is_waiting=is_waiting,
         )
         record.set_dirtied_during(dirt_events)
+        record.pages_remaining = self._remaining_dirty_count()
         self.report.iterations.append(record)
+        self._emit_progress(now, record)
         kind = "stop-and-copy" if record.is_last else (
             "waiting" if record.is_waiting else "iteration"
         )
@@ -737,6 +755,7 @@ class PrecopyMigrator(Actor):
                 self._enter_last_copy(now)
             else:
                 self.phase = MigrationPhase.WAITING_APPS
+                self._emit_phase(now)
                 self._begin_iteration(now)
             return True
         self._begin_iteration(now)
@@ -760,6 +779,7 @@ class PrecopyMigrator(Actor):
         self._log(now, f"VM paused for stop-and-copy ({self.report.stop_reason})")
         self.domain.pause(now)
         self.phase = MigrationPhase.LAST_COPY
+        self._emit_phase(now)
         self._begin_iteration(now)
         if carry is not None and carry.size:
             self._pending = np.unique(np.concatenate([carry, self._pending]))
@@ -779,11 +799,46 @@ class PrecopyMigrator(Actor):
         self.report.downtime.last_iter_s = now - self._iter_start_of_last()
         self.report.downtime.resume_s = self.resume_delay_s
         self.phase = MigrationPhase.RESUMING
+        self._emit_phase(now)
         self._resume_timer = self.resume_delay_s
         self.probe.end(self._span_iter, now)
         self._span_iter = None
         self._span_resume = self.probe.begin(
             "resume", now, track=self._track, cat="migration"
+        )
+
+    def _emit_phase(self, now: float, **args) -> None:
+        """Announce a phase transition on the telemetry stream.
+
+        The live tracker (:mod:`repro.telemetry.live`) keys its state
+        machine off these instants; the terminal ``done``/``aborted``
+        instants additionally carry the final byte ledgers so a tail
+        can settle attribution without waiting for the batch export.
+        """
+        if not self.probe.enabled:
+            return
+        self.probe.instant(
+            "phase", now, track=self._track, phase=self.phase.value,
+            engine=self.name, attempt=self.report.attempt,
+            stop_reason=self.report.stop_reason, **args,
+        )
+
+    def _emit_progress(self, now: float, rec: IterationRecord) -> None:
+        """Stream the post-merge cumulative iteration record.
+
+        Waiting sub-iterations mutate the previous record in place, so
+        each instant carries the record's *current* canonical dict and
+        the live tracker keeps only the latest instant per index — at
+        stream end its table is bit-identical to the report's.
+        """
+        if not self.probe.enabled:
+            return
+        self.probe.instant(
+            "progress", now, track=self._track,
+            engine=self.name, attempt=self.report.attempt,
+            record=rec.to_dict(),
+            wire_by_category=_sorted_ledger(self.report.wire_by_category),
+            saved_by_category=_sorted_ledger(self.report.saved_by_category),
         )
 
     def _log(self, now: float, message: str) -> None:
@@ -807,6 +862,13 @@ class PrecopyMigrator(Actor):
             self.dest_host.adopt_domain(self.domain)
         self.report.finished_s = now
         self.phase = MigrationPhase.DONE
+        self._emit_phase(
+            now,
+            verified=self.report.verified,
+            inflight_wire_bytes=self.report.inflight_wire_bytes,
+            wire_by_category=_sorted_ledger(self.report.wire_by_category),
+            saved_by_category=_sorted_ledger(self.report.saved_by_category),
+        )
         self._log(now, f"VM activated at destination (verified={self.report.verified})")
         self.probe.end(self._span_resume, now)
         self._span_resume = None

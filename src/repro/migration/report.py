@@ -29,6 +29,7 @@ class IterationRecord:
     is_last: bool = False
     is_waiting: bool = False  # ran while waiting for apps to prepare
     dirtied_during_bytes: int = 0  # filled post-hoc: dirtied while running
+    pages_remaining: int = 0  # dirty pages left after the iteration closed
 
     @property
     def bytes_sent(self) -> int:
@@ -47,6 +48,25 @@ class IterationRecord:
             self.dirtied_during_bytes / self.duration_s if self.duration_s > 0 else 0.0
         )
 
+    def to_dict(self) -> dict:
+        """Canonical JSON shape — shared by :meth:`MigrationReport.to_dict`
+        and the streamed ``progress`` instants, so the live tracker and
+        the post-mortem report agree field-for-field."""
+        return {
+            "index": self.index,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "pending_pages": self.pending_pages,
+            "pages_sent": self.pages_sent,
+            "wire_bytes": self.wire_bytes,
+            "pages_skipped_dirty": self.pages_skipped_dirty,
+            "pages_skipped_bitmap": self.pages_skipped_bitmap,
+            "is_last": self.is_last,
+            "is_waiting": self.is_waiting,
+            "dirtied_during_bytes": self.dirtied_during_bytes,
+            "pages_remaining": self.pages_remaining,
+        }
+
     @classmethod
     def from_dict(cls, d: dict) -> "IterationRecord":
         return cls(
@@ -61,6 +81,7 @@ class IterationRecord:
             is_last=d.get("is_last", False),
             is_waiting=d.get("is_waiting", False),
             dirtied_during_bytes=d.get("dirtied_during_bytes", 0),
+            pages_remaining=d.get("pages_remaining", 0),
         )
 
 
@@ -235,22 +256,7 @@ class MigrationReport:
                 "vm_downtime_s": self.downtime.vm_downtime_s,
                 "app_downtime_s": self.downtime.app_downtime_s,
             },
-            "iterations": [
-                {
-                    "index": rec.index,
-                    "start_s": rec.start_s,
-                    "duration_s": rec.duration_s,
-                    "pending_pages": rec.pending_pages,
-                    "pages_sent": rec.pages_sent,
-                    "wire_bytes": rec.wire_bytes,
-                    "pages_skipped_dirty": rec.pages_skipped_dirty,
-                    "pages_skipped_bitmap": rec.pages_skipped_bitmap,
-                    "is_last": rec.is_last,
-                    "is_waiting": rec.is_waiting,
-                    "dirtied_during_bytes": rec.dirtied_during_bytes,
-                }
-                for rec in self.iterations
-            ],
+            "iterations": [rec.to_dict() for rec in self.iterations],
         }
 
     @classmethod

@@ -30,6 +30,12 @@ class EventLog:
     the unified JSONL export reports it so truncation is never silent.
     """
 
+    #: optional streaming sink (see :mod:`repro.telemetry.live`): when
+    #: set, every event is mirrored onto the stream as it is logged.  A
+    #: class attribute so logs restored from pre-streaming checkpoints
+    #: get ``None`` instead of an AttributeError.
+    sink = None
+
     def __init__(self, capacity: int = 100_000) -> None:
         if capacity < 1:
             raise ValueError("event log capacity must be >= 1")
@@ -41,6 +47,11 @@ class EventLog:
         if len(self._events) == self.capacity:
             self.dropped += 1
         self._events.append(Event(time_s, source, message))
+        if self.sink is not None:
+            self.sink.emit(
+                {"type": "event", "time_s": time_s,
+                 "source": source, "message": message}
+            )
 
     def events(self, source: str | None = None) -> list[Event]:
         return [e for e in self._events if source is None or e.source == source]

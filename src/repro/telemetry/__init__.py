@@ -27,7 +27,15 @@ every layer shares:
 - :mod:`repro.telemetry.analysis` — the interpretation layer: the
   online :class:`~repro.telemetry.analysis.ConvergenceMonitor`, the
   rule-based :class:`~repro.telemetry.analysis.Doctor` and the
-  run-to-run :func:`~repro.telemetry.analysis.compare_runs` comparator.
+  run-to-run :func:`~repro.telemetry.analysis.compare_runs` comparator;
+- :mod:`repro.telemetry.live` — the streaming half: sinks mirror
+  records as they happen, tails consume them incrementally, and
+  :class:`LiveStatus` / :class:`FleetBoard` fold them into live
+  per-migration status and fleet-wide percentile rollups
+  (``repro watch``);
+- :mod:`repro.telemetry.archive` — the SQLite multi-run archive:
+  ``repro archive ingest/query/trend`` indexes streams and bench
+  payloads into queryable tables.
 
 See ``docs/OBSERVABILITY.md`` for the span taxonomy and metric names.
 """
@@ -63,21 +71,44 @@ from repro.telemetry.probe import NULL_PROBE, NullProbe, Probe
 from repro.telemetry.timeseries import Series, TimeseriesStore
 from repro.telemetry.tracer import InstantEvent, Span, Tracer
 
+# The streaming and archive layers import the analysis package, which
+# imports export above — keep them last so the package initializes
+# without a cycle.
+from repro.telemetry.archive import RunArchive, run_id_for  # noqa: E402
+from repro.telemetry.live import (  # noqa: E402
+    FileTail,
+    FleetBoard,
+    JsonlSink,
+    LiveStatus,
+    RingSink,
+    RingTail,
+    StreamSink,
+    watch_file,
+)
+
 __all__ = [
     "SCHEMA",
     "AttributionAuditError",
     "Counter",
+    "FileTail",
+    "FleetBoard",
     "Gauge",
     "Histogram",
     "InstantEvent",
+    "JsonlSink",
+    "LiveStatus",
     "MetricsRegistry",
     "MetricsSnapshot",
     "MigrationLedger",
     "NULL_PROBE",
     "NullProbe",
     "Probe",
+    "RingSink",
+    "RingTail",
+    "RunArchive",
     "Series",
     "Span",
+    "StreamSink",
     "TelemetryDump",
     "TimeseriesStore",
     "Tracer",
@@ -89,7 +120,9 @@ __all__ = [
     "audit_report",
     "read_jsonl",
     "recheck_ledger",
+    "run_id_for",
     "telemetry_records",
+    "watch_file",
     "write_chrome_trace",
     "write_jsonl",
     "write_metrics_json",

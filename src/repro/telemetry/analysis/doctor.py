@@ -32,6 +32,11 @@ Rule catalogue (see ``docs/OBSERVABILITY.md`` for the full table):
   budget;
 - ``event-loss`` — ring-buffer drops in the event log or sample series
   (the export itself is lossy: treat absence of evidence carefully);
+- ``stream-gap`` — the stream lost records that live consumers depend
+  on: sample drops on the convergence series (dirty rate, effective
+  bandwidth, pages remaining), record kinds this reader skipped, or
+  heavy event-log eviction — any of which makes the live board's ETAs
+  start from an incomplete record set;
 - ``resumed-run`` — the run was restored from a durable checkpoint
   (``checkpoint-restore`` span present); flags the gap between the
   checkpoint instant and the crashed run's last journaled decision;
@@ -151,6 +156,7 @@ class Doctor:
             "stop_pages": 50,
             "resume_gap_s": 5.0,
             "downtime_stop_copy_share": 0.5,
+            "stream_gap_events": 10_000,
             **thresholds,
         }
 
@@ -558,6 +564,89 @@ def rule_event_loss(dump: TelemetryDump, thresholds: dict) -> list[Finding]:
     return findings
 
 
+#: the sample series live ETAs are derived from — a drop on any of
+#: these means the record-granularity replay started mid-history
+CONVERGENCE_SERIES = (
+    "migration.dirty_rate_bytes_s",
+    "migration.eff_bandwidth_bytes_s",
+    "migration.pages_remaining",
+)
+
+
+def rule_stream_gap(dump: TelemetryDump, thresholds: dict) -> list[Finding]:
+    """Warn when the stream dropped records live consumers rely on.
+
+    ``event-loss`` (info) reports *any* ring eviction; this rule
+    escalates to a warning when the loss is the kind that corrupts a
+    live reading: convergence-series samples evicted (the ETA replay is
+    missing its oldest observations), record kinds skipped as unknown
+    (a newer writer than this reader), or event eviction past
+    ``stream_gap_events`` (the narrative around the remaining records
+    is gone).  The counts are the evidence.
+    """
+    findings = []
+    dropped_series = {
+        rec["series"]: rec["dropped"]
+        for rec in dump.samples
+        if rec.get("type") == "series_dropped"
+        and rec.get("series") in CONVERGENCE_SERIES
+    }
+    if dropped_series:
+        total = sum(dropped_series.values())
+        findings.append(
+            Finding(
+                rule="stream-gap",
+                severity="warning",
+                title=(
+                    f"stream dropped {total} sample(s) from "
+                    f"{len(dropped_series)} convergence series — live ETAs "
+                    f"computed from an incomplete history"
+                ),
+                detail=", ".join(
+                    f"{name} lost {dropped_series[name]}"
+                    for name in sorted(dropped_series)
+                ),
+                evidence=tuple(
+                    f"series:{name}" for name in sorted(dropped_series)
+                ),
+            )
+        )
+    if dump.unknown_records:
+        total = sum(dump.unknown_records.values())
+        findings.append(
+            Finding(
+                rule="stream-gap",
+                severity="warning",
+                title=(
+                    f"reader skipped {total} record(s) of "
+                    f"{len(dump.unknown_records)} unknown kind(s) — the "
+                    f"stream writer is newer than this reader"
+                ),
+                detail=", ".join(
+                    f"{kind} x{dump.unknown_records[kind]}"
+                    for kind in sorted(dump.unknown_records)
+                ),
+                evidence=tuple(
+                    f"record-kind:{kind}" for kind in sorted(dump.unknown_records)
+                ),
+            )
+        )
+    if dump.dropped_events > thresholds["stream_gap_events"]:
+        findings.append(
+            Finding(
+                rule="stream-gap",
+                severity="warning",
+                title=(
+                    f"event log evicted {dump.dropped_events} records "
+                    f"(> {thresholds['stream_gap_events']}) — the live "
+                    f"timeline around surviving records is unreliable"
+                ),
+                evidence=("metric:event_log_dropped",),
+            )
+        )
+    return findings
+
+
 def rule_resumed_run(dump: TelemetryDump, thresholds: dict) -> list[Finding]:
     """Detect a crash-restarted run and size its re-execution window.
 
@@ -712,6 +801,7 @@ DEFAULT_RULES = (
     rule_aborts,
     rule_slow_downtime,
     rule_event_loss,
+    rule_stream_gap,
     rule_resumed_run,
     rule_downtime_retransmit,
     rule_assist_overhead,

@@ -1,0 +1,505 @@
+"""SQLite-backed multi-run telemetry archive.
+
+One migration produces one stream; a fleet produces thousands, and the
+questions change shape: *which* runs aborted on the continental link,
+how did downtime trend across the last six benchmark generations, what
+did iteration 7 of attempt 2 of run ``9f31c02a77d4`` look like?  The
+archive answers those without re-parsing JSONL: ``repro archive
+ingest`` indexes telemetry streams and ``BENCH_*.json`` payloads into
+queryable tables, and every raw line is retained so the exact original
+stream (and therefore the exact original
+:class:`~repro.telemetry.export.TelemetryDump`) can always be rebuilt —
+``--from-archive RUN_ID`` feeds ``repro doctor`` / ``repro compare``
+straight from the database.
+
+Design points:
+
+- **Content-addressed runs.** A run's id is the SHA-256 of the file
+  bytes (12 hex chars), so ingest is idempotent: re-ingesting the same
+  file is a no-op, and two hosts archiving the same run agree on its
+  name.
+- **Uses only the stdlib** ``sqlite3`` module, one database file.
+- **Long-format measures.** Bench gate values and per-run measures are
+  stored as ``(measure, value)`` rows, so new benchmark generations
+  need no schema migrations.
+- **Trend over history.** Each ingest keeps its insertion order, so
+  ``repro archive trend`` can both plot the PR3→PR8 trajectory (latest
+  ingest per benchmark, ordered by PR number) and flag regressions by
+  comparing the two most recent ingests *of the same benchmark* —
+  cross-benchmark numbers measure different things and are displayed,
+  never compared.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import sqlite3
+from pathlib import Path
+
+from repro.telemetry.export import TelemetryDump, dump_from_records
+
+SCHEMA_SQL = """
+CREATE TABLE IF NOT EXISTS runs (
+    seq        INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id     TEXT UNIQUE NOT NULL,
+    kind       TEXT NOT NULL,            -- 'telemetry' | 'bench'
+    name       TEXT NOT NULL,            -- stream schema or benchmark name
+    path       TEXT NOT NULL,            -- source file at ingest time
+    n_records  INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS raw_lines (
+    run_id  TEXT NOT NULL,
+    line_no INTEGER NOT NULL,
+    line    TEXT NOT NULL,
+    PRIMARY KEY (run_id, line_no)
+);
+CREATE TABLE IF NOT EXISTS attempts (
+    run_id      TEXT NOT NULL,
+    attempt     INTEGER NOT NULL,
+    engine      TEXT NOT NULL,
+    start_s     REAL NOT NULL,
+    end_s       REAL,
+    aborted     INTEGER NOT NULL,
+    stop_reason TEXT NOT NULL,
+    verified    INTEGER,
+    PRIMARY KEY (run_id, attempt, start_s)
+);
+CREATE TABLE IF NOT EXISTS iterations (
+    run_id               TEXT NOT NULL,
+    attempt              INTEGER NOT NULL,
+    idx                  INTEGER NOT NULL,
+    start_s              REAL NOT NULL,
+    duration_s           REAL NOT NULL,
+    pending_pages        INTEGER NOT NULL,
+    pages_sent           INTEGER NOT NULL,
+    wire_bytes           INTEGER NOT NULL,
+    pages_skipped_dirty  INTEGER NOT NULL,
+    pages_skipped_bitmap INTEGER NOT NULL,
+    is_last              INTEGER NOT NULL,
+    is_waiting           INTEGER NOT NULL,
+    dirtied_during_bytes INTEGER NOT NULL,
+    pages_remaining      INTEGER NOT NULL,
+    PRIMARY KEY (run_id, attempt, idx)
+);
+CREATE TABLE IF NOT EXISTS ledger_buckets (
+    run_id    TEXT NOT NULL,
+    attempt   INTEGER NOT NULL,
+    engine    TEXT NOT NULL,
+    dimension TEXT NOT NULL,              -- time_ns / wire_bytes / ...
+    category  TEXT NOT NULL,
+    value     REAL NOT NULL,
+    PRIMARY KEY (run_id, attempt, dimension, category)
+);
+CREATE TABLE IF NOT EXISTS samples (
+    run_id  TEXT NOT NULL,
+    series  TEXT NOT NULL,
+    time_s  REAL NOT NULL,
+    value   REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS samples_by_series ON samples (run_id, series, time_s);
+CREATE TABLE IF NOT EXISTS bench_runs (
+    run_id   TEXT NOT NULL,
+    row_no   INTEGER NOT NULL,
+    workload TEXT NOT NULL,
+    engine   TEXT NOT NULL,
+    measure  TEXT NOT NULL,
+    value    REAL NOT NULL,
+    PRIMARY KEY (run_id, row_no, measure)
+);
+CREATE TABLE IF NOT EXISTS bench_gates (
+    run_id  TEXT NOT NULL,
+    measure TEXT NOT NULL,
+    value   REAL NOT NULL,
+    PRIMARY KEY (run_id, measure)
+);
+"""
+
+#: ledger dict fields broken out into ``ledger_buckets`` rows
+LEDGER_DIMENSIONS = ("time_ns", "downtime_s", "wire_bytes", "saved_bytes", "overlays")
+
+#: trend regression tolerance: a gate measure moving more than this
+#: fraction in the bad direction between two ingests of the *same*
+#: benchmark is flagged
+TREND_TOLERANCE = 0.10
+
+#: gate measures where *larger* is better (everything else numeric with
+#: a time/ratio/byte suffix is treated as smaller-is-better)
+_LARGER_IS_BETTER = re.compile(r"(speedup|survival|saved|rescued)", re.IGNORECASE)
+_SMALLER_IS_BETTER = re.compile(r"(_s$|_ms$|_pct$|_bytes$|overhead|aborted)")
+
+
+def run_id_for(path: str | Path) -> str:
+    """Content id of a file: first 12 hex chars of its SHA-256."""
+    return hashlib.sha256(Path(path).read_bytes()).hexdigest()[:12]
+
+
+def _looks_like_bench(first_line: str, payload_head: str) -> bool:
+    """A bench payload is one pretty-printed JSON object with a
+    ``benchmark`` key; a telemetry stream is JSONL with a meta header."""
+    stripped = first_line.strip()
+    if stripped.startswith("{") and '"type"' in stripped:
+        return False
+    return '"benchmark"' in payload_head
+
+
+class RunArchive:
+    """The archive handle: ingest files, query runs, rebuild streams."""
+
+    def __init__(self, db_path: str | Path = "archive.db") -> None:
+        self.db_path = str(db_path)
+        self._conn = sqlite3.connect(self.db_path)
+        self._conn.executescript(SCHEMA_SQL)
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "RunArchive":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- ingest --------------------------------------------------------------------------
+
+    def ingest(self, path: str | Path) -> tuple[str, bool]:
+        """Index one file (telemetry JSONL or bench JSON); returns
+        ``(run_id, created)``.  Idempotent: a file whose bytes are
+        already archived is skipped."""
+        path = Path(path)
+        run_id = run_id_for(path)
+        cur = self._conn.execute(
+            "SELECT 1 FROM runs WHERE run_id = ?", (run_id,)
+        )
+        if cur.fetchone() is not None:
+            return run_id, False
+        text = path.read_text()
+        lines = text.splitlines()
+        first = lines[0] if lines else ""
+        if _looks_like_bench(first, text[:4096]):
+            self._ingest_bench(run_id, path, json.loads(text))
+        else:
+            self._ingest_telemetry(run_id, path, lines)
+        self._conn.commit()
+        return run_id, True
+
+    def _ingest_telemetry(self, run_id: str, path: Path, lines: list[str]) -> None:
+        records = []
+        stored = 0
+        for i, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            self._conn.execute(
+                "INSERT INTO raw_lines (run_id, line_no, line) VALUES (?, ?, ?)",
+                (run_id, stored, line),
+            )
+            stored += 1
+            records.append(json.loads(line))
+        dump = dump_from_records(records)
+        self._conn.execute(
+            "INSERT INTO runs (run_id, kind, name, path, n_records)"
+            " VALUES (?, 'telemetry', ?, ?, ?)",
+            (run_id, dump.schema, str(path), stored),
+        )
+        self._index_dump(run_id, dump)
+
+    def _index_dump(self, run_id: str, dump: TelemetryDump) -> None:
+        for span in dump.spans:
+            if span.get("name") != "migration":
+                continue
+            args = span.get("args", {})
+            verified = args.get("verified")
+            self._conn.execute(
+                "INSERT OR REPLACE INTO attempts"
+                " (run_id, attempt, engine, start_s, end_s, aborted,"
+                "  stop_reason, verified)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    run_id,
+                    int(args.get("attempt", 1)),
+                    str(args.get("engine", "")),
+                    span.get("start_s", 0.0),
+                    span.get("end_s"),
+                    1 if args.get("aborted") else 0,
+                    str(args.get("stop_reason", args.get("reason", ""))),
+                    None if verified is None else (1 if verified else 0),
+                ),
+            )
+        # Iteration table: the latest cumulative `progress` payload per
+        # (attempt, index) — waiting sub-iterations stream merged
+        # updates of the same record, latest wins.
+        for inst in dump.instants:
+            if inst.get("name") != "progress":
+                continue
+            args = inst.get("args", {})
+            rec = args.get("record", {})
+            self._conn.execute(
+                "INSERT OR REPLACE INTO iterations VALUES"
+                " (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    run_id,
+                    int(args.get("attempt", 1)),
+                    rec["index"],
+                    rec["start_s"],
+                    rec["duration_s"],
+                    rec["pending_pages"],
+                    rec["pages_sent"],
+                    rec["wire_bytes"],
+                    rec["pages_skipped_dirty"],
+                    rec["pages_skipped_bitmap"],
+                    1 if rec.get("is_last") else 0,
+                    1 if rec.get("is_waiting") else 0,
+                    rec["dirtied_during_bytes"],
+                    rec.get("pages_remaining", 0),
+                ),
+            )
+        for ledger in dump.attributions:
+            attempt = int(ledger.get("attempt", 1))
+            engine = str(ledger.get("engine", ""))
+            for dimension in LEDGER_DIMENSIONS:
+                for category, value in ledger.get(dimension, {}).items():
+                    self._conn.execute(
+                        "INSERT OR REPLACE INTO ledger_buckets VALUES"
+                        " (?, ?, ?, ?, ?, ?)",
+                        (run_id, attempt, engine, dimension, category, value),
+                    )
+        for sample in dump.samples:
+            if sample.get("type") != "sample":
+                continue
+            self._conn.execute(
+                "INSERT INTO samples (run_id, series, time_s, value)"
+                " VALUES (?, ?, ?, ?)",
+                (run_id, sample["series"], sample["time_s"], sample["value"]),
+            )
+
+    def _ingest_bench(self, run_id: str, path: Path, payload: dict) -> None:
+        name = str(payload.get("benchmark", path.stem))
+        self._conn.execute(
+            "INSERT INTO runs (run_id, kind, name, path, n_records)"
+            " VALUES (?, 'bench', ?, ?, ?)",
+            (run_id, name, str(path), len(payload.get("runs", []))),
+        )
+        self._conn.execute(
+            "INSERT INTO raw_lines (run_id, line_no, line) VALUES (?, 0, ?)",
+            (run_id, json.dumps(payload)),
+        )
+        for measure, value in payload.items():
+            if isinstance(value, bool):
+                value = 1.0 if value else 0.0
+            elif not isinstance(value, (int, float)):
+                continue
+            self._conn.execute(
+                "INSERT OR REPLACE INTO bench_gates VALUES (?, ?, ?)",
+                (run_id, measure, float(value)),
+            )
+        for row_no, row in enumerate(payload.get("runs", [])):
+            workload = str(row.get("workload", ""))
+            engine = str(row.get("engine", ""))
+            for measure, value in row.items():
+                if isinstance(value, bool):
+                    value = 1.0 if value else 0.0
+                elif not isinstance(value, (int, float)):
+                    continue
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO bench_runs VALUES (?, ?, ?, ?, ?, ?)",
+                    (run_id, row_no, workload, engine, measure, float(value)),
+                )
+
+    # -- queries -------------------------------------------------------------------------
+
+    def runs(self) -> list[dict]:
+        """Every archived run, oldest ingest first."""
+        cur = self._conn.execute(
+            "SELECT seq, run_id, kind, name, path, n_records"
+            " FROM runs ORDER BY seq"
+        )
+        return [
+            dict(zip(("seq", "run_id", "kind", "name", "path", "n_records"), row))
+            for row in cur.fetchall()
+        ]
+
+    def resolve(self, prefix: str) -> str:
+        """Expand a unique run-id prefix to the full id."""
+        cur = self._conn.execute(
+            "SELECT run_id FROM runs WHERE run_id LIKE ? ORDER BY run_id",
+            (prefix + "%",),
+        )
+        matches = [row[0] for row in cur.fetchall()]
+        if not matches:
+            raise KeyError(f"no archived run matches {prefix!r}")
+        if len(matches) > 1:
+            raise KeyError(f"ambiguous run id {prefix!r}: {matches}")
+        return matches[0]
+
+    def raw_lines(self, run_id: str) -> list[str]:
+        run_id = self.resolve(run_id)
+        cur = self._conn.execute(
+            "SELECT line FROM raw_lines WHERE run_id = ? ORDER BY line_no",
+            (run_id,),
+        )
+        return [row[0] for row in cur.fetchall()]
+
+    def export_stream(self, run_id: str, out: str | Path) -> int:
+        """Write the archived run back out as the original stream file
+        (byte-for-byte modulo blank lines); returns lines written."""
+        lines = self.raw_lines(run_id)
+        Path(out).write_text("\n".join(lines) + "\n")
+        return len(lines)
+
+    def dump(self, run_id: str) -> TelemetryDump:
+        """The archived stream rebuilt as a parsed dump — identical to
+        :func:`~repro.telemetry.export.read_jsonl` on the source file."""
+        records = [json.loads(line) for line in self.raw_lines(run_id)]
+        return dump_from_records(records)
+
+    def query(self, run_id: str) -> dict:
+        """A structured summary of one archived run."""
+        run_id = self.resolve(run_id)
+        cur = self._conn.execute(
+            "SELECT kind, name, path, n_records FROM runs WHERE run_id = ?",
+            (run_id,),
+        )
+        kind, name, path, n_records = cur.fetchone()
+        out = {
+            "run_id": run_id, "kind": kind, "name": name,
+            "path": path, "n_records": n_records,
+        }
+        if kind == "bench":
+            cur = self._conn.execute(
+                "SELECT measure, value FROM bench_gates WHERE run_id = ?"
+                " ORDER BY measure",
+                (run_id,),
+            )
+            out["gates"] = {m: v for m, v in cur.fetchall()}
+            cur = self._conn.execute(
+                "SELECT COUNT(DISTINCT row_no) FROM bench_runs WHERE run_id = ?",
+                (run_id,),
+            )
+            out["bench_rows"] = cur.fetchone()[0]
+            return out
+        cur = self._conn.execute(
+            "SELECT attempt, engine, start_s, end_s, aborted, stop_reason,"
+            " verified FROM attempts WHERE run_id = ? ORDER BY start_s",
+            (run_id,),
+        )
+        out["attempts"] = [
+            dict(zip(
+                ("attempt", "engine", "start_s", "end_s", "aborted",
+                 "stop_reason", "verified"), row,
+            ))
+            for row in cur.fetchall()
+        ]
+        cur = self._conn.execute(
+            "SELECT COUNT(*), COALESCE(SUM(wire_bytes), 0) FROM iterations"
+            " WHERE run_id = ?",
+            (run_id,),
+        )
+        n_iter, wire = cur.fetchone()
+        out["iterations"] = n_iter
+        out["wire_bytes"] = int(wire)
+        cur = self._conn.execute(
+            "SELECT dimension, category, SUM(value) FROM ledger_buckets"
+            " WHERE run_id = ? GROUP BY dimension, category"
+            " ORDER BY dimension, category",
+            (run_id,),
+        )
+        ledgers: dict[str, dict] = {}
+        for dimension, category, value in cur.fetchall():
+            ledgers.setdefault(dimension, {})[category] = value
+        out["ledger"] = ledgers
+        cur = self._conn.execute(
+            "SELECT series, COUNT(*) FROM samples WHERE run_id = ?"
+            " GROUP BY series ORDER BY series",
+            (run_id,),
+        )
+        out["samples"] = {series: count for series, count in cur.fetchall()}
+        return out
+
+    def sweep(self, benchmark: str | None = None) -> list[dict]:
+        """Per-cell bench measures across archived bench payloads."""
+        sql = (
+            "SELECT r.name, b.run_id, b.workload, b.engine, b.measure, b.value"
+            " FROM bench_runs b JOIN runs r ON r.run_id = b.run_id"
+        )
+        params: tuple = ()
+        if benchmark is not None:
+            sql += " WHERE r.name = ?"
+            params = (benchmark,)
+        sql += " ORDER BY r.seq, b.row_no, b.measure"
+        cur = self._conn.execute(sql, params)
+        return [
+            dict(zip(
+                ("benchmark", "run_id", "workload", "engine", "measure", "value"),
+                row,
+            ))
+            for row in cur.fetchall()
+        ]
+
+    # -- trend ---------------------------------------------------------------------------
+
+    @staticmethod
+    def _pr_order(name: str) -> tuple:
+        m = re.search(r"pr(\d+)", name)
+        return (0, int(m.group(1)), name) if m else (1, 0, name)
+
+    def trend(self, tolerance: float = TREND_TOLERANCE) -> dict:
+        """The bench trajectory plus within-benchmark regressions.
+
+        ``trajectory`` is the latest ingest of every benchmark, ordered
+        by PR number — the PR3→PR8 story.  ``regressions`` compares the
+        two most recent ingests of the *same* benchmark name: a gate
+        measure that moved more than *tolerance* in its bad direction
+        (larger for times/overheads/bytes, smaller for speedups and
+        survival rates) is flagged.  Cross-benchmark comparisons are
+        never made — different benchmarks gate different quantities.
+        """
+        by_name: dict[str, list[dict]] = {}
+        for run in self.runs():
+            if run["kind"] == "bench":
+                by_name.setdefault(run["name"], []).append(run)
+        trajectory = []
+        regressions = []
+        for name in sorted(by_name, key=self._pr_order):
+            history = by_name[name]  # oldest ingest first
+            latest = history[-1]
+            gates = self.query(latest["run_id"])["gates"]
+            trajectory.append({
+                "benchmark": name,
+                "run_id": latest["run_id"],
+                "ingests": len(history),
+                "gates": gates,
+            })
+            if len(history) < 2:
+                continue
+            prev_gates = self.query(history[-2]["run_id"])["gates"]
+            for measure in sorted(gates):
+                if measure not in prev_gates:
+                    continue
+                before, after = prev_gates[measure], gates[measure]
+                worse = self._is_worse(measure, before, after, tolerance)
+                if worse:
+                    delta_pct = (
+                        (after - before) / abs(before) * 100.0 if before else 0.0
+                    )
+                    regressions.append({
+                        "benchmark": name,
+                        "measure": measure,
+                        "before": before,
+                        "after": after,
+                        "delta_pct": round(delta_pct, 2),
+                    })
+        return {"trajectory": trajectory, "regressions": regressions}
+
+    @staticmethod
+    def _is_worse(measure: str, before: float, after: float,
+                  tolerance: float) -> bool:
+        if _LARGER_IS_BETTER.search(measure):
+            return after < before * (1.0 - tolerance)
+        if _SMALLER_IS_BETTER.search(measure):
+            if before <= 0:
+                return after > tolerance and after > before
+            return after > before * (1.0 + tolerance)
+        return False

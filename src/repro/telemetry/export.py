@@ -139,6 +139,56 @@ class TelemetryDump:
         return TimeseriesStore.from_records(self.samples)
 
 
+def absorb_record(dump: TelemetryDump, record: dict) -> None:
+    """Sort one typed record (its ``type`` key is consumed) into *dump*.
+
+    The single parsing step :func:`read_jsonl`, the streaming tail
+    (:mod:`repro.telemetry.live`) and the run archive
+    (:mod:`repro.telemetry.archive`) all share, so a dump rebuilt from
+    stored or tailed records is identical to one read from the file.
+    """
+    kind = record.pop("type")
+    if kind == "meta":
+        dump.schema = record.get("schema", "")
+    elif kind == "span":
+        dump.spans.append(record)
+    elif kind == "instant":
+        dump.instants.append(record)
+    elif kind == "event":
+        dump.events.append(record)
+    elif kind == "metric":
+        dump.metrics.append(record)
+    elif kind in ("sample", "series_dropped"):
+        dump.samples.append({"type": kind, **record})
+    elif kind == "attribution":
+        dump.attributions.append(record)
+    elif kind == "event_log_dropped":
+        dump.dropped_events = record["dropped"]
+    else:
+        dump.unknown_records[kind] = dump.unknown_records.get(kind, 0) + 1
+
+
+def _warn_unknown(dump: TelemetryDump) -> None:
+    for kind in sorted(dump.unknown_records):
+        warnings.warn(
+            f"skipped {dump.unknown_records[kind]} unknown telemetry "
+            f"record(s) of kind {kind!r} (stream schema {dump.schema!r}, "
+            f"reader schema {SCHEMA!r})",
+            stacklevel=3,
+        )
+
+
+def dump_from_records(records: "list[dict]") -> TelemetryDump:
+    """Rebuild a dump from already-decoded typed records (each record
+    is copied, not consumed).  Same forward-compatibility contract as
+    :func:`read_jsonl`: unknown kinds are counted and warned about."""
+    dump = TelemetryDump()
+    for record in records:
+        absorb_record(dump, dict(record))
+    _warn_unknown(dump)
+    return dump
+
+
 def read_jsonl(path: str | Path) -> TelemetryDump:
     """Parse a unified stream back into structured lists (round-trip).
 
@@ -152,33 +202,8 @@ def read_jsonl(path: str | Path) -> TelemetryDump:
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
-            kind = record.pop("type")
-            if kind == "meta":
-                dump.schema = record.get("schema", "")
-            elif kind == "span":
-                dump.spans.append(record)
-            elif kind == "instant":
-                dump.instants.append(record)
-            elif kind == "event":
-                dump.events.append(record)
-            elif kind == "metric":
-                dump.metrics.append(record)
-            elif kind in ("sample", "series_dropped"):
-                dump.samples.append({"type": kind, **record})
-            elif kind == "attribution":
-                dump.attributions.append(record)
-            elif kind == "event_log_dropped":
-                dump.dropped_events = record["dropped"]
-            else:
-                dump.unknown_records[kind] = dump.unknown_records.get(kind, 0) + 1
-    for kind in sorted(dump.unknown_records):
-        warnings.warn(
-            f"skipped {dump.unknown_records[kind]} unknown telemetry "
-            f"record(s) of kind {kind!r} (stream schema {dump.schema!r}, "
-            f"reader schema {SCHEMA!r})",
-            stacklevel=2,
-        )
+            absorb_record(dump, json.loads(line))
+    _warn_unknown(dump)
     return dump
 
 

@@ -25,6 +25,11 @@ class Probe:
     """A live telemetry handle: spans + metrics + series + event log."""
 
     enabled = True
+    #: optional streaming sink (see :mod:`repro.telemetry.live`): when
+    #: set, instants and samples are mirrored onto the stream as they
+    #: happen.  A class attribute so probes restored from pre-streaming
+    #: checkpoints get ``None`` instead of an AttributeError.
+    sink = None
 
     def __init__(
         self,
@@ -54,6 +59,11 @@ class Probe:
     def sample(self, name: str, now: float, value: float) -> None:
         """Append one ``(now, value)`` point to the named series."""
         self.timeseries.add(name, now, value)
+        if self.sink is not None:
+            self.sink.emit(
+                {"type": "sample", "series": name,
+                 "time_s": float(now), "value": float(value)}
+            )
 
     # -- spans ---------------------------------------------------------------------------
 
@@ -67,6 +77,11 @@ class Probe:
 
     def instant(self, name: str, now: float, track: str = "main", **args) -> None:
         self.tracer.instant(name, now, track=track, **args)
+        if self.sink is not None:
+            self.sink.emit(
+                {"type": "instant", "name": name, "track": track,
+                 "time_s": now, "args": dict(args)}
+            )
 
     def finish(self, now: float) -> None:
         self.tracer.finish(now)

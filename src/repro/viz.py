@@ -293,3 +293,133 @@ def downtime_breakdown_bar(report: MigrationReport, width: int = 56) -> str:
         width=width,
         unit=" s",
     )
+
+
+def _fmt_eta(value: float | None) -> str:
+    if value is None:
+        return "-"
+    return fmt_seconds(value)
+
+
+def _status_card(status: dict) -> str:
+    """One migration's live detail card (``repro watch``, single mode)."""
+    verdict = status.get("verdict", {})
+    rescue = status.get("rescue", {})
+    lines = [
+        f"migration {status.get('name', '?')}  "
+        f"[{status.get('engine', '?')}  attempt {status.get('attempt', 1)}  "
+        f"phase {status.get('phase', '?')}  t={status.get('clock_s', 0.0):.3f}s]",
+        f"  iterations {status.get('iterations', 0)}  "
+        f"pages remaining {status.get('pages_remaining', 0)}  "
+        f"aborts {status.get('aborts', 0)}",
+        f"  dirty rate {fmt_bytes(status.get('dirty_rate_bytes_s', 0.0))}/s  "
+        f"eff bandwidth {fmt_bytes(status.get('eff_bandwidth_bytes_s', 0.0))}/s",
+        f"  convergence {verdict.get('state', '?')}  "
+        f"eta {_fmt_eta(verdict.get('eta_s'))}  "
+        f"downtime eta {_fmt_eta(verdict.get('downtime_eta_s'))}",
+    ]
+    if verdict.get("reason"):
+        lines.append(f"    {verdict['reason']}")
+    if rescue.get("rungs"):
+        parts = [f"{rescue['rungs']} rung(s)"]
+        if rescue.get("throttle_stage"):
+            parts.append(
+                f"throttle stage {rescue['throttle_stage']} "
+                f"(factor {rescue.get('throttle_factor')})"
+            )
+        if rescue.get("compress_ratio") is not None:
+            parts.append(f"compress ratio {rescue['compress_ratio']}")
+        lines.append("  rescue ladder: " + ", ".join(parts))
+    wire = status.get("wire_by_category", {})
+    if wire:
+        total = sum(wire.values())
+        lines.append(f"  wire bytes {fmt_bytes(total)}:")
+        for cat in sorted(wire):
+            lines.append(f"    {cat:<18} {fmt_bytes(wire[cat])}")
+    if status.get("phase") in ("done", "aborted"):
+        lines.append(
+            f"  finished: stop_reason={status.get('stop_reason') or '-'}  "
+            f"verified={status.get('verified')}"
+        )
+    return "\n".join(lines)
+
+
+def live_board(board: dict, fleet: bool | None = None) -> str:
+    """Render a :class:`~repro.telemetry.live.FleetBoard` dict.
+
+    One migration renders as a detail card; several (or ``fleet=True``)
+    render as a per-migration table plus the percentile rollups.
+    """
+    migrations = board.get("migrations", [])
+    if not migrations:
+        return "(no migrations on the board)"
+    if fleet is not True and len(migrations) == 1:
+        return _status_card(migrations[0])
+    header = (
+        f"{'migration':<20} {'engine':<9} {'phase':<16} {'iter':>4} "
+        f"{'pages rem':>10} {'dirty rate':>12} {'eta':>10} {'rungs':>5}"
+    )
+    lines = [header, "-" * len(header)]
+    for status in migrations:
+        verdict = status.get("verdict", {})
+        eta = verdict.get("eta_s")
+        lines.append(
+            f"{status.get('name', '?'):<20} "
+            f"{status.get('engine', '?'):<9} "
+            f"{status.get('phase', '?'):<16} "
+            f"{status.get('iterations', 0):>4} "
+            f"{status.get('pages_remaining', 0):>10} "
+            f"{fmt_bytes(status.get('dirty_rate_bytes_s', 0.0)) + '/s':>12} "
+            f"{(f'{eta:.1f}s' if eta is not None else '-'):>10} "
+            f"{status.get('rescue', {}).get('rungs', 0):>5}"
+        )
+    rollups = board.get("rollups", {})
+    phases = rollups.get("phases", {})
+    lines.append("")
+    lines.append(
+        f"fleet: {rollups.get('n', len(migrations))} migration(s)  "
+        + "  ".join(f"{phase}={count}" for phase, count in phases.items())
+    )
+    for key, quantiles in rollups.get("measures", {}).items():
+        lines.append(
+            f"  {key:<24} p50 {quantiles.get('p50', 0.0):.4g}  "
+            f"p95 {quantiles.get('p95', 0.0):.4g}  "
+            f"p99 {quantiles.get('p99', 0.0):.4g}"
+        )
+    for cat, quantiles in rollups.get("wire_bytes", {}).items():
+        lines.append(
+            f"  wire[{cat}]  p50 {fmt_bytes(quantiles.get('p50', 0.0))}  "
+            f"p95 {fmt_bytes(quantiles.get('p95', 0.0))}  "
+            f"p99 {fmt_bytes(quantiles.get('p99', 0.0))}"
+        )
+    return "\n".join(lines)
+
+
+def trend_table(trend: dict) -> str:
+    """Render ``repro archive trend``: the per-PR bench trajectory plus
+    any within-benchmark regressions between the two latest ingests."""
+    lines = []
+    for entry in trend.get("trajectory", []):
+        gates = entry.get("gates", {})
+        lines.append(
+            f"{entry.get('benchmark', '?'):<28} "
+            f"run {entry.get('run_id', '?')}  "
+            f"ingests {entry.get('ingests', 1)}"
+        )
+        for measure in sorted(gates):
+            lines.append(f"    {measure:<28} {gates[measure]:.6g}")
+    if not lines:
+        return "(no bench payloads archived)"
+    regressions = trend.get("regressions", [])
+    lines.append("")
+    if not regressions:
+        lines.append("no regressions between the two latest ingests")
+    else:
+        lines.append(f"{len(regressions)} regression(s) flagged:")
+        for reg in regressions:
+            lines.append(
+                f"  !! {reg['benchmark']}: {reg['measure']} "
+                f"{reg['before']:.6g} -> {reg['after']:.6g} "
+                f"({reg['delta_pct']:+.1f}%)"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,226 @@
+"""The SQLite run archive: ingest, query, export parity and trend."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import MigrationExperiment
+from repro.telemetry.archive import RunArchive, run_id_for
+from repro.telemetry.attribution import attribute_report
+from repro.telemetry.export import read_jsonl, write_jsonl
+from repro.units import MiB
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILES = sorted(REPO_ROOT.glob("BENCH_PR*.json"))
+
+
+@pytest.fixture(scope="module")
+def stream_file(tmp_path_factory):
+    """One finished telemetry export shared by the module's tests."""
+    path = tmp_path_factory.mktemp("stream") / "run.jsonl"
+    result = MigrationExperiment(
+        workload="derby", engine="javmm", warmup_s=10.0, cooldown_s=5.0,
+        mem_bytes=MiB(512), max_young_bytes=MiB(128), telemetry=True,
+    ).run()
+    ledger = attribute_report(result.report).to_dict()
+    write_jsonl(path, probe=result.probe, attributions=[ledger])
+    return path
+
+
+def test_run_id_is_content_addressed(stream_file, tmp_path):
+    copy = tmp_path / "copy.jsonl"
+    copy.write_bytes(stream_file.read_bytes())
+    assert run_id_for(stream_file) == run_id_for(copy)
+    assert len(run_id_for(stream_file)) == 12
+
+
+def test_ingest_is_idempotent(stream_file, tmp_path):
+    with RunArchive(tmp_path / "a.db") as archive:
+        run_id, created = archive.ingest(stream_file)
+        assert created
+        again, created_again = archive.ingest(stream_file)
+        assert again == run_id and not created_again
+        assert len(archive.runs()) == 1
+
+
+def test_archived_dump_equals_read_jsonl(stream_file, tmp_path):
+    """The archive retains every raw line, so the rebuilt dump is
+    exactly what parsing the source file yields."""
+    with RunArchive(tmp_path / "a.db") as archive:
+        run_id, _ = archive.ingest(stream_file)
+        assert archive.dump(run_id) == read_jsonl(stream_file)
+
+
+def test_export_stream_round_trips(stream_file, tmp_path):
+    out = tmp_path / "exported.jsonl"
+    with RunArchive(tmp_path / "a.db") as archive:
+        run_id, _ = archive.ingest(stream_file)
+        archive.export_stream(run_id, out)
+    original = [ln for ln in stream_file.read_text().splitlines() if ln.strip()]
+    assert out.read_text().splitlines() == original
+
+
+def test_query_summarizes_a_telemetry_run(stream_file, tmp_path):
+    with RunArchive(tmp_path / "a.db") as archive:
+        run_id, _ = archive.ingest(stream_file)
+        summary = archive.query(run_id)
+    assert summary["kind"] == "telemetry"
+    assert summary["attempts"] and summary["attempts"][0]["engine"] == "javmm"
+    assert not summary["attempts"][0]["aborted"]
+    assert summary["iterations"] > 0
+    assert summary["wire_bytes"] > 0
+    assert "wire_bytes" in summary["ledger"]
+    assert summary["samples"]  # per-series sample counts
+
+
+def test_resolve_accepts_unique_prefixes(stream_file, tmp_path):
+    with RunArchive(tmp_path / "a.db") as archive:
+        run_id, _ = archive.ingest(stream_file)
+        assert archive.resolve(run_id[:6]) == run_id
+        with pytest.raises(KeyError):
+            archive.resolve("zzzzzz")
+
+
+# -- bench ingest + trend ----------------------------------------------------------------
+
+
+def test_checked_in_bench_files_exist():
+    """PR3..PR8 plus this PR's PR9 payload must be in the repo root."""
+    names = {p.name for p in BENCH_FILES}
+    for n in range(3, 10):
+        assert f"BENCH_PR{n}.json" in names
+
+
+def test_trend_reproduces_the_checked_in_bench_trajectory(tmp_path):
+    with RunArchive(tmp_path / "a.db") as archive:
+        for path in BENCH_FILES:
+            run_id, created = archive.ingest(path)
+            assert created
+        trend = archive.trend()
+    names = [entry["benchmark"] for entry in trend["trajectory"]]
+    # PR order, not ingest or alphabetical order.
+    assert names == sorted(names, key=lambda n: int(n.split("pr")[1].split("-")[0]))
+    assert names[0] == "pr3-telemetry-overhead"
+    by_name = {e["benchmark"]: e for e in trend["trajectory"]}
+    pr3 = json.loads((REPO_ROOT / "BENCH_PR3.json").read_text())
+    assert by_name["pr3-telemetry-overhead"]["gates"]["overhead_pct"] == pytest.approx(
+        pr3["overhead_pct"]
+    )
+    # One ingest per benchmark: nothing to regress against.
+    assert trend["regressions"] == []
+
+
+def test_trend_flags_a_doctored_regression(tmp_path):
+    src = json.loads((REPO_ROOT / "BENCH_PR3.json").read_text())
+    worse = dict(src)
+    worse["overhead_pct"] = src["overhead_pct"] * 2 + 10
+    worse_path = tmp_path / "BENCH_PR3_worse.json"
+    worse_path.write_text(json.dumps(worse, indent=2))
+    with RunArchive(tmp_path / "a.db") as archive:
+        archive.ingest(REPO_ROOT / "BENCH_PR3.json")
+        archive.ingest(worse_path)
+        trend = archive.trend()
+    flagged = [r for r in trend["regressions"] if r["measure"] == "overhead_pct"]
+    assert len(flagged) == 1
+    assert flagged[0]["benchmark"] == "pr3-telemetry-overhead"
+    assert flagged[0]["after"] > flagged[0]["before"]
+
+
+def test_trend_ignores_improvements_and_cross_benchmark_numbers(tmp_path):
+    src = json.loads((REPO_ROOT / "BENCH_PR3.json").read_text())
+    better = dict(src)
+    better["overhead_pct"] = src["overhead_pct"] * 0.5
+    better_path = tmp_path / "BENCH_PR3_better.json"
+    better_path.write_text(json.dumps(better, indent=2))
+    with RunArchive(tmp_path / "a.db") as archive:
+        archive.ingest(REPO_ROOT / "BENCH_PR3.json")
+        archive.ingest(better_path)
+        # A different benchmark with wildly different numbers must not
+        # be compared against PR3's.
+        archive.ingest(REPO_ROOT / "BENCH_PR7.json")
+        trend = archive.trend()
+    assert trend["regressions"] == []
+
+
+def test_sweep_returns_per_cell_bench_measures(tmp_path):
+    with RunArchive(tmp_path / "a.db") as archive:
+        archive.ingest(REPO_ROOT / "BENCH_PR8.json")
+        rows = archive.sweep("pr8-attribution-overhead")
+    assert rows
+    derby = [
+        r for r in rows
+        if r["workload"] == "derby" and r["engine"] == "xen"
+        and r["measure"] == "wire_bytes"
+    ]
+    # One row per sweep round for that cell, all positive.
+    assert derby and all(r["value"] > 0 for r in derby)
+
+
+# -- CLI integration ---------------------------------------------------------------------
+
+
+def test_archive_cli_ingest_query_and_doctor_from_archive(
+    stream_file, tmp_path, capsys
+):
+    from repro.cli import main
+
+    db = str(tmp_path / "cli.db")
+    assert main(["archive", "ingest", str(stream_file), "--db", db]) == 0
+    out = capsys.readouterr().out
+    run_id = out.split()[0]
+    assert "ingested" in out
+
+    assert main(["archive", "query", "--db", db]) == 0
+    assert run_id in capsys.readouterr().out
+
+    # doctor --from-archive must equal doctor on the original file.
+    assert main(["doctor", "--from-archive", run_id, "--db", db]) == 0
+    from_archive = capsys.readouterr().out
+    assert main(["doctor", str(stream_file)]) == 0
+    from_file = capsys.readouterr().out
+    assert from_archive == from_file
+
+
+def test_compare_cli_accepts_archived_runs(stream_file, tmp_path, capsys):
+    from repro.cli import main
+
+    db = str(tmp_path / "cli.db")
+    main(["archive", "ingest", str(stream_file), "--db", db])
+    run_id = capsys.readouterr().out.split()[0]
+    # A run compared against itself regresses nothing.
+    code = main([
+        "compare", str(stream_file),
+        "--from-archive", run_id, "--db", db,
+    ])
+    capsys.readouterr()
+    assert code == 0
+
+
+def test_archive_cli_trend_exit_codes(tmp_path, capsys):
+    from repro.cli import main
+
+    db = str(tmp_path / "cli.db")
+    main(["archive", "ingest", str(REPO_ROOT / "BENCH_PR3.json"), "--db", db])
+    capsys.readouterr()
+    assert main(["archive", "trend", "--db", db]) == 0
+    out = capsys.readouterr().out
+    assert "pr3-telemetry-overhead" in out
+    assert "no regressions" in out
+
+    src = json.loads((REPO_ROOT / "BENCH_PR3.json").read_text())
+    src["overhead_pct"] = src["overhead_pct"] * 3 + 10
+    worse = tmp_path / "worse.json"
+    worse.write_text(json.dumps(src))
+    main(["archive", "ingest", str(worse), "--db", db])
+    capsys.readouterr()
+    assert main(["archive", "trend", "--db", db]) == 1
+    assert "regression(s) flagged" in capsys.readouterr().out
+
+
+def test_archive_cli_rejects_missing_action(capsys):
+    from repro.cli import main
+
+    assert main(["archive"]) == 2

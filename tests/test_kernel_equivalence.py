@@ -10,6 +10,7 @@ page versions, throughput samples, iteration records and final reports.
 from __future__ import annotations
 
 import math
+import os
 
 import numpy as np
 import pytest
@@ -415,3 +416,101 @@ def test_wan_outage_rescue_run_is_bit_identical(monkeypatch):
     if fixed.report is not None:
         assert fixed.report.to_dict() == event.report.to_dict()
     assert _ledgers(fixed) == _ledgers(event)
+
+
+# -- live/post-mortem equivalence (PR9) ---------------------------------------------------
+#
+# The live-streaming contract: a LiveStatus folded from the telemetry
+# stream as it was written must, at stream end, equal bit-for-bit the
+# status recomputed from the finished run's report — per workload, per
+# engine, per kernel.  Tier-1 runs a representative subset; the CI
+# live-board job sets REPRO_LIVE_FULL=1 to sweep all nine workloads.
+
+def _live_workloads() -> tuple:
+    if os.environ.get("REPRO_LIVE_FULL"):
+        from repro.workloads import REGISTRY
+
+        return tuple(sorted(REGISTRY))
+    return ("derby", "scimark")
+
+
+LIVE_WORKLOADS = _live_workloads()
+
+
+def _live_and_post(kernel: str, workload: str, engine_name: str, tmp_path):
+    from repro.core.experiment import ExperimentRun
+    from repro.telemetry.attribution import attribute_report
+    from repro.telemetry.live import JsonlSink, LiveStatus, watch_file
+
+    path = tmp_path / f"{kernel}-{workload}-{engine_name}.jsonl"
+    experiment = MigrationExperiment(
+        workload=workload,
+        engine=engine_name,
+        mem_bytes=MiB(512),
+        max_young_bytes=MiB(128),
+        warmup_s=10.0,
+        cooldown_s=5.0,
+        kernel=kernel,
+        telemetry=True,
+    )
+    run = ExperimentRun(experiment)
+    sink = JsonlSink(path, flush="line")
+    run.vm.probe.sink = sink
+    run.vm.event_log.sink = sink
+    result = run.run()
+    sink.finalize(
+        probe=run.vm.probe,
+        attributions=[attribute_report(result.report).to_dict()],
+    )
+    live = watch_file(path, name="m")
+    post = LiveStatus.from_report(result.report, name="m")
+    return live, post
+
+
+@pytest.mark.parametrize("engine_name", ["xen", "assisted", "javmm"])
+@pytest.mark.parametrize("workload", LIVE_WORKLOADS)
+@pytest.mark.parametrize("kernel", ["fixed", "event"])
+def test_live_status_equals_post_mortem(kernel, workload, engine_name, tmp_path):
+    live, post = _live_and_post(kernel, workload, engine_name, tmp_path)
+    assert live.finished
+    assert live.to_dict() == post.to_dict()
+
+
+def test_live_status_is_kernel_independent(tmp_path):
+    """The board a tail computes is itself a simulated measure: fixed
+    and event kernels must produce identical status dicts."""
+    fixed_live, _ = _live_and_post("fixed", "derby", "javmm", tmp_path)
+    event_live, _ = _live_and_post("event", "derby", "javmm", tmp_path)
+    assert fixed_live.to_dict() == event_live.to_dict()
+
+
+def test_supervised_wan_live_status_equals_post_mortem(tmp_path, monkeypatch):
+    """Rescue rungs and attempt accounting stream correctly under a
+    hostile link: the supervised live board matches the supervision
+    result's own report + rescue ledger."""
+    from repro.net import wan_link
+    from repro.telemetry.attribution import attribute_report
+    from repro.telemetry.live import JsonlSink, LiveStatus, watch_file
+
+    monkeypatch.setenv(KERNEL_ENV_VAR, "event")
+    path = tmp_path / "wan.jsonl"
+    sink = JsonlSink(path, flush="line")
+    result, vm = supervised_migrate(
+        workload="derby",
+        link=wan_link("continental"),
+        vm_kwargs={"mem_bytes": MiB(512), "max_young_bytes": MiB(128)},
+        telemetry=True,
+        telemetry_sink=sink,
+    )
+    sink.finalize(
+        probe=vm.probe,
+        attributions=[
+            attribute_report(rec.report).to_dict()
+            for rec in result.attempts
+            if rec.report is not None
+        ],
+    )
+    live = watch_file(path, name="m")
+    post = LiveStatus.from_result(result, name="m")
+    assert live.rescues == post.rescues
+    assert live.to_dict() == post.to_dict()
