@@ -24,6 +24,7 @@ bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr7_wan.py
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr8_attribution.py
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr9_live.py
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr10_service.py
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 # Bench-regression gate (mirrors the CI bench-regression job):
@@ -44,7 +45,11 @@ bench:
 # on any gated measure fails.  The PR9 live bench additionally fails
 # when tailing a streamed export and maintaining the fleet board costs
 # >5% wall time over batch telemetry, or when any tailed board differs
-# from its post-mortem recomputation bit-for-bit.
+# from its post-mortem recomputation bit-for-bit.  The PR10 service
+# bench fails when multiplexing 64 concurrent sessions costs >10% wall
+# time per migration over running them sequentially, or when any
+# session's payload — report, page-version digest, attribution ledger —
+# differs from its standalone run, including after a kill+resume.
 check-bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr4_analysis.py /tmp/BENCH_PR4_candidate.json
 	PYTHONPATH=src $(PYTHON) -m repro.cli compare BENCH_PR4.json /tmp/BENCH_PR4_candidate.json
@@ -59,6 +64,8 @@ check-bench:
 	PYTHONPATH=src $(PYTHON) -m repro.cli compare BENCH_PR8.json /tmp/BENCH_PR8_candidate.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr9_live.py /tmp/BENCH_PR9_candidate.json
 	PYTHONPATH=src $(PYTHON) -m repro.cli compare BENCH_PR9.json /tmp/BENCH_PR9_candidate.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_pr10_service.py /tmp/BENCH_PR10_candidate.json
+	PYTHONPATH=src $(PYTHON) -m repro.cli compare BENCH_PR10.json /tmp/BENCH_PR10_candidate.json
 
 figures:
 	$(PYTHON) -m repro.cli all

@@ -207,13 +207,25 @@ class Checkpointer:
         return archive
 
 
-def advance_to(controller, t: float, checkpointer: Checkpointer | None = None) -> None:
+def advance_to(
+    controller,
+    t: float,
+    checkpointer: Checkpointer | None = None,
+    limit: float | None = None,
+) -> None:
     """``engine.run_until(t)`` chunked around checkpoint writes.
 
     Semantically identical to :meth:`Engine.run_until` — same guards,
     same error messages, at most one tick of overshoot — but each
     advance is bounded at the next checkpoint instant so cadence
     checkpoints land on schedule even across event-kernel leaps.
+
+    *limit* is an absolute simulated instant the caller's scheduling
+    slice ends at: the loop returns (without error) once the clock
+    reaches it, even though *t* has not been reached yet.  A bound is
+    only ever *tightened* by it, so a sliced drive executes the same
+    tick sequence as an unsliced one (the invariant the
+    kernel-equivalence suite enforces for multiplexed sessions).
     """
     engine = controller.engine
     if t < engine.now:
@@ -222,7 +234,11 @@ def advance_to(controller, t: float, checkpointer: Checkpointer | None = None) -
         )
     steps = 0
     while engine.now < t:
+        if limit is not None and engine.now >= limit:
+            return
         bound = t if checkpointer is None else checkpointer.bound(t)
+        if limit is not None:
+            bound = min(bound, limit)
         steps += engine.advance(bound)
         if steps > engine._max_steps:
             raise SimulationError("run_until exceeded the step budget")
@@ -236,13 +252,17 @@ def advance_while(
     deadline: float,
     timeout: float,
     checkpointer: Checkpointer | None = None,
+    limit: float | None = None,
 ) -> None:
     """``engine.run_while`` against an *absolute* deadline.
 
     Drivers store the deadline when the phase starts, so a resumed run
     keeps the original budget instead of restarting it; *timeout* is
     only quoted in the timeout error, matching
-    :meth:`Engine.run_while` byte for byte.
+    :meth:`Engine.run_while` byte for byte.  *limit* slices the loop
+    exactly as in :func:`advance_to`: return quietly at the slice
+    boundary, leaving the predicate (and the deadline budget) to the
+    next slice.
     """
     engine = controller.engine
     while predicate():
@@ -250,9 +270,12 @@ def advance_while(
             raise SimulationError(
                 f"run_while did not terminate within {timeout:.1f} sim-seconds"
             )
-        engine.advance(
-            deadline if checkpointer is None else checkpointer.bound(deadline)
-        )
+        if limit is not None and engine.now >= limit:
+            return
+        bound = deadline if checkpointer is None else checkpointer.bound(deadline)
+        if limit is not None:
+            bound = min(bound, limit)
+        engine.advance(bound)
         if checkpointer is not None:
             checkpointer.maybe(controller)
 

@@ -62,7 +62,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=sorted(ALL_EXPERIMENTS)
         + ["all", "migrate", "trace", "doctor", "compare", "resume",
-           "attribute", "watch", "archive"],
+           "attribute", "watch", "archive", "serve", "ctl"],
         help=(
             "which figure/table to regenerate ('all' runs everything; "
             "'migrate' runs one ad-hoc migration; 'trace' runs one with "
@@ -73,7 +73,10 @@ def build_parser() -> argparse.ArgumentParser:
             "conservation-checked attribution waterfall of an export; "
             "'watch' tails telemetry streams into a live status board; "
             "'archive' manages the SQLite multi-run archive "
-            "(ingest/query/trend/export)"
+            "(ingest/query/trend/export); 'serve' runs the migration-"
+            "manager daemon over --service-dir; 'ctl' sends it control "
+            "verbs (submit/status/list/pause/resume/stop-and-copy/"
+            "abort/finalize/wait/watch/ping/shutdown)"
         ),
     )
     parser.add_argument(
@@ -279,6 +282,61 @@ def build_parser() -> argparse.ArgumentParser:
             "repeatable, consumed after any positional FILEs"
         ),
     )
+    service = parser.add_argument_group("serve / ctl options")
+    service.add_argument(
+        "--service-dir",
+        default="repro-service",
+        metavar="DIR",
+        help=(
+            "the service root: sessions, checkpoints, results and the "
+            "control socket all live under it (default: %(default)s)"
+        ),
+    )
+    service.add_argument(
+        "--max-active",
+        type=int,
+        default=8,
+        metavar="N",
+        help=(
+            "serve: admission-control pool — sessions RUNNING at once; "
+            "the rest queue (default: %(default)s)"
+        ),
+    )
+    service.add_argument(
+        "--slice-s",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help=(
+            "serve: simulated seconds each session advances per "
+            "scheduling round (default: %(default)s)"
+        ),
+    )
+    service.add_argument(
+        "--warmup-s",
+        type=float,
+        default=6.0,
+        metavar="SECONDS",
+        help="ctl submit: session warm-up (default: %(default)s)",
+    )
+    service.add_argument(
+        "--cooldown-s",
+        type=float,
+        default=3.0,
+        metavar="SECONDS",
+        help="ctl submit: session cool-down (default: %(default)s)",
+    )
+    service.add_argument(
+        "--session-name",
+        default="",
+        metavar="NAME",
+        help="ctl submit: operator label surfaced by status/watch",
+    )
+    service.add_argument(
+        "--no-session-telemetry",
+        action="store_true",
+        help="ctl submit: skip the session's telemetry.jsonl stream",
+    )
     analysis = parser.add_argument_group("doctor / compare options")
     analysis.add_argument(
         "--threshold-pct",
@@ -389,20 +447,13 @@ def _final_digest(vm, report) -> str:
 
     Equal digests mean the two runs ended in bit-identical simulated
     state — the chaos harness compares a crashed-and-resumed run to an
-    uninterrupted one this way across a process boundary.
+    uninterrupted one this way across a process boundary.  The service
+    layer compares multiplexed sessions to standalone runs with the
+    same function.
     """
-    import hashlib
+    from repro.service.session import run_digest
 
-    import numpy as np
-
-    h = hashlib.sha256()
-    pages = vm.domain.read_pages(np.arange(vm.domain.n_pages))
-    h.update(pages.tobytes())
-    for sample in vm.analyzer.samples:
-        h.update(repr(sample).encode("utf-8"))
-    if report is not None:
-        h.update(json.dumps(report.to_dict(), sort_keys=True).encode("utf-8"))
-    return h.hexdigest()
+    return run_digest(vm, report)
 
 
 def _checkpointer(args: argparse.Namespace, config: dict):
@@ -783,6 +834,141 @@ def _run_archive(args: argparse.Namespace) -> int:
     return 2
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """Run the migration-manager daemon (blocks until 'ctl shutdown')."""
+    from repro.service.server import serve
+
+    budget = args.checkpoint_budget
+    print(
+        f"repro serve: root={args.service_dir} max_active={args.max_active} "
+        f"slice={args.slice_s}s",
+        file=sys.stderr,
+    )
+    serve(
+        args.service_dir,
+        max_active=args.max_active,
+        slice_s=args.slice_s,
+        checkpoint_every_s=args.checkpoint_every,
+        checkpoint_overhead=None if budget <= 0 else budget / 100.0,
+    )
+    return 0
+
+
+def _submit_config(args: argparse.Namespace) -> dict:
+    """One SessionConfig from the migrate-flag surface."""
+    return {
+        "workload": args.workload,
+        "engine": args.engine,
+        "mem_mb": args.mem_mb,
+        "young_mb": args.young_mb,
+        "warmup_s": args.warmup_s,
+        "cooldown_s": args.cooldown_s,
+        "kernel": args.kernel,
+        "seed": args.seed,
+        "supervise": args.supervise,
+        "wan": args.wan,
+        "max_attempts": args.max_attempts,
+        "telemetry": not args.no_session_telemetry,
+        "name": args.session_name,
+    }
+
+
+def _run_ctl(args: argparse.Namespace) -> int:
+    """Send one control verb to a running daemon."""
+    from repro.service import RequestFailed, ServiceClient, ServiceUnavailable
+
+    if not args.paths:
+        print(
+            "ctl needs a verb: submit, status [ID], list, pause ID, "
+            "resume ID, stop-and-copy ID, abort ID, finalize ID, "
+            "wait ID, watch, ping, shutdown",
+            file=sys.stderr,
+        )
+        return 2
+    verb, rest = args.paths[0].replace("-", "_"), args.paths[1:]
+    client = ServiceClient(args.service_dir)
+    try:
+        if verb == "submit":
+            response = client.request("submit", config=_submit_config(args))
+            print(response["id"])
+            return 0
+        if verb in ("status", "list"):
+            if verb == "status" and rest:
+                response = client.request("status", id=rest[0])
+                print(json.dumps(response["session"], indent=2))
+                return 0
+            response = client.request("list")
+            sessions = response["sessions"]
+            if args.json:
+                print(json.dumps(sessions, indent=2))
+            else:
+                for info in sessions:
+                    line = (
+                        f"{info['id']:<28} {info['state']:<10} "
+                        f"{info['workload']:<10} {info['engine']}"
+                    )
+                    if info.get("error"):
+                        line += f"  !! {info['error']}"
+                    print(line)
+            return 0
+        if verb == "wait":
+            if not rest:
+                print("ctl wait needs a session id", file=sys.stderr)
+                return 2
+            status = client.wait_terminal(rest[0], timeout_s=args.watch_timeout)
+            print(json.dumps(status, indent=2))
+            return 0 if status.get("state") == "done" else 1
+        if verb == "watch":
+            import time
+
+            deadline = time.monotonic() + args.watch_timeout
+            while True:
+                response = client.request("watch")
+                if not args.follow or time.monotonic() >= deadline:
+                    break
+                listing = client.request("list")["sessions"]
+                if listing and all(
+                    s["state"] in ("done", "aborted", "failed", "finalized")
+                    for s in listing
+                ):
+                    break
+                time.sleep(args.interval)
+            if args.json:
+                print(json.dumps(response["board"], indent=2))
+            else:
+                print(response["rendered"])
+            if args.prom_out:
+                with open(args.prom_out, "w") as fh:
+                    fh.write(response.get("prom", ""))
+                print(
+                    f"wrote Prometheus exposition: {args.prom_out}",
+                    file=sys.stderr,
+                )
+            return 0
+        if verb in ("pause", "resume", "stop_and_copy", "abort", "finalize",
+                    "ping", "shutdown"):
+            fields = {}
+            if verb not in ("ping", "shutdown"):
+                if not rest:
+                    print(f"ctl {verb} needs a session id", file=sys.stderr)
+                    return 2
+                fields["id"] = rest[0]
+            response = client.request(verb, **fields)
+            payload = response.get(
+                "session", response.get("result", response)
+            )
+            print(json.dumps(payload, indent=2))
+            return 0
+        print(f"unknown ctl verb {verb!r}", file=sys.stderr)
+        return 2
+    except RequestFailed as exc:
+        print(f"ctl {verb}: {exc}", file=sys.stderr)
+        return 1
+    except ServiceUnavailable as exc:
+        print(f"ctl {verb}: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.kernel:
@@ -800,6 +986,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_archive(args)
     if args.experiment == "resume":
         return _run_resume(args)
+    if args.experiment == "serve":
+        return _run_serve(args)
+    if args.experiment == "ctl":
+        return _run_ctl(args)
     if args.experiment in ("migrate", "trace"):
         return _run_migrate(args)
     names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]

@@ -187,54 +187,90 @@ class ExperimentRun:
     # -- the phase machine --------------------------------------------------------------
 
     def run(self, checkpointer=None) -> ExperimentResult:
-        from repro.checkpoint.runner import advance_to, advance_while
-
-        exp = self.experiment
         if checkpointer is not None and checkpointer.written == 0:
             checkpointer.arm(self)
         while self.phase != "done":
-            if self.phase == "warmup":
-                advance_to(self, exp.warmup_s, checkpointer)
-                self.phase = "choose"
-            elif self.phase == "choose":
-                if self.migrator is None:
-                    from repro.core.auto import choose_engine_live
+            self._step_phase(None, checkpointer)
+        return self.result
 
-                    self.decision = choose_engine_live(
-                        self.vm, exp.warmup_s, link=self.link
-                    )
-                    self.migrator = make_migrator(
-                        self.decision.engine, self.vm, self.link,
-                        **exp.migrator_kwargs,
-                    )
-                    self.engine.add(self.migrator)
-                    self.vm.jvm.migration_load = self.migrator.load_fraction
-                self.young_at_migration = self.vm.heap.young_committed
-                self.old_at_migration = self.vm.heap.old_used
-                self.migration_start = self.engine.now
-                self._migrate_deadline = self.engine.now + exp.migration_timeout_s
-                self.migrator.start(self.engine.now)
-                self.phase = "migrate"
-            elif self.phase == "migrate":
-                migrator = self.migrator
-                advance_while(
-                    self,
-                    lambda: not migrator.done,
-                    self._migrate_deadline,
-                    exp.migration_timeout_s,
-                    checkpointer,
+    @property
+    def done(self) -> bool:
+        return self.phase == "done"
+
+    def step(self, limit: float, checkpointer=None) -> bool:
+        """Advance the run up to the absolute simulated instant *limit*.
+
+        The cooperative-scheduling form of :meth:`run`: a session
+        scheduler (see :mod:`repro.service`) calls this repeatedly with
+        a rising *limit*, interleaving many runs on one thread.  Each
+        slice executes the same advance chunking as :meth:`run` — only
+        tightened at the slice boundary — so a sliced run's simulated
+        measures are bit-identical to an unsliced one's.  Returns True
+        once the run is done (``self.result`` is set).
+        """
+        if checkpointer is not None and checkpointer.written == 0:
+            checkpointer.arm(self)
+        while self.phase != "done" and self.engine.now < limit:
+            self._step_phase(limit, checkpointer)
+        return self.phase == "done"
+
+    def _step_phase(self, limit: float | None, checkpointer) -> None:
+        """Execute one bounded slice of the current phase.
+
+        Phase *transitions* happen only when the phase's own target is
+        reached; hitting *limit* first returns with the phase (and its
+        absolute deadlines) untouched, to be continued next slice.
+        """
+        from repro.checkpoint.runner import advance_to, advance_while
+
+        exp = self.experiment
+        if self.phase == "warmup":
+            advance_to(self, exp.warmup_s, checkpointer, limit=limit)
+            if self.engine.now >= exp.warmup_s:
+                self.phase = "choose"
+        elif self.phase == "choose":
+            if self.migrator is None:
+                from repro.core.auto import choose_engine_live
+
+                self.decision = choose_engine_live(
+                    self.vm, exp.warmup_s, link=self.link
                 )
-                if not migrator.done:
-                    raise MigrationError(
-                        "migration did not finish within the timeout"
-                    )
-                self.migration_end = self.engine.now
-                self.phase = "cooldown"
-            elif self.phase == "cooldown":
-                advance_to(self, self.migration_end + exp.cooldown_s, checkpointer)
+                self.migrator = make_migrator(
+                    self.decision.engine, self.vm, self.link,
+                    **exp.migrator_kwargs,
+                )
+                self.engine.add(self.migrator)
+                self.vm.jvm.migration_load = self.migrator.load_fraction
+            self.young_at_migration = self.vm.heap.young_committed
+            self.old_at_migration = self.vm.heap.old_used
+            self.migration_start = self.engine.now
+            self._migrate_deadline = self.engine.now + exp.migration_timeout_s
+            self.migrator.start(self.engine.now)
+            self.phase = "migrate"
+        elif self.phase == "migrate":
+            migrator = self.migrator
+            advance_while(
+                self,
+                lambda: not migrator.done,
+                self._migrate_deadline,
+                exp.migration_timeout_s,
+                checkpointer,
+                limit=limit,
+            )
+            if not migrator.done:
+                if limit is not None and self.engine.now >= limit:
+                    return  # slice boundary; keep migrating next slice
+                raise MigrationError(
+                    "migration did not finish within the timeout"
+                )
+            self.migration_end = self.engine.now
+            self.phase = "cooldown"
+        elif self.phase == "cooldown":
+            target = self.migration_end + exp.cooldown_s
+            advance_to(self, target, checkpointer, limit=limit)
+            if self.engine.now >= target:
                 self.result = self._finish()
                 self.phase = "done"
-        return self.result
 
     def _finish(self) -> ExperimentResult:
         exp = self.experiment

@@ -320,9 +320,27 @@ class MigrationSupervisor:
         original deadlines.  Without one, behaviour is identical to an
         unsupervised loop over ``run_until``/``run_while``.
         """
-        from repro.checkpoint.runner import advance_to, advance_while
+        while not self.step(math.inf, checkpointer):
+            pass
+        return self._result
 
-        probe = self.vm.probe
+    @property
+    def done(self) -> bool:
+        return self._state == "done"
+
+    @property
+    def result(self) -> SupervisionResult | None:
+        """The supervision outcome (set once :attr:`done`)."""
+        return self._result
+
+    def step(self, limit: float, checkpointer=None) -> bool:
+        """Advance supervision up to the absolute simulated instant
+        *limit* — the cooperative-scheduling form of :meth:`run` (see
+        :meth:`repro.core.experiment.ExperimentRun.step`).  Every
+        engine advance is merely tightened at the slice boundary, so a
+        sliced supervision is bit-identical to an unsliced one.
+        Returns True once supervision is over (``self.result`` holds
+        the outcome)."""
         if self._state is None:
             self._result = SupervisionResult(
                 ok=False, engine=self.engine_name, report=None
@@ -331,89 +349,100 @@ class MigrationSupervisor:
             self._state = "next"
         if checkpointer is not None and checkpointer.written == 0:
             checkpointer.arm(self)
-        while self._state != "done":
-            if self._state == "next":
-                if self._attempt > self.max_attempts:
-                    self._state = "done"
-                elif self._wait > 0.0:
-                    # Back off: the guest keeps running at the source
-                    # while the (possibly transient) failure clears.
-                    self._backoff_until = self.engine.now + self._wait
-                    self._span_backoff = probe.begin(
-                        "backoff", self.engine.now, track="supervisor",
-                        cat="supervisor", attempt=self._attempt, wait_s=self._wait,
-                    )
-                    self._journal(
-                        checkpointer, "backoff",
-                        attempt=self._attempt, until_s=self._backoff_until,
-                    )
-                    self._state = "backoff"
-                else:
-                    self._state = "launch"
-            elif self._state == "backoff":
-                advance_to(self, self._backoff_until, checkpointer)
-                probe.end(self._span_backoff, self.engine.now)
-                self._span_backoff = None
-                self._backoff_until = None
-                self._state = "launch"
-            elif self._state == "launch":
-                stall, timeouts, budget = self._scaled_deadlines()
-                migrator = make_migrator(
-                    self._current,
-                    self.vm,
-                    self.link,
-                    stall_timeout_s=stall,
-                    phase_timeouts=timeouts,
-                    **self.migrator_kwargs,
+        while self._state != "done" and self.engine.now < limit:
+            self._step_state(limit, checkpointer)
+        if self._state == "done":
+            if self._throttle is not None and self._throttle.engaged:
+                # Supervision is over either way; leave the guest at its
+                # baseline speed (at the destination on success, still
+                # at the source after exhaustion).
+                self._throttle.release()
+            return True
+        return False
+
+    def _step_state(self, limit: float | None, checkpointer) -> None:
+        """Execute one bounded slice of the current state."""
+        from repro.checkpoint.runner import advance_to, advance_while
+
+        probe = self.vm.probe
+        if self._state == "next":
+            if self._attempt > self.max_attempts:
+                self._state = "done"
+            elif self._wait > 0.0:
+                # Back off: the guest keeps running at the source
+                # while the (possibly transient) failure clears.
+                self._backoff_until = self.engine.now + self._wait
+                self._span_backoff = probe.begin(
+                    "backoff", self.engine.now, track="supervisor",
+                    cat="supervisor", attempt=self._attempt, wait_s=self._wait,
                 )
-                migrator.report.attempt = self._attempt
-                if self._rescue_compression and supports_wire_compression(migrator):
-                    migrator.wire_compression = self.rescue_compression_ratio
-                self._monitor = ConvergenceMonitor() if self.analysis else None
-                migrator.monitor = self._monitor
-                self.engine.add(migrator)
-                if self.rescue and self._monitor is not None:
-                    self._rescuer = RescueController(
-                        migrator,
-                        self._monitor,
-                        throttle=self._throttle,
-                        compression_ratio=self.rescue_compression_ratio,
-                        patience=self.rescue_patience,
-                    )
-                    self._rescuer.probe = probe
-                    self.engine.add(self._rescuer)
-                self.vm.jvm.migration_load = migrator.load_fraction
-                if self.injector is not None:
-                    self.injector.bind_migrator(migrator)
-                self._span_attempt = probe.begin(
-                    "attempt", self.engine.now, track="supervisor",
-                    cat="supervisor", attempt=self._attempt, engine=self._current,
-                )
-                self._attempt_budget_s = budget
-                self._attempt_deadline = self.engine.now + budget
                 self._journal(
-                    checkpointer, "attempt-started",
-                    attempt=self._attempt, engine=self._current,
-                    deadline_s=self._attempt_deadline,
+                    checkpointer, "backoff",
+                    attempt=self._attempt, until_s=self._backoff_until,
                 )
-                migrator.start(self.engine.now)
-                self._migrator = migrator
-                self._record = AttemptRecord(
-                    attempt=self._attempt,
-                    engine=self._current,
-                    report=migrator.report,
-                    aborted=False,
-                    waited_before_s=self._wait,
+                self._state = "backoff"
+            else:
+                self._state = "launch"
+        elif self._state == "backoff":
+            advance_to(self, self._backoff_until, checkpointer, limit=limit)
+            if self.engine.now < self._backoff_until:
+                return  # slice boundary mid-backoff
+            probe.end(self._span_backoff, self.engine.now)
+            self._span_backoff = None
+            self._backoff_until = None
+            self._state = "launch"
+        elif self._state == "launch":
+            stall, timeouts, budget = self._scaled_deadlines()
+            migrator = make_migrator(
+                self._current,
+                self.vm,
+                self.link,
+                stall_timeout_s=stall,
+                phase_timeouts=timeouts,
+                **self.migrator_kwargs,
+            )
+            migrator.report.attempt = self._attempt
+            if self._rescue_compression and supports_wire_compression(migrator):
+                migrator.wire_compression = self.rescue_compression_ratio
+            self._monitor = ConvergenceMonitor() if self.analysis else None
+            migrator.monitor = self._monitor
+            self.engine.add(migrator)
+            if self.rescue and self._monitor is not None:
+                self._rescuer = RescueController(
+                    migrator,
+                    self._monitor,
+                    throttle=self._throttle,
+                    compression_ratio=self.rescue_compression_ratio,
+                    patience=self.rescue_patience,
                 )
-                self._state = "attempt"
-            elif self._state == "attempt":
-                self._run_attempt(checkpointer, advance_while)
-        if self._throttle is not None and self._throttle.engaged:
-            # Supervision is over either way; leave the guest at its
-            # baseline speed (at the destination on success, still at
-            # the source after exhaustion).
-            self._throttle.release()
-        return self._result
+                self._rescuer.probe = probe
+                self.engine.add(self._rescuer)
+            self.vm.jvm.migration_load = migrator.load_fraction
+            if self.injector is not None:
+                self.injector.bind_migrator(migrator)
+            self._span_attempt = probe.begin(
+                "attempt", self.engine.now, track="supervisor",
+                cat="supervisor", attempt=self._attempt, engine=self._current,
+            )
+            self._attempt_budget_s = budget
+            self._attempt_deadline = self.engine.now + budget
+            self._journal(
+                checkpointer, "attempt-started",
+                attempt=self._attempt, engine=self._current,
+                deadline_s=self._attempt_deadline,
+            )
+            migrator.start(self.engine.now)
+            self._migrator = migrator
+            self._record = AttemptRecord(
+                attempt=self._attempt,
+                engine=self._current,
+                report=migrator.report,
+                aborted=False,
+                waited_before_s=self._wait,
+            )
+            self._state = "attempt"
+        elif self._state == "attempt":
+            self._run_attempt(checkpointer, advance_while, limit)
 
     def _attempt_rescue(self, checkpointer, record: AttemptRecord,
                         diagnosis) -> bool:
@@ -474,34 +503,53 @@ class MigrationSupervisor:
             )
         return True
 
-    def _run_attempt(self, checkpointer, advance_while) -> None:
-        """Run the live attempt to completion and digest its outcome."""
+    def _run_attempt(self, checkpointer, advance_while, limit=None) -> None:
+        """Run the live attempt to completion and digest its outcome.
+
+        With a slice *limit*, an interrupted attempt simply returns —
+        the migrator stays registered and the state stays ``attempt``,
+        so the next slice continues it against the original deadline.
+        """
         probe = self.vm.probe
         migrator = self._migrator
         record = self._record
         try:
-            advance_while(
-                self,
-                lambda: not migrator.finished,
-                self._attempt_deadline,
-                self._attempt_budget_s,
-                checkpointer,
-            )
-            record.aborted = migrator.aborted
-            record.reason = migrator.report.abort_reason
-        except MigrationAbortedError as exc:
-            record.aborted = True
-            record.reason = str(exc)
-        except SimulationError:
-            # The attempt ran out its wall-clock budget without the
-            # watchdog firing; abort it ourselves.
-            migrator.abort(self.engine.now, "supervision timeout")
-            record.aborted = True
-            record.reason = "supervision timeout"
-        finally:
+            try:
+                advance_while(
+                    self,
+                    lambda: not migrator.finished,
+                    self._attempt_deadline,
+                    self._attempt_budget_s,
+                    checkpointer,
+                    limit=limit,
+                )
+                if (
+                    not migrator.finished
+                    and limit is not None
+                    and self.engine.now >= limit
+                ):
+                    # Slice boundary: leave the migrator (and rescuer)
+                    # registered; the attempt continues next slice.
+                    return
+                record.aborted = migrator.aborted
+                record.reason = migrator.report.abort_reason
+            except MigrationAbortedError as exc:
+                record.aborted = True
+                record.reason = str(exc)
+            except SimulationError:
+                # The attempt ran out its wall-clock budget without the
+                # watchdog firing; abort it ourselves.
+                migrator.abort(self.engine.now, "supervision timeout")
+                record.aborted = True
+                record.reason = "supervision timeout"
+        except BaseException:
             self.engine.remove(migrator)
             if self._rescuer is not None:
                 self.engine.remove(self._rescuer)
+            raise
+        self.engine.remove(migrator)
+        if self._rescuer is not None:
+            self.engine.remove(self._rescuer)
         monitor = self._monitor
         diagnosis = (
             monitor.diagnosis
@@ -623,6 +671,155 @@ def supervised_config_fingerprint(
     }
 
 
+class SupervisedRun:
+    """The resumable configure/step/report machine behind
+    :func:`supervised_migrate`.
+
+    Construction *configures* (engine, guest, link, telemetry sink)
+    without advancing simulated time; :meth:`step` drives warm-up and
+    then the supervisor in bounded slices (the form a session scheduler
+    multiplexes, see :mod:`repro.service`); :attr:`result` is the
+    *report* once done.  :meth:`run` drives the same machine
+    uninterrupted, which keeps the batch path and the multiplexed path
+    one code path — and therefore bit-identical.
+
+    The checkpoint pickle root stays the :class:`MigrationSupervisor`
+    (arming happens inside :meth:`MigrationSupervisor.step`, after
+    warm-up, exactly as before), so existing ``repro resume`` archives
+    keep working; :meth:`from_supervisor` rewraps a restored one.
+    """
+
+    def __init__(
+        self,
+        workload: str = "derby",
+        engine_name: str = "javmm",
+        plan: object | None = None,
+        link: Link | None = None,
+        warmup_s: float = 5.0,
+        dt: float = 0.005,
+        kernel: str | None = None,
+        seed: int = 20150421,
+        vm_kwargs: dict | None = None,
+        telemetry: bool = False,
+        telemetry_sink: object | None = None,
+        **supervisor_kwargs,
+    ) -> None:
+        from repro.core.builders import build_java_vm
+
+        self.workload = workload
+        self.engine_name = engine_name
+        self.plan = plan
+        self.warmup_s = warmup_s
+        self.dt = dt
+        self.seed = seed
+        self.vm_kwargs = dict(vm_kwargs or {})
+        self.supervisor_kwargs = dict(supervisor_kwargs)
+        self.engine = make_engine(dt, kernel=kernel)
+        self.vm = build_java_vm(
+            workload=workload, seed=seed, telemetry=telemetry, **self.vm_kwargs
+        )
+        if telemetry_sink is not None and self.vm.probe.enabled:
+            self.vm.probe.sink = telemetry_sink
+            if self.vm.event_log is not None:
+                self.vm.event_log.sink = telemetry_sink
+        self.vm.register(self.engine)
+        self.link = link or Link()
+        self.supervisor: MigrationSupervisor | None = None
+        self.phase = "warmup"
+        self.result: SupervisionResult | None = None
+
+    @classmethod
+    def from_supervisor(cls, supervisor: MigrationSupervisor) -> "SupervisedRun":
+        """Rewrap a (checkpoint-restored) supervisor mid-supervision."""
+        run = cls.__new__(cls)
+        run.workload = supervisor.vm.workload.name
+        run.engine_name = supervisor.engine_name
+        run.plan = None
+        run.warmup_s = 0.0
+        run.dt = supervisor.engine.dt
+        run.seed = supervisor.vm.seed if hasattr(supervisor.vm, "seed") else 0
+        run.vm_kwargs = {}
+        run.supervisor_kwargs = {}
+        run.engine = supervisor.engine
+        run.vm = supervisor.vm
+        run.link = supervisor.link
+        run.supervisor = supervisor
+        run.phase = "done" if supervisor.done else "supervise"
+        run.result = supervisor.result if supervisor.done else None
+        return run
+
+    @property
+    def probe(self):
+        return self.vm.probe
+
+    @property
+    def done(self) -> bool:
+        return self.phase == "done"
+
+    def _launch(self) -> None:
+        """Warm-up is over: install the link driver, arm the fault
+        plan, and build the supervisor — the exact post-warmup sequence
+        (and order) the one-shot path always ran."""
+        from repro.faults import FaultInjector
+
+        sim = self.engine
+        vm = self.vm
+        link = self.link
+        if hasattr(link, "install"):
+            # A WanLink brings its own driver actor (burst loss,
+            # weather); armed here so weather offsets count from the
+            # supervised migration's start, exactly like a fault plan's.
+            link.install(sim)
+        injector = None
+        if self.plan is not None:
+            # Registered only now, after warm-up, so the plan's t=0 is
+            # the supervised migration's start rather than guest boot.
+            injector = FaultInjector(
+                self.plan,
+                link=link,
+                lkm=vm.lkm,
+                agent=vm.agent,
+                netlink=vm.kernel.netlink,
+            )
+            if vm.probe.enabled:
+                injector.probe = vm.probe
+            injector.arm(sim.now)
+            sim.add(injector)
+        self.supervisor = MigrationSupervisor(
+            sim, vm, link, engine_name=self.engine_name, injector=injector,
+            **self.supervisor_kwargs,
+        )
+
+    def step(self, limit: float, checkpointer=None) -> bool:
+        """Advance up to the absolute simulated instant *limit*; True
+        once supervision is over (``self.result`` holds the outcome).
+
+        Warm-up advances without the checkpointer — identical to the
+        one-shot path, where checkpoint coverage starts with the
+        supervisor (there is nothing to resume before it exists)."""
+        from repro.checkpoint.runner import advance_to
+
+        if self.phase == "warmup":
+            if self.warmup_s > 0:
+                advance_to(self, self.warmup_s, None, limit=limit)
+                if self.engine.now < self.warmup_s:
+                    return False
+            self._launch()
+            self.phase = "supervise"
+        if self.phase == "supervise":
+            if self.supervisor.step(limit, checkpointer):
+                if self.vm.probe.enabled:
+                    self.vm.probe.finish(self.engine.now)
+                self.result = self.supervisor.result
+                self.phase = "done"
+        return self.phase == "done"
+
+    def run(self, checkpointer=None) -> SupervisionResult:
+        while not self.step(math.inf, checkpointer):
+            pass
+        return self.result
+
+
 def supervised_migrate(
     workload: str = "derby",
     engine_name: str = "javmm",
@@ -630,6 +827,7 @@ def supervised_migrate(
     link: Link | None = None,
     warmup_s: float = 5.0,
     dt: float = 0.005,
+    kernel: str | None = None,
     seed: int = 20150421,
     vm_kwargs: dict | None = None,
     telemetry: bool = False,
@@ -650,44 +848,23 @@ def supervised_migrate(
     a :class:`~repro.telemetry.live.StreamSink`: instants, samples and
     events are mirrored onto it as they happen (``repro watch`` tails
     it live); the caller finalizes the sink once attribution is done.
-    """
-    from repro.core.builders import build_java_vm
-    from repro.faults import FaultInjector
 
-    sim = make_engine(dt)
-    vm = build_java_vm(
-        workload=workload, seed=seed, telemetry=telemetry, **(vm_kwargs or {})
-    )
-    if telemetry_sink is not None and vm.probe.enabled:
-        vm.probe.sink = telemetry_sink
-        if vm.event_log is not None:
-            vm.event_log.sink = telemetry_sink
-    vm.register(sim)
-    link = link or Link()
-    if warmup_s > 0:
-        sim.run_until(warmup_s)
-    if hasattr(link, "install"):
-        # A WanLink brings its own driver actor (burst loss, weather);
-        # armed here so weather offsets count from the supervised
-        # migration's start, exactly like a fault plan's.
-        link.install(sim)
-    injector = None
-    if plan is not None:
-        # Registered only now, after warm-up, so the plan's t=0 is the
-        # supervised migration's start rather than guest boot.
-        injector = FaultInjector(
-            plan,
-            link=link,
-            lkm=vm.lkm,
-            agent=vm.agent,
-            netlink=vm.kernel.netlink,
-        )
-        if vm.probe.enabled:
-            injector.probe = vm.probe
-        injector.arm(sim.now)
-        sim.add(injector)
-    supervisor = MigrationSupervisor(
-        sim, vm, link, engine_name=engine_name, injector=injector, **supervisor_kwargs
+    This is :class:`SupervisedRun` driven to completion in one call —
+    the multiplexed session path steps the identical machine in slices.
+    """
+    run = SupervisedRun(
+        workload=workload,
+        engine_name=engine_name,
+        plan=plan,
+        link=link,
+        warmup_s=warmup_s,
+        dt=dt,
+        kernel=kernel,
+        seed=seed,
+        vm_kwargs=vm_kwargs,
+        telemetry=telemetry,
+        telemetry_sink=telemetry_sink,
+        **supervisor_kwargs,
     )
     checkpointer = None
     if checkpoint is not None:
@@ -698,7 +875,5 @@ def supervised_migrate(
                 workload, engine_name, plan, warmup_s, dt, seed, vm_kwargs
             )
         checkpointer = Checkpointer(checkpoint)
-    outcome = supervisor.run(checkpointer)
-    if vm.probe.enabled:
-        vm.probe.finish(sim.now)
-    return outcome, vm
+    outcome = run.run(checkpointer)
+    return outcome, run.vm

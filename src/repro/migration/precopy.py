@@ -142,6 +142,8 @@ class PrecopyMigrator(Actor):
         self._iter_skip_bitmap = 0
         self._iter_dirty_events_base = 0
         self._resume_timer = 0.0
+        #: armed by :meth:`request_stop_and_copy` (the manager verb)
+        self._forced_stop_reason: str | None = None
         self._last_step_wire = 0.0
         self._step_capacity = 1.0
         self._last_progress_at = 0.0
@@ -231,6 +233,22 @@ class PrecopyMigrator(Actor):
             return
         if self._dest_failed_reason is None:
             self._dest_failed_reason = reason
+
+    def request_stop_and_copy(self, reason: str = "operator stop-and-copy") -> None:
+        """Ask the daemon to finish pre-copy at the current iteration's
+        end — the migration-manager ``stop_and_copy`` verb.
+
+        Called from outside the daemon (between engine steps), so it
+        only arms a stop reason that :meth:`_stop_reason` reports at the
+        next iteration boundary; the daemon then pauses the VM and
+        enters stop-and-copy through the exact same path as a natural
+        convergence stop.  Idempotent; ignored once the VM is already
+        paused (or the migration is over).
+        """
+        if self.phase not in (MigrationPhase.ITERATING, MigrationPhase.WAITING_APPS):
+            return
+        if self._forced_stop_reason is None:
+            self._forced_stop_reason = reason
 
     def abort(self, now: float, reason: str) -> None:
         """Abandon the migration and roll the source back to normal.
@@ -762,6 +780,8 @@ class PrecopyMigrator(Actor):
         return True
 
     def _stop_reason(self) -> str | None:
+        if self._forced_stop_reason is not None:
+            return self._forced_stop_reason
         remaining = self._remaining_dirty_count()
         if remaining < self.min_remaining_pages:
             return f"remaining dirty pages ({remaining}) below threshold"

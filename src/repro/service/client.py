@@ -1,0 +1,95 @@
+"""Synchronous client for the migration-manager daemon.
+
+``repro ctl`` (and the tests) talk to ``repro serve`` through this:
+dial the Unix socket recorded in ``<root>/ctl.addr``, write one JSON
+line, read one JSON line back.  A non-``ok`` response raises
+:class:`ServiceUnavailable`'s sibling :class:`RequestFailed` so callers
+never have to remember to check the flag.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from repro.service import protocol
+
+
+class ServiceUnavailable(ConnectionError):
+    """No daemon answering on the service root's socket."""
+
+
+class RequestFailed(RuntimeError):
+    """The daemon answered ``ok: false``."""
+
+
+class ServiceClient:
+    """One service root, many requests (a fresh connection per call —
+    the daemon is local and the protocol is one line each way)."""
+
+    def __init__(self, root_dir: str, timeout_s: float = 30.0) -> None:
+        self.root_dir = root_dir
+        self.timeout_s = timeout_s
+
+    @property
+    def socket_path(self) -> str:
+        return protocol.read_addr(self.root_dir)
+
+    def request(self, op: str, **fields) -> dict:
+        """Send one verb; return the daemon's response payload."""
+        message = {"op": op}
+        message.update(fields)
+        try:
+            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+                sock.settimeout(self.timeout_s)
+                sock.connect(self.socket_path)
+                sock.sendall(protocol.encode(message))
+                line = b""
+                while not line.endswith(b"\n"):
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    line += chunk
+        except (ConnectionRefusedError, FileNotFoundError) as exc:
+            raise ServiceUnavailable(
+                f"no daemon on {self.socket_path}: {exc}"
+            ) from exc
+        if not line:
+            raise ServiceUnavailable(
+                f"daemon on {self.socket_path} hung up mid-request"
+            )
+        response = protocol.decode(line)
+        if not response.get("ok"):
+            raise RequestFailed(response.get("error", "request failed"))
+        return response
+
+    def wait_ready(self, timeout_s: float = 20.0, poll_s: float = 0.05) -> dict:
+        """Block until the daemon answers ``ping`` (startup race)."""
+        deadline = time.monotonic() + timeout_s
+        last: Exception | None = None
+        while time.monotonic() < deadline:
+            try:
+                return self.request("ping")
+            except ServiceUnavailable as exc:
+                last = exc
+                time.sleep(poll_s)
+        raise ServiceUnavailable(
+            f"daemon did not come up within {timeout_s:.0f}s: {last}"
+        )
+
+    def wait_terminal(
+        self, session_id: str, timeout_s: float = 120.0, poll_s: float = 0.1
+    ) -> dict:
+        """Poll until *session_id* reaches a terminal state."""
+        from repro.service.session import TERMINAL_STATES
+
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            status = self.request("status", id=session_id)["session"]
+            if status["state"] in TERMINAL_STATES + ("finalized",):
+                return status
+            time.sleep(poll_s)
+        raise TimeoutError(
+            f"session {session_id} still {status['state']} "
+            f"after {timeout_s:.0f}s"
+        )

@@ -514,3 +514,51 @@ def test_supervised_wan_live_status_equals_post_mortem(tmp_path, monkeypatch):
     post = LiveStatus.from_result(result, name="m")
     assert live.rescues == post.rescues
     assert live.to_dict() == post.to_dict()
+
+
+# -- multiplexed sessions (the migration-manager service) ---------------------------------
+
+
+def _session_payloads(kernel: str, tmp_path, tag: str):
+    """Three mixed sessions multiplexed through one manager round-robin."""
+    from repro.service import MigrationManager, SessionConfig
+
+    configs = [
+        SessionConfig(workload="derby", seed=7, kernel=kernel),
+        SessionConfig(workload="scimark", seed=11, kernel=kernel),
+        SessionConfig(workload="derby", seed=13, supervise=True, kernel=kernel),
+    ]
+    manager = MigrationManager(
+        root_dir=str(tmp_path / f"svc-{tag}-{kernel}"),
+        max_active=2,  # exercise admission: one session queues behind the pool
+        slice_s=0.31,
+    )
+    ids = [manager.submit(cfg) for cfg in configs]
+    manager.drain()
+    return configs, [manager.session(sid).result_payload for sid in ids]
+
+
+@pytest.mark.parametrize("kernel", ["fixed", "event"])
+def test_multiplexed_sessions_match_standalone_runs(kernel, tmp_path):
+    """A session's report, page-version digest and attribution ledger
+    must be bit-identical to the same config run standalone — slicing
+    only ever tightens engine-advance bounds (the PR 6 invariant), so
+    cooperative multiplexing is measure-invisible."""
+    from repro.service import run_standalone
+
+    configs, payloads = _session_payloads(kernel, tmp_path, "solo")
+    for config, payload in zip(configs, payloads):
+        standalone = run_standalone(config)
+        assert payload == standalone
+        assert payload["final_digest"] == standalone["final_digest"]
+        assert payload["attribution"] == standalone["attribution"]
+        assert not payload["conservation_violations"]
+
+
+def test_multiplexed_sessions_are_kernel_independent(tmp_path):
+    """Fixed and event kernels must produce identical session payloads
+    (digest included) through the manager, exactly as they do for a
+    bare MigrationExperiment."""
+    _, fixed = _session_payloads("fixed", tmp_path, "x")
+    _, event = _session_payloads("event", tmp_path, "x")
+    assert fixed == event
